@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Ablation: mesh-size scaling. The paper evaluates an 8x8 mesh; this
+ * sweep checks that the RoCo advantages (latency at moderate load,
+ * energy per packet) persist from 4x4 to 12x12.
+ */
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace noc;
+    using namespace noc::bench;
+
+    std::puts("Ablation: mesh size scaling (uniform, XY, 0.2 "
+              "flits/node/cycle)");
+    std::printf("%-8s | %10s %12s %10s | %10s %10s\n", "mesh",
+                "Generic", "PathSens", "RoCo", "Gen nJ/pkt",
+                "RoCo nJ/pkt");
+    hr();
+    for (int k : {4, 6, 8, 10, 12}) {
+        double lat[3], energy[3];
+        int i = 0;
+        for (RouterArch a : kArchs) {
+            SimConfig cfg = paperConfig(a, RoutingKind::XY,
+                                        TrafficKind::Uniform, 0.2);
+            cfg.meshWidth = k;
+            cfg.meshHeight = k;
+            Simulator sim(cfg);
+            SimResult r = sim.run();
+            lat[i] = r.avgLatency;
+            energy[i] = r.energyPerPacketNj;
+            ++i;
+        }
+        char mesh[16];
+        std::snprintf(mesh, sizeof mesh, "%dx%d", k, k);
+        std::printf("%-8s | %10.2f %12.2f %10.2f | %10.3f %10.3f\n",
+                    mesh, lat[0], lat[1], lat[2], energy[0], energy[2]);
+    }
+    std::puts("\nExpected: latency and energy grow with hop count; the "
+              "RoCo-vs-generic energy\nratio stays roughly constant "
+              "(the saving is per-hop).");
+    return 0;
+}

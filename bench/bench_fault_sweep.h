@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared driver for the Figure 11/12 packet-completion sweeps: one
+ * fault class, 1/2/4 random faults, all routings and architectures,
+ * averaged over several fault placements.
+ */
+#ifndef ROCOSIM_BENCH_BENCH_FAULT_SWEEP_H_
+#define ROCOSIM_BENCH_BENCH_FAULT_SWEEP_H_
+
+#include "bench_util.h"
+#include "fault/fault_injector.h"
+
+namespace noc::bench {
+
+inline int
+faultSweep(FaultClass cls, const char *figure, const char *caption)
+{
+    const int faultCounts[] = {1, 2, 4};
+    const std::uint64_t seeds[] = {11, 22, 33};
+    MeshTopology topo(8, 8);
+
+    std::printf("%s: packet completion probability, 30%% injection, "
+                "%s faults\n", figure, caption);
+    for (RoutingKind routing : kRoutings) {
+        std::printf("\n-- %s routing --\n", toString(routing));
+        std::printf("%-8s %10s %12s %10s\n", "#faults", "Generic",
+                    "PathSens", "RoCo");
+        hr();
+        for (int nf : faultCounts) {
+            std::printf("%-8d", nf);
+            for (RouterArch a : kArchs) {
+                double sum = 0;
+                for (std::uint64_t seed : seeds) {
+                    auto faults =
+                        placeRandomFaults(topo, cls, nf, 3, seed);
+                    sum += run(a, routing, TrafficKind::Uniform, 0.3,
+                               faults)
+                               .completion;
+                }
+                std::printf(" %10.3f",
+                            sum / static_cast<double>(std::size(seeds)));
+            }
+            std::puts("");
+        }
+    }
+    return 0;
+}
+
+} // namespace noc::bench
+
+#endif // ROCOSIM_BENCH_BENCH_FAULT_SWEEP_H_

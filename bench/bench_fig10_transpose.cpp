@@ -1,0 +1,9 @@
+/** @file Figure 10: latency under transpose traffic. */
+#include "bench_latency_sweep.h"
+
+int
+main()
+{
+    return noc::bench::latencySweep(noc::TrafficKind::Transpose,
+                                    "Figure 10");
+}

@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 11: completion probability under router-centric /
+ * critical-pathway faults (VA, SA, crossbar, mux/demux). These take a
+ * whole generic/Path-Sensitive node off-line; RoCo degrades to a
+ * single module and keeps serving the other dimension.
+ */
+#include "bench_fault_sweep.h"
+
+int
+main()
+{
+    return noc::bench::faultSweep(
+        noc::FaultClass::RouterCentricCritical, "Figure 11",
+        "router-centric / critical-pathway");
+}

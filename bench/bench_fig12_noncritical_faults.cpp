@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Figure 12: completion probability under message-centric /
+ * non-critical faults (RC unit, VC buffers). RoCo's hardware
+ * recycling (double routing, virtual queuing) keeps completion near
+ * 1.0; the unified designs still lose the whole node.
+ */
+#include "bench_fault_sweep.h"
+
+int
+main()
+{
+    return noc::bench::faultSweep(
+        noc::FaultClass::MessageCentricNonCritical, "Figure 12",
+        "message-centric / non-critical");
+}

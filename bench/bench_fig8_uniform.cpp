@@ -1,0 +1,9 @@
+/** @file Figure 8: latency under uniform random traffic. */
+#include "bench_latency_sweep.h"
+
+int
+main()
+{
+    return noc::bench::latencySweep(noc::TrafficKind::Uniform,
+                                    "Figure 8");
+}

@@ -1,0 +1,9 @@
+/** @file Figure 9: latency under self-similar (Pareto ON/OFF) traffic. */
+#include "bench_latency_sweep.h"
+
+int
+main()
+{
+    return noc::bench::latencySweep(noc::TrafficKind::SelfSimilar,
+                                    "Figure 9");
+}

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks: raw component costs and whole
+ * network simulation rates per architecture.
+ */
+#include <benchmark/benchmark.h>
+
+#include "router/arbiter.h"
+#include "router/roco/mirror_allocator.h"
+#include "sim/network.h"
+
+namespace {
+
+using namespace noc;
+
+void
+BM_RoundRobinArbiter(benchmark::State &state)
+{
+    RoundRobinArbiter arb(static_cast<int>(state.range(0)));
+    std::uint64_t mask = (1ull << state.range(0)) - 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.arbitrate(mask));
+}
+BENCHMARK(BM_RoundRobinArbiter)->Arg(3)->Arg(5)->Arg(15);
+
+void
+BM_MatrixArbiter(benchmark::State &state)
+{
+    MatrixArbiter arb(static_cast<int>(state.range(0)));
+    std::uint64_t mask = (1ull << state.range(0)) - 1;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(arb.arbitrate(mask));
+}
+BENCHMARK(BM_MatrixArbiter)->Arg(3)->Arg(5)->Arg(15);
+
+void
+BM_MirrorAllocator(benchmark::State &state)
+{
+    MirrorAllocator alloc(3);
+    const std::uint64_t reqs[2][2] = {{0b101, 0b010}, {0b011, 0b100}};
+    const std::uint64_t spec[2][2] = {{0, 0}, {0, 0}};
+    MirrorAllocator::Grant grants[2];
+    for (auto _ : state) {
+        MirrorAllocator::ArbOps ops;
+        benchmark::DoNotOptimize(
+            alloc.allocate(reqs, spec, 2, grants, ops));
+    }
+}
+BENCHMARK(BM_MirrorAllocator);
+
+/** Cycles simulated per second for a loaded 8x8 network. */
+void
+BM_NetworkStep(benchmark::State &state)
+{
+    SimConfig cfg;
+    cfg.arch = static_cast<RouterArch>(state.range(0));
+    cfg.injectionRate = 0.3;
+    Network net(cfg);
+    Cycle now = 0;
+    for (Cycle t = 0; t < 500; ++t) // warm the network up
+        net.step(now++, true, false);
+    for (auto _ : state)
+        net.step(now++, true, false);
+    state.SetItemsProcessed(state.iterations() * net.numNodes());
+}
+BENCHMARK(BM_NetworkStep)
+    ->Arg(static_cast<int>(RouterArch::Generic))
+    ->Arg(static_cast<int>(RouterArch::PathSensitive))
+    ->Arg(static_cast<int>(RouterArch::Roco));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Table 2: non-blocking (maximal matching) probabilities of the three
+ * router architectures, from the analytical model of Section 3.2.
+ */
+#include <cstdio>
+
+#include "metrics/matching.h"
+
+int
+main()
+{
+    using namespace noc;
+    std::puts("Table 2: Non-Blocking Probabilities (N = 5)");
+    std::printf("%-16s %-12s %-10s\n", "router", "computed", "paper");
+    std::printf("%-16s %-12.4f %-10s\n", "Generic",
+                nonBlockingProbability(RouterArch::Generic), "0.043");
+    std::printf("%-16s %-12.4f %-10s\n", "Path-Sensitive",
+                nonBlockingProbability(RouterArch::PathSensitive),
+                "0.125");
+    std::printf("%-16s %-12.4f %-10s\n", "RoCo",
+                nonBlockingProbability(RouterArch::Roco), "0.25");
+
+    std::puts("\nEquation 1: F(N) = N! - sum C(N,j) F(N-j)");
+    for (int n = 1; n <= 8; ++n)
+        std::printf("  F(%d) = %llu\n", n,
+                    static_cast<unsigned long long>(
+                        nonBlockingMatchings(n)));
+    return 0;
+}

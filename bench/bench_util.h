@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Shared helpers for the figure/table reproduction benches.
+ *
+ * The paper's protocol (20,000 warm-up + 1,000,000 measured packets)
+ * is scaled down so the whole suite runs in minutes on a laptop; the
+ * comparisons are stable at this scale. Override with:
+ *   NOC_BENCH_WARMUP=<packets>  NOC_BENCH_PACKETS=<packets>
+ */
+#ifndef ROCOSIM_BENCH_BENCH_UTIL_H_
+#define ROCOSIM_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace noc::bench {
+
+inline std::uint64_t
+envOr(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/** The evaluation configuration of Section 5.4, scaled. */
+inline SimConfig
+paperConfig(RouterArch arch, RoutingKind routing, TrafficKind traffic,
+            double rate)
+{
+    SimConfig cfg;
+    cfg.arch = arch;
+    cfg.routing = routing;
+    cfg.traffic = traffic;
+    cfg.injectionRate = rate;
+    cfg.warmupPackets = envOr("NOC_BENCH_WARMUP", 800);
+    cfg.measurePackets = envOr("NOC_BENCH_PACKETS", 6000);
+    cfg.maxCycles = 150000;
+    return cfg;
+}
+
+inline SimResult
+run(RouterArch arch, RoutingKind routing, TrafficKind traffic,
+    double rate, const std::vector<FaultSpec> &faults = {})
+{
+    Simulator sim(paperConfig(arch, routing, traffic, rate), faults);
+    return sim.run();
+}
+
+constexpr RouterArch kArchs[] = {RouterArch::Generic,
+                                 RouterArch::PathSensitive,
+                                 RouterArch::Roco};
+constexpr RoutingKind kRoutings[] = {RoutingKind::XY, RoutingKind::XYYX,
+                                     RoutingKind::Adaptive};
+
+inline void
+hr()
+{
+    std::puts("------------------------------------------------------"
+              "------------------");
+}
+
+} // namespace noc::bench
+
+#endif // ROCOSIM_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Driving the library below the Simulator: build a Network, inject
+ * hand-crafted packets, step the clock yourself and read per-node
+ * state. This is the API a custom workload (e.g. a trace replayer or
+ * a CPU model) would use.
+ *
+ *   ./build/examples/custom_network
+ */
+#include <cstdio>
+
+#include "sim/network.h"
+
+int
+main()
+{
+    using namespace noc;
+
+    SimConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.arch = RouterArch::Roco;
+    cfg.routing = RoutingKind::Adaptive;
+    cfg.injectionRate = 0.0; // we drive every packet by hand
+
+    Network net(cfg);
+    std::uint64_t nextId = 1;
+
+    // An all-to-one burst: every node sends one packet to node 15 at
+    // cycle 0 — a worst-case ejection hotspot.
+    for (NodeId src = 0; src < 15; ++src)
+        net.nic(src).enqueuePacket(15, 0, nextId, true);
+
+    // Then a pipelined stream along the bottom row.
+    for (Cycle t = 0; t < 5; ++t)
+        net.nic(0).enqueuePacket(3, 0, nextId, true);
+
+    Cycle now = 0;
+    while (now < 2000) {
+        net.step(now, false, false);
+        ++now;
+        bool queued = false;
+        for (int i = 0; i < net.numNodes(); ++i)
+            queued = queued ||
+                     net.nic(static_cast<NodeId>(i)).queuedFlits() > 0;
+        if (!queued && net.flitsInFlight() == 0)
+            break;
+    }
+
+    std::printf("drained after %llu cycles\n",
+                static_cast<unsigned long long>(now));
+    std::printf("node 15 received %llu packets (avg latency %.1f, max "
+                "%.0f cycles)\n",
+                static_cast<unsigned long long>(
+                    net.nic(15).deliveredPackets()),
+                net.nic(15).latency().mean(),
+                net.nic(15).latency().max());
+    std::printf("node 3 received %llu packets (avg latency %.1f)\n",
+                static_cast<unsigned long long>(
+                    net.nic(3).deliveredPackets()),
+                net.nic(3).latency().mean());
+
+    ActivityCounters a = net.totalActivity();
+    std::printf("\nactivity: %llu buffer writes, %llu crossbar "
+                "traversals, %llu early ejections\n",
+                static_cast<unsigned long long>(a.bufferWrites),
+                static_cast<unsigned long long>(a.crossbarTraversals),
+                static_cast<unsigned long long>(a.earlyEjections));
+
+    // Per-router contention probes are exposed too.
+    const Router &center = net.router(5);
+    std::printf("router 5 row-input contention: %.3f over %llu "
+                "arbitration events\n",
+                center.rowContention().ratio(),
+                static_cast<unsigned long long>(
+                    center.rowContention().trials()));
+    return 0;
+}

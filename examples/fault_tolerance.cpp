@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Graceful degradation demo: walk through every fault type of the
+ * paper's Section 4 on a single node and show how each architecture
+ * reacts — the RoCo hardware-recycling story next to the baselines'
+ * whole-node loss.
+ *
+ *   ./build/examples/fault_tolerance
+ */
+#include <cstdio>
+
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace noc;
+
+/** One faulty run at the paper's 30% load. */
+SimResult
+runWith(RouterArch arch, const std::vector<FaultSpec> &faults)
+{
+    SimConfig cfg;
+    cfg.arch = arch;
+    cfg.routing = RoutingKind::XY;
+    cfg.injectionRate = 0.3;
+    cfg.warmupPackets = 500;
+    cfg.measurePackets = 4000;
+    cfg.maxCycles = 100000;
+    Simulator sim(cfg, faults);
+    return sim.run();
+}
+
+void
+scenario(const char *name, const char *recovery, FaultComponent comp,
+         Module mod)
+{
+    std::printf("\n%s fault at node 27 (%s module)\n", name,
+                toString(mod));
+    std::printf("  RoCo recovery: %s\n", recovery);
+    FaultSpec f{27, comp, mod, 0, 0};
+    for (RouterArch arch : {RouterArch::Generic, RouterArch::Roco}) {
+        SimResult r = runWith(arch, {f});
+        std::printf("  %-8s completion %.3f   latency %6.2f   PEF %7.2f\n",
+                    toString(arch), r.completion, r.avgLatency, r.pef);
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::puts("Hardware recycling walkthrough (Section 4): one hard "
+              "fault, 8x8 mesh, XY, 30% load");
+    std::puts("Baseline (no faults):");
+    for (RouterArch arch : {RouterArch::Generic, RouterArch::Roco}) {
+        SimResult r = runWith(arch, {});
+        std::printf("  %-8s completion %.3f   latency %6.2f   PEF %7.2f\n",
+                    toString(arch), r.completion, r.avgLatency, r.pef);
+    }
+
+    scenario("Routing-unit (RC)",
+             "neighbours double-route (+1 cycle for heads)",
+             FaultComponent::RoutingUnit, Module::Row);
+    scenario("VC buffer",
+             "virtual queuing retires the VC, path set absorbs traffic",
+             FaultComponent::VcBuffer, Module::Row);
+    scenario("Switch allocator (SA)",
+             "grants ride the idle VA arbiters (1 grant/cycle max)",
+             FaultComponent::SaArbiter, Module::Row);
+    scenario("VC allocator (VA)",
+             "none possible: the row module is isolated, the column "
+             "module keeps serving",
+             FaultComponent::VaArbiter, Module::Row);
+    scenario("Crossbar",
+             "none possible: module isolated, partial operation",
+             FaultComponent::Crossbar, Module::Column);
+
+    std::puts("\nNote how every recoverable fault leaves RoCo at "
+              "completion 1.0 while the\ngeneric router loses the whole "
+              "node for the identical fault.");
+    return 0;
+}

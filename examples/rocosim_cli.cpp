@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Full command-line front end: run any configuration of the simulator
+ * and print a result row (or CSV for scripting).
+ *
+ *   rocosim_cli [options]
+ *     --arch generic|ps|roco         router microarchitecture
+ *     --routing xy|xyyx|adaptive     routing algorithm
+ *     --traffic <name>               uniform transpose bitcomp hotspot
+ *                                    tornado neighbor selfsimilar mpeg
+ *                                    bitreverse shuffle trace
+ *     --trace <file>                 trace file (with --traffic trace)
+ *     --rate <f>                     flits/node/cycle
+ *     --mesh <k>                     k x k mesh (default 8)
+ *     --packets <n> --warmup <n>     measurement protocol
+ *     --seed <n>
+ *     --faults <n> --fault-class critical|noncritical --fault-seed <n>
+ *     --csv                          machine-readable one-line output
+ *     --csv-header                   print the CSV column names
+ *
+ *   e.g. rocosim_cli --arch roco --routing adaptive --rate 0.25
+ *        rocosim_cli --arch generic --faults 2 --fault-class critical
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "fault/fault_injector.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using namespace noc;
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "rocosim_cli: %s (see the file header for "
+                         "options)\n", msg);
+    std::exit(2);
+}
+
+RouterArch
+parseArch(const std::string &s)
+{
+    if (s == "generic") return RouterArch::Generic;
+    if (s == "ps" || s == "pathsensitive") return RouterArch::PathSensitive;
+    if (s == "roco") return RouterArch::Roco;
+    usage("unknown --arch");
+}
+
+RoutingKind
+parseRouting(const std::string &s)
+{
+    if (s == "xy") return RoutingKind::XY;
+    if (s == "xyyx") return RoutingKind::XYYX;
+    if (s == "adaptive") return RoutingKind::Adaptive;
+    usage("unknown --routing");
+}
+
+TrafficKind
+parseTraffic(const std::string &s)
+{
+    if (s == "uniform") return TrafficKind::Uniform;
+    if (s == "transpose") return TrafficKind::Transpose;
+    if (s == "bitcomp") return TrafficKind::BitComplement;
+    if (s == "hotspot") return TrafficKind::Hotspot;
+    if (s == "tornado") return TrafficKind::Tornado;
+    if (s == "neighbor") return TrafficKind::NearestNeighbor;
+    if (s == "selfsimilar") return TrafficKind::SelfSimilar;
+    if (s == "mpeg") return TrafficKind::Mpeg;
+    if (s == "bitreverse") return TrafficKind::BitReverse;
+    if (s == "shuffle") return TrafficKind::Shuffle;
+    if (s == "trace") return TrafficKind::Trace;
+    usage("unknown --traffic");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    SimConfig cfg;
+    int numFaults = 0;
+    FaultClass faultClass = FaultClass::RouterCentricCritical;
+    std::uint64_t faultSeed = 1;
+    bool csv = false;
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage("missing argument value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--arch") cfg.arch = parseArch(need(i));
+        else if (a == "--routing") cfg.routing = parseRouting(need(i));
+        else if (a == "--traffic") cfg.traffic = parseTraffic(need(i));
+        else if (a == "--trace") cfg.traceFile = need(i);
+        else if (a == "--rate") cfg.injectionRate = std::atof(need(i).c_str());
+        else if (a == "--mesh") {
+            cfg.meshWidth = std::atoi(need(i).c_str());
+            cfg.meshHeight = cfg.meshWidth;
+        }
+        else if (a == "--packets")
+            cfg.measurePackets = std::strtoull(need(i).c_str(), nullptr, 10);
+        else if (a == "--warmup")
+            cfg.warmupPackets = std::strtoull(need(i).c_str(), nullptr, 10);
+        else if (a == "--seed")
+            cfg.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+        else if (a == "--faults") numFaults = std::atoi(need(i).c_str());
+        else if (a == "--fault-seed")
+            faultSeed = std::strtoull(need(i).c_str(), nullptr, 10);
+        else if (a == "--fault-class") {
+            std::string c = need(i);
+            if (c == "critical")
+                faultClass = FaultClass::RouterCentricCritical;
+            else if (c == "noncritical")
+                faultClass = FaultClass::MessageCentricNonCritical;
+            else
+                usage("unknown --fault-class");
+        }
+        else if (a == "--csv") csv = true;
+        else if (a == "--csv-header") {
+            std::puts("arch,routing,traffic,rate,faults,latency,p50,"
+                      "p99,throughput,completion,nj_per_packet,edp,pef,"
+                      "timed_out");
+            return 0;
+        }
+        else usage("unknown option");
+    }
+
+    cfg.validate();
+    MeshTopology topo(cfg.meshWidth, cfg.meshHeight);
+    std::vector<FaultSpec> faults;
+    if (numFaults > 0) {
+        faults = placeRandomFaults(topo, faultClass, numFaults,
+                                   cfg.vcsPerPort, faultSeed);
+    }
+
+    Simulator sim(cfg, faults);
+    SimResult r = sim.run();
+
+    if (csv) {
+        std::printf("%s,%s,%s,%.3f,%d,%.3f,%.3f,%.3f,%.4f,%.4f,%.4f,"
+                    "%.3f,%.3f,%d\n",
+                    toString(cfg.arch), toString(cfg.routing),
+                    toString(cfg.traffic), cfg.injectionRate, numFaults,
+                    r.avgLatency, r.p50Latency, r.p99Latency,
+                    r.throughputFlits, r.completion, r.energyPerPacketNj,
+                    r.edp, r.pef, r.timedOut ? 1 : 0);
+        return 0;
+    }
+
+    std::printf("%dx%d mesh | %s | %s routing | %s @ %.2f f/n/c",
+                cfg.meshWidth, cfg.meshHeight, toString(cfg.arch),
+                toString(cfg.routing), toString(cfg.traffic),
+                cfg.injectionRate);
+    if (numFaults)
+        std::printf(" | %d %s faults", numFaults,
+                    faultClass == FaultClass::RouterCentricCritical
+                        ? "critical"
+                        : "non-critical");
+    std::puts("");
+    std::printf("  latency      %8.2f cycles (p50 %.1f, p99 %.1f, max "
+                "%.0f)\n", r.avgLatency, r.p50Latency, r.p99Latency,
+                r.maxLatency);
+    std::printf("  throughput   %8.3f flits/node/cycle\n",
+                r.throughputFlits);
+    std::printf("  completion   %8.3f\n", r.completion);
+    std::printf("  energy       %8.3f nJ/packet (dynamic %.1f%%)\n",
+                r.energyPerPacketNj,
+                100.0 * r.energy.dynamicPj() / r.energy.totalPj());
+    std::printf("  EDP / PEF    %8.2f / %.2f\n", r.edp, r.pef);
+    if (r.timedOut)
+        std::puts("  (run hit the cycle budget: saturated or blocked)");
+    return 0;
+}

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Traffic playground: compare the three routers on any workload the
+ * library ships, from the command line.
+ *
+ *   ./build/examples/traffic_playground [pattern] [rate] [routing]
+ *   patterns: uniform transpose bitcomp hotspot tornado neighbor
+ *             selfsimilar mpeg
+ *   routing:  xy xyyx adaptive
+ *
+ *   e.g. ./build/examples/traffic_playground hotspot 0.25 adaptive
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "sim/simulator.h"
+
+namespace {
+
+noc::TrafficKind
+parsePattern(const char *s)
+{
+    using enum noc::TrafficKind;
+    if (!std::strcmp(s, "transpose")) return Transpose;
+    if (!std::strcmp(s, "bitcomp")) return BitComplement;
+    if (!std::strcmp(s, "hotspot")) return Hotspot;
+    if (!std::strcmp(s, "tornado")) return Tornado;
+    if (!std::strcmp(s, "neighbor")) return NearestNeighbor;
+    if (!std::strcmp(s, "selfsimilar")) return SelfSimilar;
+    if (!std::strcmp(s, "mpeg")) return Mpeg;
+    return Uniform;
+}
+
+noc::RoutingKind
+parseRouting(const char *s)
+{
+    using enum noc::RoutingKind;
+    if (!std::strcmp(s, "xyyx")) return XYYX;
+    if (!std::strcmp(s, "adaptive")) return Adaptive;
+    return XY;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    noc::TrafficKind traffic =
+        argc > 1 ? parsePattern(argv[1]) : noc::TrafficKind::Uniform;
+    double rate = argc > 2 ? std::atof(argv[2]) : 0.2;
+    noc::RoutingKind routing =
+        argc > 3 ? parseRouting(argv[3]) : noc::RoutingKind::XY;
+
+    std::printf("8x8 mesh | %s traffic | %s routing | %.2f "
+                "flits/node/cycle\n\n",
+                toString(traffic), toString(routing), rate);
+    std::printf("%-15s %9s %8s %11s %10s %9s %9s\n", "router",
+                "latency", "p-sigma", "throughput", "nJ/packet",
+                "row-cont", "col-cont");
+
+    for (noc::RouterArch arch :
+         {noc::RouterArch::Generic, noc::RouterArch::PathSensitive,
+          noc::RouterArch::Roco}) {
+        noc::SimConfig cfg;
+        cfg.arch = arch;
+        cfg.routing = routing;
+        cfg.traffic = traffic;
+        cfg.injectionRate = rate;
+        cfg.warmupPackets = 800;
+        cfg.measurePackets = 8000;
+
+        noc::Simulator sim(cfg);
+        noc::SimResult r = sim.run();
+        std::printf("%-15s %9.2f %8.2f %11.3f %10.3f %9.3f %9.3f%s\n",
+                    toString(arch), r.avgLatency, r.latencyStddev,
+                    r.throughputFlits, r.energyPerPacketNj,
+                    r.rowContention, r.colContention,
+                    r.timedOut ? "  (saturated)" : "");
+    }
+    return 0;
+}

@@ -1,0 +1,72 @@
+#include "common/config.h"
+
+#include "common/log.h"
+
+namespace noc {
+
+const char *
+toString(TrafficKind t)
+{
+    switch (t) {
+      case TrafficKind::Uniform: return "uniform";
+      case TrafficKind::Transpose: return "transpose";
+      case TrafficKind::BitComplement: return "bit-complement";
+      case TrafficKind::Hotspot: return "hotspot";
+      case TrafficKind::Tornado: return "tornado";
+      case TrafficKind::NearestNeighbor: return "nearest-neighbor";
+      case TrafficKind::SelfSimilar: return "self-similar";
+      case TrafficKind::Mpeg: return "mpeg-2";
+      case TrafficKind::BitReverse: return "bit-reverse";
+      case TrafficKind::Shuffle: return "shuffle";
+      case TrafficKind::Trace: return "trace";
+    }
+    return "?";
+}
+
+int
+SimConfig::bufferDepth() const
+{
+    return arch == RouterArch::Generic ? bufferDepthGeneric
+                                       : bufferDepthModular;
+}
+
+int
+SimConfig::totalBufferFlits() const
+{
+    // Generic: 5 ports x v VCs; PS/RoCo: 4 path sets x v VCs.
+    int vcs = (arch == RouterArch::Generic ? kNumPorts : 4) * vcsPerPort;
+    return vcs * bufferDepth();
+}
+
+void
+SimConfig::validate() const
+{
+    if (meshWidth < 2 || meshHeight < 2)
+        fatal("mesh must be at least 2x2");
+    if (meshWidth > 256 || meshHeight > 256)
+        fatal("mesh dimension too large");
+    if (vcsPerPort < 1 || vcsPerPort > 8)
+        fatal("vcsPerPort out of range [1,8]");
+    if (arch != RouterArch::Generic && vcsPerPort < 3)
+        fatal("PS/RoCo routers need >=3 VCs per path set (Table 1)");
+    if (bufferDepthGeneric < 1 || bufferDepthModular < 1)
+        fatal("buffer depth must be positive");
+    if (hopDelay < 1)
+        fatal("hopDelay must be >=1");
+    if (creditDelay < 1)
+        fatal("creditDelay must be >=1");
+    if (injectionRate < 0.0 || injectionRate > 1.0)
+        fatal("injectionRate must be in [0,1] flits/node/cycle");
+    if (flitsPerPacket < 1 || flitsPerPacket > 1024)
+        fatal("flitsPerPacket out of range");
+    if (flitBits < 8)
+        fatal("flitBits too small");
+    if (hotspotFraction < 0.0 || hotspotFraction > 1.0)
+        fatal("hotspotFraction must be in [0,1]");
+    if (traffic == TrafficKind::Trace && traceFile.empty())
+        fatal("trace traffic requires a traceFile");
+    if (maxCycles == 0)
+        fatal("maxCycles must be positive");
+}
+
+} // namespace noc

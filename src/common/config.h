@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Simulation configuration.
+ *
+ * The defaults reproduce the paper's experimental setup (Section 5.4):
+ * 8x8 2D mesh, four 128-bit flits per packet, 3 VCs per port / path set,
+ * 60 flits of total buffering per router for every architecture.
+ */
+#ifndef ROCOSIM_COMMON_CONFIG_H_
+#define ROCOSIM_COMMON_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+
+namespace noc {
+
+/** Workloads used in the evaluation (Figures 8-10, 13). */
+enum class TrafficKind : std::uint8_t {
+    Uniform = 0,         ///< uniform random destinations, Bernoulli process
+    Transpose = 1,       ///< (x,y) -> (y,x) permutation
+    BitComplement = 2,   ///< node i -> ~i
+    Hotspot = 3,         ///< uniform + extra weight on hotspot nodes
+    Tornado = 4,         ///< half-ring offset in X
+    NearestNeighbor = 5, ///< random adjacent node (stresses early ejection)
+    SelfSimilar = 6,     ///< Pareto ON/OFF bursts, uniform destinations
+    Mpeg = 7,            ///< MPEG-2 GOP-shaped VBR bursts
+    BitReverse = 8,      ///< i -> bit-reverse(i) permutation
+    Shuffle = 9,         ///< i -> rotate-left(i) permutation
+    Trace = 10,          ///< replay a recorded schedule (traceFile)
+};
+
+/** Human-readable traffic name. */
+const char *toString(TrafficKind t);
+
+/**
+ * Every knob of a simulation run.
+ *
+ * Aggregate-initialisable so tests and benches can override single fields:
+ * @code
+ *   SimConfig cfg;
+ *   cfg.arch = RouterArch::Generic;
+ *   cfg.injectionRate = 0.3;
+ * @endcode
+ */
+struct SimConfig {
+    // --- topology -------------------------------------------------------
+    int meshWidth = 8;
+    int meshHeight = 8;
+
+    // --- architecture ---------------------------------------------------
+    RouterArch arch = RouterArch::Roco;
+    RoutingKind routing = RoutingKind::XY;
+
+    /** VCs per input port (generic) or per path set (PS / RoCo). */
+    int vcsPerPort = 3;
+    /** Buffer depth per VC, generic router (3 VCs x 5 ports x 4 = 60). */
+    int bufferDepthGeneric = 4;
+    /** Buffer depth per VC, 4-port routers (3 VCs x 4 sets x 5 = 60). */
+    int bufferDepthModular = 5;
+
+    /**
+     * Pipeline depth between switch-allocation grant and arrival at the
+     * next router's input register: 1 cycle switch traversal + 1 cycle
+     * link propagation (paper Section 5.1), plus the implicit input
+     * register, i.e. a flit granted at cycle t is received at t+3.
+     */
+    int hopDelay = 3;
+    /** Cycles for a credit to travel back upstream (1-cycle wire). */
+    int creditDelay = 1;
+
+    // --- workload -------------------------------------------------------
+    TrafficKind traffic = TrafficKind::Uniform;
+    /** Offered load in flits/node/cycle (the paper's x axes). */
+    double injectionRate = 0.1;
+    int flitsPerPacket = 4;
+    int flitBits = 128;
+    /** Fraction of traffic aimed at hotspots (Hotspot pattern only). */
+    double hotspotFraction = 0.2;
+    /** Packet schedule to replay (Trace traffic only). */
+    std::string traceFile;
+
+    // --- protocol -------------------------------------------------------
+    std::uint64_t seed = 0xC0FFEEull;
+    /** Packets injected network-wide before measurement starts. */
+    std::uint64_t warmupPackets = 2000;
+    /** Packets measured after warm-up. */
+    std::uint64_t measurePackets = 20000;
+    /**
+     * Hard stop. In faulty networks packets can be permanently blocked;
+     * the paper terminates after twice the fault-free completion time.
+     * We bound every run by maxCycles and count undelivered packets
+     * against the completion probability.
+     */
+    Cycle maxCycles = 300000;
+
+    /** Buffer depth for the configured architecture. */
+    int bufferDepth() const;
+    /** Total flit buffer capacity per router (must be 60 at defaults). */
+    int totalBufferFlits() const;
+
+    /** Aborts with fatal() if any field is out of range. */
+    void validate() const;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_COMMON_CONFIG_H_

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Flit: the unit of flow control moved through the network.
+ *
+ * The simulator is flit-level: payload bits are never materialised, only
+ * the control information a real router's datapath would act on.  The
+ * paper's configuration uses four 128-bit flits per packet; the flit
+ * width only matters to the energy model.
+ */
+#ifndef ROCOSIM_COMMON_FLIT_H_
+#define ROCOSIM_COMMON_FLIT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace noc {
+
+/** Position of a flit within its packet. */
+enum class FlitType : std::uint8_t {
+    Head = 0,
+    Body = 1,
+    Tail = 2,
+    HeadTail = 3, ///< single-flit packet
+};
+
+/** True for Head and HeadTail flits. */
+constexpr bool
+isHead(FlitType t)
+{
+    return t == FlitType::Head || t == FlitType::HeadTail;
+}
+
+/** True for Tail and HeadTail flits. */
+constexpr bool
+isTail(FlitType t)
+{
+    return t == FlitType::Tail || t == FlitType::HeadTail;
+}
+
+/**
+ * A flit in flight.
+ *
+ * @c vc is rewritten at every hop: it names the virtual channel the flit
+ * occupies (or will occupy) at the router it is being sent to.  For
+ * look-ahead routing architectures @c lookahead carries the output port
+ * the flit must take at the router it is arriving at, computed one hop
+ * upstream (Section 3.1 of the paper).
+ */
+struct Flit {
+    std::uint64_t packetId = 0;
+    std::uint16_t flitSeq = 0;  ///< 0-based index within the packet
+    std::uint16_t packetLen = 0;
+    FlitType type = FlitType::Head;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+
+    Cycle createTime = 0;  ///< cycle the packet entered the source queue
+
+    std::uint8_t vc = 0;   ///< input VC at the downstream router
+    Direction lookahead = Direction::Invalid;
+
+    /**
+     * Dimension order chosen at the source for XY-YX oblivious routing:
+     * false = XY (X first), true = YX (Y first).
+     */
+    bool yxOrder = false;
+
+    /** Created inside the measurement window (after warm-up). */
+    bool measured = false;
+
+    std::uint8_t hops = 0; ///< routers traversed so far (stats only)
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_COMMON_FLIT_H_

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Assertion and fatal-error helpers.
+ *
+ * NOC_ASSERT follows the gem5 panic() convention: it fires on conditions
+ * that indicate a simulator bug regardless of user input, and aborts.
+ * fatal() is for user-facing configuration errors.
+ */
+#ifndef ROCOSIM_COMMON_LOG_H_
+#define ROCOSIM_COMMON_LOG_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace noc {
+
+/** Terminates with an error message for invalid user configuration. */
+[[noreturn]] inline void
+fatal(const char *msg)
+{
+    std::fprintf(stderr, "fatal: %s\n", msg);
+    std::exit(1);
+}
+
+namespace detail {
+
+[[noreturn]] inline void
+assertFail(const char *cond, const char *msg, const char *file, int line)
+{
+    std::fprintf(stderr, "panic: assertion `%s' failed at %s:%d: %s\n",
+                 cond, file, line, msg);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace noc
+
+/** Simulator-bug assertion; always enabled (cheap relative to sim work). */
+#define NOC_ASSERT(cond, msg)                                              \
+    do {                                                                   \
+        if (!(cond)) {                                                     \
+            ::noc::detail::assertFail(#cond, (msg), __FILE__, __LINE__);   \
+        }                                                                  \
+    } while (0)
+
+#endif // ROCOSIM_COMMON_LOG_H_

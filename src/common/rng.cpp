@@ -1,0 +1,95 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace noc {
+
+std::uint64_t
+splitmix64(std::uint64_t &state)
+{
+    std::uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return z ^ (z >> 31);
+}
+
+namespace {
+
+inline std::uint64_t
+rotl(std::uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(std::uint64_t seed, std::uint64_t stream)
+{
+    // Mix the stream id into the seed so distinct streams from the same
+    // master seed are decorrelated.
+    std::uint64_t sm = seed ^ (stream * 0xA3EC647659359ACDull + 1);
+    for (auto &w : s_)
+        w = splitmix64(sm);
+}
+
+std::uint64_t
+Rng::next64()
+{
+    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const std::uint64_t t = s_[1] << 17;
+
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+
+    return result;
+}
+
+std::uint64_t
+Rng::nextRange(std::uint64_t bound)
+{
+    NOC_ASSERT(bound > 0, "nextRange bound must be positive");
+    // Lemire's multiply-shift with rejection for exact uniformity.
+    std::uint64_t x = next64();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    std::uint64_t l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+        std::uint64_t t = -bound % bound;
+        while (l < t) {
+            x = next64();
+            m = static_cast<__uint128_t>(x) * bound;
+            l = static_cast<std::uint64_t>(m);
+        }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+}
+
+double
+Rng::nextDouble()
+{
+    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+}
+
+bool
+Rng::nextBool(double p)
+{
+    return nextDouble() < p;
+}
+
+double
+Rng::nextPareto(double alpha, double xm)
+{
+    NOC_ASSERT(alpha > 0 && xm > 0, "Pareto parameters must be positive");
+    double u = nextDouble();
+    // Guard against u == 0 (infinite sample).
+    if (u <= 0)
+        u = 0x1.0p-53;
+    return xm / std::pow(u, 1.0 / alpha);
+}
+
+} // namespace noc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * All stochastic behaviour in the simulator (traffic, tie-breaking, fault
+ * placement) draws from Rng instances seeded from the configuration, so a
+ * run is exactly reproducible from (config, seed).
+ *
+ * The generator is xoshiro256** seeded through SplitMix64, following the
+ * reference implementations by Blackman & Vigna (public domain).
+ */
+#ifndef ROCOSIM_COMMON_RNG_H_
+#define ROCOSIM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace noc {
+
+/** SplitMix64 step; used for seeding and cheap hash-like mixing. */
+std::uint64_t splitmix64(std::uint64_t &state);
+
+/**
+ * xoshiro256** generator with convenience distributions.
+ *
+ * Not thread-safe; each simulation entity owning randomness keeps its own
+ * instance (derived from the master seed and a stream id) so that adding
+ * or removing one consumer does not perturb the others.
+ */
+class Rng
+{
+  public:
+    /** Seeds the four words via SplitMix64 from @p seed and @p stream. */
+    explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next64();
+
+    /** Uniform integer in [0, bound) using Lemire rejection; bound > 0. */
+    std::uint64_t nextRange(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli trial with probability @p p. */
+    bool nextBool(double p);
+
+    /**
+     * Pareto-distributed sample with shape @p alpha and minimum @p xm.
+     * Used by the self-similar ON/OFF traffic sources.
+     */
+    double nextPareto(double alpha, double xm);
+
+  private:
+    std::uint64_t s_[4];
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_COMMON_RNG_H_

@@ -1,0 +1,62 @@
+#include "common/types.h"
+
+#include "common/log.h"
+
+namespace noc {
+
+Direction
+opposite(Direction d)
+{
+    switch (d) {
+      case Direction::North: return Direction::South;
+      case Direction::South: return Direction::North;
+      case Direction::East: return Direction::West;
+      case Direction::West: return Direction::East;
+      default:
+        NOC_ASSERT(false, "opposite() of non-cardinal direction");
+        return Direction::Invalid;
+    }
+}
+
+const char *
+toString(Direction d)
+{
+    switch (d) {
+      case Direction::North: return "North";
+      case Direction::East: return "East";
+      case Direction::South: return "South";
+      case Direction::West: return "West";
+      case Direction::Local: return "Local";
+      default: return "Invalid";
+    }
+}
+
+const char *
+toString(RoutingKind k)
+{
+    switch (k) {
+      case RoutingKind::XY: return "XY";
+      case RoutingKind::XYYX: return "XY-YX";
+      case RoutingKind::Adaptive: return "Adaptive";
+    }
+    return "?";
+}
+
+const char *
+toString(RouterArch a)
+{
+    switch (a) {
+      case RouterArch::Generic: return "Generic";
+      case RouterArch::PathSensitive: return "Path-Sensitive";
+      case RouterArch::Roco: return "RoCo";
+    }
+    return "?";
+}
+
+const char *
+toString(Module m)
+{
+    return m == Module::Row ? "Row" : "Column";
+}
+
+} // namespace noc

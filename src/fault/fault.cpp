@@ -1,0 +1,120 @@
+#include "fault/fault.h"
+
+#include "common/log.h"
+
+namespace noc {
+
+const char *
+toString(FaultComponent c)
+{
+    switch (c) {
+      case FaultComponent::RoutingUnit: return "RC";
+      case FaultComponent::VcBuffer: return "VC-buffer";
+      case FaultComponent::VaArbiter: return "VA";
+      case FaultComponent::SaArbiter: return "SA";
+      case FaultComponent::Crossbar: return "crossbar";
+      case FaultComponent::MuxDemux: return "mux/demux";
+    }
+    return "?";
+}
+
+FaultClassification
+classify(FaultComponent c)
+{
+    // Table 3 of the paper; buffers assumed to have bypass paths.
+    switch (c) {
+      case FaultComponent::RoutingUnit:
+        return {false, false, false}; // per-packet, non-critical, message
+      case FaultComponent::VcBuffer:
+        return {true, false, false};  // per-flit, non-critical (bypass)
+      case FaultComponent::VaArbiter:
+        return {false, false, true};  // per-packet, non-critical, router
+      case FaultComponent::SaArbiter:
+        return {true, false, true};   // per-flit, non-critical, router
+      case FaultComponent::Crossbar:
+        return {true, true, true};    // per-flit, critical, router
+      case FaultComponent::MuxDemux:
+        return {true, true, false};   // per-flit, critical, message
+    }
+    NOC_ASSERT(false, "unknown component");
+    return {};
+}
+
+std::vector<FaultComponent>
+componentsInClass(FaultClass cls)
+{
+    if (cls == FaultClass::RouterCentricCritical) {
+        // Union of router-centric and critical-pathway components
+        // (Figure 11's caption).
+        return {FaultComponent::VaArbiter, FaultComponent::SaArbiter,
+                FaultComponent::Crossbar, FaultComponent::MuxDemux};
+    }
+    return {FaultComponent::RoutingUnit, FaultComponent::VcBuffer};
+}
+
+bool
+NodeFaultState::isVcDead(Module m, int port, int vc) const
+{
+    for (const DeadVc &d : deadVcs) {
+        if (d.module == m && d.portIndex == port && d.vcIndex == vc)
+            return true;
+    }
+    return false;
+}
+
+FaultMap::FaultMap(int numNodes, RouterArch arch)
+    : arch_(arch), states_(static_cast<size_t>(numNodes))
+{
+}
+
+void
+FaultMap::apply(const FaultSpec &f)
+{
+    NOC_ASSERT(f.node < states_.size(), "fault on nonexistent node");
+    NodeFaultState &s = states_[f.node];
+
+    if (arch_ != RouterArch::Roco) {
+        // Unified designs: any hard failure takes the node off-line.
+        s.nodeDead = true;
+        return;
+    }
+
+    // RoCo hardware recycling (Section 4.1).
+    int m = static_cast<int>(f.module);
+    switch (f.component) {
+      case FaultComponent::RoutingUnit:
+        s.rcFaulty = true; // neighbours double-route; router stays up
+        break;
+      case FaultComponent::VcBuffer:
+        s.deadVcs.push_back({f.module, f.portIndex, f.vcIndex});
+        break;
+      case FaultComponent::SaArbiter:
+        s.saDegraded[m] = true; // offloaded onto idle VA arbiters
+        break;
+      case FaultComponent::VaArbiter:
+      case FaultComponent::Crossbar:
+      case FaultComponent::MuxDemux:
+        s.moduleDead[m] = true; // isolate the module, keep the other
+        break;
+    }
+}
+
+const NodeFaultState &
+FaultMap::state(NodeId n) const
+{
+    NOC_ASSERT(n < states_.size(), "node id out of range");
+    return states_[n];
+}
+
+bool
+FaultMap::blocksOutput(NodeId n, Direction outDir) const
+{
+    const NodeFaultState &s = state(n);
+    if (s.nodeDead)
+        return true;
+    if (outDir == Direction::Local || outDir == Direction::Invalid)
+        return false; // early ejection happens before either module
+    return s.moduleDead[static_cast<int>(moduleOf(outDir))];
+}
+
+} // namespace noc

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Permanent-fault taxonomy and per-node fault state (paper Section 4).
+ *
+ * Components are classified along the paper's Table 3 axes:
+ * per-flit vs per-packet operation, critical vs non-critical pathway,
+ * and message-centric vs router-centric.  Figure 11 injects faults from
+ * the router-centric / critical-pathway group; Figure 12 from the
+ * message-centric / non-critical group.
+ *
+ * Reaction table (who loses what):
+ *  - Generic & Path-Sensitive: ANY hard fault takes the whole node
+ *    off-line (the paper's stated behaviour for unified designs).
+ *  - RoCo "Hardware Recycling":
+ *      RC fault        -> router stays up; downstream neighbours do
+ *                         double routing (+1 cycle for heads from it)
+ *      Buffer fault    -> affected VC retired, traffic rides the
+ *                         remaining VCs of the path set (virtual
+ *                         queuing averts isolation)
+ *      SA fault        -> module keeps running, SA offloads onto idle
+ *                         VA arbiters (degraded grant bandwidth)
+ *      VA fault        -> that module is blocked, other module serves
+ *      Crossbar fault  -> that module is blocked
+ *      MUX/DEMUX fault -> that module is blocked
+ */
+#ifndef ROCOSIM_FAULT_FAULT_H_
+#define ROCOSIM_FAULT_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace noc {
+
+/** The six fundamental router components of Section 4.1. */
+enum class FaultComponent : std::uint8_t {
+    RoutingUnit = 0, ///< RC logic
+    VcBuffer = 1,    ///< one VC's storage (bypass path available)
+    VaArbiter = 2,   ///< virtual channel allocator
+    SaArbiter = 3,   ///< switch allocator
+    Crossbar = 4,    ///< switch fabric
+    MuxDemux = 5,    ///< input decoders / output muxes
+};
+
+/** Human-readable component name. */
+const char *toString(FaultComponent c);
+
+/** Table 3 classification of a component. */
+struct FaultClassification {
+    bool perFlit;       ///< operates on every flit (vs header only)
+    bool critical;      ///< on the datapath critical pathway
+    bool routerCentric; ///< needs cross-message state (vs message-centric)
+};
+
+/** Classification per the paper's Table 3 (buffers have bypass paths). */
+FaultClassification classify(FaultComponent c);
+
+/** The two fault populations of Figures 11 and 12. */
+enum class FaultClass : std::uint8_t {
+    RouterCentricCritical = 0,    ///< Fig 11: VA, SA, crossbar, mux/demux
+    MessageCentricNonCritical = 1, ///< Fig 12: RC, buffers
+};
+
+/** Components belonging to @p cls. */
+std::vector<FaultComponent> componentsInClass(FaultClass cls);
+
+/** One injected permanent fault. */
+struct FaultSpec {
+    NodeId node = kInvalidNode;
+    FaultComponent component = FaultComponent::Crossbar;
+    /** Module containing the component (module-scoped components). */
+    Module module = Module::Row;
+    /** Input port / path set index for buffer and mux/demux faults. */
+    int portIndex = 0;
+    /** VC index within the port/path set, for buffer faults. */
+    int vcIndex = 0;
+};
+
+/** A retired VC (buffer fault) location. */
+struct DeadVc {
+    Module module = Module::Row;
+    int portIndex = 0;
+    int vcIndex = 0;
+};
+
+/**
+ * Effective health of one node after applying its faults, as seen by the
+ * node itself and (via the paper's handshaking signals) its neighbours.
+ */
+struct NodeFaultState {
+    bool nodeDead = false;            ///< generic/PS: fully off-line
+    bool moduleDead[2] = {false, false};  ///< RoCo, indexed by Module
+    bool rcFaulty = false;            ///< RoCo: double routing downstream
+    bool saDegraded[2] = {false, false};  ///< RoCo: SA borrowing VA
+    std::vector<DeadVc> deadVcs;      ///< RoCo: retired buffers
+
+    bool anyModuleDead() const { return moduleDead[0] || moduleDead[1]; }
+    bool isModuleDead(Module m) const
+    {
+        return nodeDead || moduleDead[static_cast<int>(m)];
+    }
+    bool isVcDead(Module m, int port, int vc) const;
+};
+
+/**
+ * Network-wide fault table: applies FaultSpecs according to the
+ * architecture's reaction rules and answers neighbour health queries.
+ */
+class FaultMap
+{
+  public:
+    FaultMap(int numNodes, RouterArch arch);
+
+    /** Applies one permanent fault (static injection at t=0). */
+    void apply(const FaultSpec &fault);
+
+    const NodeFaultState &state(NodeId n) const;
+    RouterArch arch() const { return arch_; }
+
+    /**
+     * True when a flit whose output at node @p n is @p outDir would be
+     * stranded there: the node is dead, or (RoCo) the module owning
+     * @p outDir is dead. @p outDir == Local means ejection, which RoCo
+     * performs before either module.
+     */
+    bool blocksOutput(NodeId n, Direction outDir) const;
+
+  private:
+    RouterArch arch_;
+    std::vector<NodeFaultState> states_;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_FAULT_FAULT_H_

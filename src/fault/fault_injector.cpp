@@ -1,0 +1,41 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace noc {
+
+std::vector<FaultSpec>
+placeRandomFaults(const MeshTopology &topo, FaultClass cls, int count,
+                  int vcsPerSet, std::uint64_t seed)
+{
+    NOC_ASSERT(count >= 0 && count <= topo.numNodes(),
+               "more faults than nodes");
+    Rng rng(seed, 0xFA017ull);
+    std::vector<FaultComponent> pool = componentsInClass(cls);
+
+    // Distinct nodes via partial Fisher-Yates over the node ids.
+    std::vector<NodeId> nodes(static_cast<size_t>(topo.numNodes()));
+    for (size_t i = 0; i < nodes.size(); ++i)
+        nodes[i] = static_cast<NodeId>(i);
+    for (int i = 0; i < count; ++i) {
+        size_t j = i + rng.nextRange(nodes.size() - i);
+        std::swap(nodes[i], nodes[j]);
+    }
+
+    std::vector<FaultSpec> out;
+    out.reserve(static_cast<size_t>(count));
+    for (int i = 0; i < count; ++i) {
+        FaultSpec f;
+        f.node = nodes[i];
+        f.component = pool[rng.nextRange(pool.size())];
+        f.module = rng.nextBool(0.5) ? Module::Row : Module::Column;
+        f.portIndex = static_cast<int>(rng.nextRange(2));
+        f.vcIndex = static_cast<int>(rng.nextRange(vcsPerSet));
+        out.push_back(f);
+    }
+    return out;
+}
+
+} // namespace noc

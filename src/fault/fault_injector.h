@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Random fault placement for the Figure 11/12 experiments.
+ */
+#ifndef ROCOSIM_FAULT_FAULT_INJECTOR_H_
+#define ROCOSIM_FAULT_FAULT_INJECTOR_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "fault/fault.h"
+#include "topology/mesh.h"
+
+namespace noc {
+
+/**
+ * Draws @p count faults of class @p cls at distinct random nodes.
+ *
+ * The component is drawn uniformly from the class; module, port and VC
+ * locations are drawn uniformly over their ranges (@p vcsPerSet VCs per
+ * path set / port). Deterministic in @p seed, and independent of the
+ * router architecture so all three architectures face the *same* fault
+ * pattern — the comparison the paper makes.
+ */
+std::vector<FaultSpec>
+placeRandomFaults(const MeshTopology &topo, FaultClass cls, int count,
+                  int vcsPerSet, std::uint64_t seed);
+
+} // namespace noc
+
+#endif // ROCOSIM_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,35 @@
+#include "metrics/arbiter_complexity.h"
+
+#include "common/log.h"
+
+namespace noc {
+
+VaComplexity
+vaComplexity(RouterArch arch, int v)
+{
+    NOC_ASSERT(v >= 1, "need at least one VC per port");
+    VaComplexity c;
+    switch (arch) {
+      case RouterArch::Generic:
+        // One v:1 arbiter per input VC (5 ports), one 5v:1 arbiter per
+        // output VC (5 ports) — Figure 2a, R => P.
+        c.stage1 = {kNumPorts * v, v};
+        c.stage2 = {kNumPorts * v, kNumPorts * v};
+        break;
+      case RouterArch::PathSensitive:
+        // Four quadrant path sets; two sets contend per output.
+        c.stage1 = {4 * v, v};
+        c.stage2 = {4 * v, 2 * v};
+        break;
+      case RouterArch::Roco:
+        // Early ejection removes the PE set: 4 ports remain, and only
+        // the module's two ports contend per output VC — Figure 2b:
+        // FEWER (4v vs 5v) and SMALLER (2v:1 vs 5v:1) arbiters.
+        c.stage1 = {4 * v, v};
+        c.stage2 = {4 * v, 2 * v};
+        break;
+    }
+    return c;
+}
+
+} // namespace noc

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * VA arbiter complexity comparison of Figure 2: how many arbiters each
+ * architecture's virtual-channel allocator needs and how wide they are,
+ * for the two forms of routing function (R => v returns a single VC,
+ * R => P returns the VCs of one physical channel).
+ */
+#ifndef ROCOSIM_METRICS_ARBITER_COMPLEXITY_H_
+#define ROCOSIM_METRICS_ARBITER_COMPLEXITY_H_
+
+#include "common/types.h"
+
+namespace noc {
+
+/** Arbiter inventory of one allocator stage. */
+struct ArbiterStage {
+    int count = 0; ///< number of arbiter instances
+    int width = 0; ///< requesters per arbiter (a width:1 arbiter)
+};
+
+/** The VA's two stages for one architecture (Figure 2). */
+struct VaComplexity {
+    ArbiterStage stage1; ///< input-side arbiters
+    ArbiterStage stage2; ///< output-side arbiters
+
+    /** Total requester-grant crosspoints, a proxy for area/energy. */
+    int
+    crosspoints() const
+    {
+        return stage1.count * stage1.width + stage2.count * stage2.width;
+    }
+};
+
+/**
+ * Figure 2's inventory for @p arch with @p v VCs per port, under the
+ * R => P form (the one both routers use here: the routing function
+ * returns a physical channel and the VA picks the VC).
+ *
+ *   Generic: 5v stage-1 v:1 arbiters, 5v stage-2 5v:1 arbiters.
+ *   RoCo:    4v stage-1 v:1 arbiters, 4v stage-2 2v:1 arbiters
+ *            (early ejection removes the PE path set).
+ */
+VaComplexity vaComplexity(RouterArch arch, int v);
+
+} // namespace noc
+
+#endif // ROCOSIM_METRICS_ARBITER_COMPLEXITY_H_

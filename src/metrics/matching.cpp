@@ -1,0 +1,80 @@
+#include "metrics/matching.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace noc {
+
+std::uint64_t
+factorial(int n)
+{
+    NOC_ASSERT(n >= 0 && n <= 20, "factorial overflow");
+    std::uint64_t f = 1;
+    for (int i = 2; i <= n; ++i)
+        f *= static_cast<std::uint64_t>(i);
+    return f;
+}
+
+std::uint64_t
+binomial(int n, int k)
+{
+    NOC_ASSERT(n >= 0 && k >= 0 && k <= n, "bad binomial arguments");
+    if (k > n - k)
+        k = n - k;
+    std::uint64_t r = 1;
+    for (int i = 1; i <= k; ++i) {
+        r = r * static_cast<std::uint64_t>(n - k + i) /
+            static_cast<std::uint64_t>(i);
+    }
+    return r;
+}
+
+std::uint64_t
+nonBlockingMatchings(int n)
+{
+    NOC_ASSERT(n >= 1 && n <= 20, "F(N) argument out of range");
+    // Equation 1 with the boundary F(0) = 1 implied by the recurrence
+    // (it reproduces F(1) = 0, F(2) = 1 and the derangement numbers:
+    // F(3) = 2, F(4) = 9, F(5) = 44).
+    std::uint64_t f[21];
+    f[0] = 1;
+    for (int m = 1; m <= n; ++m) {
+        std::uint64_t sum = 0;
+        for (int j = 1; j <= m; ++j)
+            sum += binomial(m, j) * f[m - j];
+        f[m] = factorial(m) - sum;
+    }
+    return f[n];
+}
+
+double
+nonBlockingProbability(RouterArch arch)
+{
+    switch (arch) {
+      case RouterArch::Generic: {
+        // Each of N inputs picks one of the N-1 other outputs
+        // uniformly; F(N) of those patterns are non-blocking (N = 5).
+        const int n = kNumPorts;
+        return static_cast<double>(nonBlockingMatchings(n)) /
+               std::pow(static_cast<double>(n - 1),
+                        static_cast<double>(n));
+      }
+      case RouterArch::PathSensitive:
+        // Two path sets contend for each output and requests are
+        // chained across the quadrant ring; 2 of the 16 request
+        // patterns over a dependent output pair are non-blocking
+        // (the paper's published 0.125).
+        return 2.0 / 16.0;
+      case RouterArch::Roco:
+        // Per 2x2 module: both inputs request an output uniformly;
+        // non-blocking when they differ: (1 - 0.5)^2 on the mirrored
+        // pair, i.e. 0.25 (and the mirror allocator always converts a
+        // differing pair into a maximal matching).
+        return 0.25;
+    }
+    NOC_ASSERT(false, "unknown architecture");
+    return 0.0;
+}
+
+} // namespace noc

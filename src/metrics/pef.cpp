@@ -1,0 +1,35 @@
+#include "metrics/pef.h"
+
+#include <limits>
+
+#include "common/log.h"
+
+namespace noc {
+
+double
+energyDelayProduct(double avgLatencyCycles, double energyPerPacketNj)
+{
+    return avgLatencyCycles * energyPerPacketNj;
+}
+
+double
+powerDelayProduct(double avgLatencyCycles, double powerWatts,
+                  double clockHz)
+{
+    NOC_ASSERT(clockHz > 0, "clock frequency must be positive");
+    return powerWatts * (avgLatencyCycles / clockHz);
+}
+
+double
+pefMetric(double avgLatencyCycles, double energyPerPacketNj,
+          double completion)
+{
+    NOC_ASSERT(completion >= 0.0 && completion <= 1.0,
+               "completion probability out of range");
+    if (completion == 0.0)
+        return std::numeric_limits<double>::infinity();
+    return energyDelayProduct(avgLatencyCycles, energyPerPacketNj) /
+           completion;
+}
+
+} // namespace noc

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The composite Performance-Energy-Fault-tolerance metric (Section
+ * 5.3) and its EDP/PDP building blocks.
+ */
+#ifndef ROCOSIM_METRICS_PEF_H_
+#define ROCOSIM_METRICS_PEF_H_
+
+namespace noc {
+
+/**
+ * Energy-Delay Product: average packet latency (cycles) times energy
+ * per packet (nJ).
+ */
+double energyDelayProduct(double avgLatencyCycles, double energyPerPacketNj);
+
+/**
+ * Power-Delay Product: average power (W) times average latency
+ * expressed in seconds at @p clockHz.
+ */
+double powerDelayProduct(double avgLatencyCycles, double powerWatts,
+                         double clockHz);
+
+/**
+ * PEF = EDP / packet completion probability. Equals EDP in a
+ * fault-free network (completion = 1); diverges as reliability drops,
+ * which is exactly the penalty the paper wants the metric to expose.
+ * @p completion must be in (0, 1]; 0 yields +infinity.
+ */
+double pefMetric(double avgLatencyCycles, double energyPerPacketNj,
+                 double completion);
+
+} // namespace noc
+
+#endif // ROCOSIM_METRICS_PEF_H_

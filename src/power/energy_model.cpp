@@ -1,0 +1,56 @@
+#include "power/energy_model.h"
+
+namespace noc {
+
+ActivityCounters &
+ActivityCounters::operator+=(const ActivityCounters &o)
+{
+    bufferWrites += o.bufferWrites;
+    bufferReads += o.bufferReads;
+    crossbarTraversals += o.crossbarTraversals;
+    linkTraversals += o.linkTraversals;
+    rcComputations += o.rcComputations;
+    vaLocalArbs += o.vaLocalArbs;
+    vaGlobalArbs += o.vaGlobalArbs;
+    saLocalArbs += o.saLocalArbs;
+    saGlobalArbs += o.saGlobalArbs;
+    earlyEjections += o.earlyEjections;
+    return *this;
+}
+
+double
+EnergyBreakdown::dynamicPj() const
+{
+    return bufferPj + crossbarPj + arbiterPj + routingPj + linkPj;
+}
+
+EnergyBreakdown
+EnergyModel::compute(const ActivityCounters &a, Cycle cycles,
+                     int numRouters) const
+{
+    const EnergyParams &p = params_;
+    EnergyBreakdown e;
+    e.bufferPj = static_cast<double>(a.bufferWrites) * p.bufferWritePj +
+                 static_cast<double>(a.bufferReads) * p.bufferReadPj +
+                 static_cast<double>(a.earlyEjections) * p.ejectPj;
+    e.crossbarPj = static_cast<double>(a.crossbarTraversals) * p.crossbarPj;
+    e.arbiterPj = static_cast<double>(a.vaLocalArbs) * p.vaLocalPj +
+                  static_cast<double>(a.vaGlobalArbs) * p.vaGlobalPj +
+                  static_cast<double>(a.saLocalArbs) * p.saLocalPj +
+                  static_cast<double>(a.saGlobalArbs) * p.saGlobalPj;
+    e.routingPj = static_cast<double>(a.rcComputations) * p.rcPj;
+    e.linkPj = static_cast<double>(a.linkTraversals) * p.linkPj;
+    e.leakagePj = static_cast<double>(cycles) * numRouters *
+                  p.leakagePjPerCycle;
+    return e;
+}
+
+double
+EnergyModel::perPacketNj(const EnergyBreakdown &e, std::uint64_t packets)
+{
+    if (packets == 0)
+        return 0.0;
+    return e.totalPj() / static_cast<double>(packets) / 1000.0;
+}
+
+} // namespace noc

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Per-component energy constants for each router architecture.
+ *
+ * The paper synthesised the three routers in TSMC 90 nm (1 V, 500 MHz,
+ * 50% switching activity) with Synopsys Design Compiler and
+ * back-annotated the resulting per-component power into the simulator.
+ * We cannot rerun proprietary synthesis, so these constants are derived
+ * from published 90 nm NoC router energy models (Orion-class): buffer
+ * energy per flit scales with flit width, crossbar energy with the
+ * square of the port count (wire capacitance of the grid), and arbiter
+ * energy with the number of requesters.  What matters for the paper's
+ * claims is the *relative* structure — 2x(2x2) crossbars vs a
+ * decomposed 4x4 vs a full 5x5, and 2v:1 vs 5v:1 arbiters — which these
+ * formulas preserve.  See DESIGN.md, substitution table.
+ */
+#ifndef ROCOSIM_POWER_ENERGY_PARAMS_H_
+#define ROCOSIM_POWER_ENERGY_PARAMS_H_
+
+#include "common/config.h"
+#include "common/types.h"
+
+namespace noc {
+
+/** Energy per event, in picojoules. */
+struct EnergyParams {
+    double bufferWritePj = 0;  ///< one flit written to a VC buffer
+    double bufferReadPj = 0;   ///< one flit read from a VC buffer
+    double crossbarPj = 0;     ///< one flit through this arch's crossbar
+    double linkPj = 0;         ///< one flit over an inter-router link
+    double rcPj = 0;           ///< one routing computation (per head flit)
+    double vaLocalPj = 0;      ///< one stage-1 VA arbitration
+    double vaGlobalPj = 0;     ///< one stage-2 VA arbitration
+    double saLocalPj = 0;      ///< one stage-1 SA arbitration
+    double saGlobalPj = 0;     ///< one stage-2 SA arbitration
+    double ejectPj = 0;        ///< one early ejection (demux tap)
+    double leakagePjPerCycle = 0; ///< per router, per cycle
+
+    /**
+     * Constants for @p arch at the configuration's flit width.
+     * The defaults reproduce the Figure 13 ordering:
+     * RoCo < Path-Sensitive < Generic, with roughly 20% / 6% gaps.
+     */
+    static EnergyParams forArch(RouterArch arch, const SimConfig &cfg);
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_POWER_ENERGY_PARAMS_H_

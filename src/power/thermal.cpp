@@ -1,0 +1,114 @@
+#include "power/thermal.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "sim/network.h"
+
+namespace noc {
+
+ThermalModel::ThermalModel(int numNodes, const ThermalParams &params)
+    : params_(params),
+      temps_(static_cast<size_t>(numNodes), params.ambientC)
+{
+    NOC_ASSERT(numNodes > 0, "thermal model needs at least one tile");
+    NOC_ASSERT(params.rThetaKPerW > 0 && params.cThetaJPerK > 0,
+               "thermal constants must be positive");
+}
+
+void
+ThermalModel::step(const std::vector<double> &powerWatts, double seconds)
+{
+    NOC_ASSERT(powerWatts.size() == temps_.size(),
+               "power vector size mismatch");
+    NOC_ASSERT(seconds >= 0, "time must advance forward");
+    // Sub-step so the explicit Euler integration stays stable even for
+    // windows longer than the RC time constant.
+    const double tau = params_.rThetaKPerW * params_.cThetaJPerK;
+    int substeps = std::max(1, static_cast<int>(seconds / (tau / 50)));
+    double dt = seconds / substeps;
+    for (int k = 0; k < substeps; ++k) {
+        for (size_t i = 0; i < temps_.size(); ++i) {
+            double leak =
+                (temps_[i] - params_.ambientC) / params_.rThetaKPerW;
+            temps_[i] +=
+                dt / params_.cThetaJPerK * (powerWatts[i] - leak);
+        }
+    }
+}
+
+double
+ThermalModel::temperature(NodeId n) const
+{
+    NOC_ASSERT(n < temps_.size(), "tile out of range");
+    return temps_[n];
+}
+
+double
+ThermalModel::steadyState(double watts) const
+{
+    return params_.ambientC + params_.rThetaKPerW * watts;
+}
+
+NodeId
+ThermalModel::hottestNode() const
+{
+    return static_cast<NodeId>(
+        std::max_element(temps_.begin(), temps_.end()) - temps_.begin());
+}
+
+double
+ThermalModel::maxTemperature() const
+{
+    return *std::max_element(temps_.begin(), temps_.end());
+}
+
+double
+ThermalModel::meanTemperature() const
+{
+    double sum = 0;
+    for (double t : temps_)
+        sum += t;
+    return sum / static_cast<double>(temps_.size());
+}
+
+ThermalTracker::ThermalTracker(const Network &net,
+                               const ThermalParams &params)
+    : net_(net),
+      energy_(EnergyParams::forArch(net.config().arch, net.config())),
+      model_(net.numNodes(), params),
+      last_(static_cast<size_t>(net.numNodes()))
+{
+}
+
+void
+ThermalTracker::sample(Cycle windowCycles)
+{
+    NOC_ASSERT(windowCycles > 0, "empty thermal window");
+    double seconds =
+        static_cast<double>(windowCycles) / model_.params().clockHz;
+    std::vector<double> power(last_.size(), 0.0);
+    for (size_t i = 0; i < last_.size(); ++i) {
+        ActivityCounters now =
+            net_.router(static_cast<NodeId>(i)).activity();
+        // Per-router delta over the window.
+        ActivityCounters delta = now;
+        delta.bufferWrites -= last_[i].bufferWrites;
+        delta.bufferReads -= last_[i].bufferReads;
+        delta.crossbarTraversals -= last_[i].crossbarTraversals;
+        delta.linkTraversals -= last_[i].linkTraversals;
+        delta.rcComputations -= last_[i].rcComputations;
+        delta.vaLocalArbs -= last_[i].vaLocalArbs;
+        delta.vaGlobalArbs -= last_[i].vaGlobalArbs;
+        delta.saLocalArbs -= last_[i].saLocalArbs;
+        delta.saGlobalArbs -= last_[i].saGlobalArbs;
+        delta.earlyEjections -= last_[i].earlyEjections;
+        last_[i] = now;
+
+        EnergyBreakdown e = energy_.compute(delta, windowCycles, 1);
+        power[i] = e.totalPj() * 1e-12 / seconds;
+    }
+    model_.step(power, seconds);
+}
+
+} // namespace noc

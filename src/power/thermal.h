@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Lumped-RC thermal model per router tile.
+ *
+ * The paper's stated future work: "we plan to investigate the
+ * temperature effects when using the proposed router with XY-YX and
+ * adaptive routing." This module provides the standard first-order
+ * HotSpot-style abstraction: each router tile is a thermal capacitance
+ * behind a thermal resistance to ambient, driven by the power the
+ * energy model attributes to it over a sampling window:
+ *
+ *   T' = T + dt/C * (P - (T - Tamb)/R)
+ *
+ * The steady state under constant power is Tamb + R*P; transients decay
+ * with time constant R*C. ThermalTracker samples a live Network
+ * periodically and maintains the per-tile temperature map, which the
+ * thermal bench uses to compare hotspot profiles across architectures.
+ */
+#ifndef ROCOSIM_POWER_THERMAL_H_
+#define ROCOSIM_POWER_THERMAL_H_
+
+#include <vector>
+
+#include "common/types.h"
+#include "power/energy_model.h"
+
+namespace noc {
+
+class Network;
+
+/** Physical constants of one router tile's thermal path. */
+struct ThermalParams {
+    double rThetaKPerW = 40.0;  ///< junction-to-ambient resistance
+    double cThetaJPerK = 0.004; ///< tile thermal capacitance
+    double ambientC = 45.0;     ///< ambient / package temperature
+    double clockHz = 500e6;     ///< converts cycles to seconds
+};
+
+/** First-order RC network, one node per router. */
+class ThermalModel
+{
+  public:
+    ThermalModel(int numNodes, const ThermalParams &params = {});
+
+    /**
+     * Advances every tile by @p seconds under per-tile power
+     * @p powerWatts (size must equal numNodes()).
+     */
+    void step(const std::vector<double> &powerWatts, double seconds);
+
+    double temperature(NodeId n) const;
+    /** Steady-state temperature for @p watts of tile power. */
+    double steadyState(double watts) const;
+
+    NodeId hottestNode() const;
+    double maxTemperature() const;
+    double meanTemperature() const;
+
+    int numNodes() const { return static_cast<int>(temps_.size()); }
+    const ThermalParams &params() const { return params_; }
+
+  private:
+    ThermalParams params_;
+    std::vector<double> temps_;
+};
+
+/**
+ * Samples a Network's per-router activity every window and feeds the
+ * dissipated power into a ThermalModel.
+ */
+class ThermalTracker
+{
+  public:
+    ThermalTracker(const Network &net, const ThermalParams &params = {});
+
+    /**
+     * Accounts the activity accumulated since the last sample as power
+     * over @p windowCycles and advances the RC model.
+     */
+    void sample(Cycle windowCycles);
+
+    const ThermalModel &model() const { return model_; }
+
+  private:
+    const Network &net_;
+    EnergyModel energy_;
+    ThermalModel model_;
+    std::vector<ActivityCounters> last_;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_POWER_THERMAL_H_

@@ -1,0 +1,75 @@
+#include "router/arbiter.h"
+
+#include "common/log.h"
+
+namespace noc {
+
+RoundRobinArbiter::RoundRobinArbiter(int size) : size_(size)
+{
+    NOC_ASSERT(size >= 1 && size <= 64, "arbiter size out of range");
+}
+
+int
+RoundRobinArbiter::peek(std::uint64_t requestMask) const
+{
+    if (requestMask == 0)
+        return -1;
+    for (int i = 0; i < size_; ++i) {
+        int idx = (next_ + i) % size_;
+        if (requestMask & (1ull << idx))
+            return idx;
+    }
+    return -1;
+}
+
+int
+RoundRobinArbiter::arbitrate(std::uint64_t requestMask)
+{
+    int winner = peek(requestMask);
+    if (winner >= 0)
+        next_ = (winner + 1) % size_;
+    return winner;
+}
+
+MatrixArbiter::MatrixArbiter(int size)
+    : prio_(static_cast<size_t>(size) * size), size_(size)
+{
+    NOC_ASSERT(size >= 1 && size <= 64, "arbiter size out of range");
+    // Initial total order: lower index beats higher.
+    for (int i = 0; i < size; ++i)
+        for (int j = i + 1; j < size; ++j)
+            prio_[static_cast<size_t>(i) * size + j] = true;
+}
+
+int
+MatrixArbiter::arbitrate(std::uint64_t requestMask)
+{
+    if (requestMask == 0)
+        return -1;
+    int winner = -1;
+    for (int i = 0; i < size_; ++i) {
+        if (!(requestMask & (1ull << i)))
+            continue;
+        bool beatsAll = true;
+        for (int j = 0; j < size_ && beatsAll; ++j) {
+            if (j == i || !(requestMask & (1ull << j)))
+                continue;
+            beatsAll = prio_[static_cast<size_t>(i) * size_ + j];
+        }
+        if (beatsAll) {
+            winner = i;
+            break;
+        }
+    }
+    NOC_ASSERT(winner >= 0, "matrix arbiter order not total");
+    // Winner yields to everyone.
+    for (int j = 0; j < size_; ++j) {
+        if (j == winner)
+            continue;
+        prio_[static_cast<size_t>(winner) * size_ + j] = false;
+        prio_[static_cast<size_t>(j) * size_ + winner] = true;
+    }
+    return winner;
+}
+
+} // namespace noc

@@ -1,0 +1,448 @@
+#include "router/generic/generic_router.h"
+
+#include <limits>
+
+namespace noc {
+
+namespace {
+
+constexpr int kInfiniteCredits = std::numeric_limits<int>::max() / 2;
+
+} // namespace
+
+GenericRouter::GenericRouter(NodeId id, const SimConfig &cfg,
+                             const MeshTopology &topo,
+                             const RoutingAlgorithm &routing,
+                             const FaultMap *faults)
+    : Router(id, cfg, topo, routing, faults),
+      numVcs_(cfg.vcsPerPort), depth_(cfg.bufferDepthGeneric),
+      xbar_(kNumPorts, kNumPorts), ejectPipe_(cfg.hopDelay - 1)
+{
+    in_.reserve(static_cast<size_t>(kNumPorts) * numVcs_);
+    for (int i = 0; i < kNumPorts * numVcs_; ++i)
+        in_.emplace_back(depth_);
+
+    initOutputVcs(numVcs_, depth_);
+    localOut_.assign(static_cast<size_t>(numVcs_), OutputVc{});
+    for (auto &o : localOut_)
+        o.credits = kInfiniteCredits;
+
+    // One VA arbiter per output VC slot (5 ports x v), each choosing
+    // among the 5v input VCs.
+    vaArb_.reserve(static_cast<size_t>(kNumPorts) * numVcs_);
+    for (int i = 0; i < kNumPorts * numVcs_; ++i)
+        vaArb_.emplace_back(kNumPorts * numVcs_);
+
+    saPort_.reserve(kNumPorts);
+    saOut_.reserve(kNumPorts);
+    for (int i = 0; i < kNumPorts; ++i) {
+        saPort_.emplace_back(numVcs_);
+        saOut_.emplace_back(kNumPorts);
+    }
+}
+
+int
+GenericRouter::bufferedFlits() const
+{
+    int n = 0;
+    for (const InputVc &v : in_)
+        n += v.buf.occupancy();
+    n += static_cast<int>(ejectPipe_.inFlight());
+    return n;
+}
+
+OutputVc &
+GenericRouter::outSlot(Direction d, int slot)
+{
+    if (d == Direction::Local)
+        return localOut_[static_cast<size_t>(slot)];
+    return outputVc(d, slot);
+}
+
+int
+GenericRouter::slotCredits(Direction d, int slot) const
+{
+    if (d == Direction::Local)
+        return localOut_[static_cast<size_t>(slot)].credits;
+    return outputVc(d, slot).credits;
+}
+
+void
+GenericRouter::step(Cycle now)
+{
+    if (nodeDead())
+        return; // off-line: no receive, no credits, full backpressure
+
+    xbar_.beginCycle();
+    receiveCredits(now, [this](Direction d, std::uint8_t vcId) {
+        OutputVc &o = outputVc(d, vcId);
+        ++o.credits;
+        NOC_ASSERT(o.credits <= depth_, "credit overflow");
+    });
+    while (auto f = ejectPipe_.receive(now))
+        nic_->deliverFlit(*f, now);
+    receiveFlits(now);
+    pullInjection(now);
+    drainDropped(now);
+    allocateVcs(now);
+    allocateSwitch(now);
+}
+
+bool
+GenericRouter::permanentlyBlocked(const Flit &head) const
+{
+    if (!faults_)
+        return false;
+    if (destinationDead(head))
+        return true;
+    for (Direction d : routing_.route(id(), head)) {
+        if (d == Direction::Local)
+            return false;
+        if (!hasPort(d))
+            continue;
+        auto nb = topo_.neighbor(id(), d);
+        if (nb && !faults_->state(*nb).nodeDead)
+            return false;
+    }
+    return true;
+}
+
+void
+GenericRouter::drainDropped(Cycle now)
+{
+    // One flit per VC per cycle drains a discarded packet, freeing its
+    // buffer slots (and upstream credits) like a normal traversal.
+    for (int p = 0; p < kNumPorts; ++p) {
+        for (int v = 0; v < numVcs_; ++v) {
+            InputVc &ivc = vc(p, v);
+            if (ivc.ctl.empty() ||
+                ivc.ctl.front().stage != PacketCtl::Stage::Drop) {
+                continue;
+            }
+            if (ivc.buf.empty() ||
+                ivc.buf.front().packetId != ivc.ctl.front().owner) {
+                continue;
+            }
+            Flit f = ivc.buf.pop();
+            if (p != static_cast<int>(Direction::Local)) {
+                sendCredit(static_cast<Direction>(p),
+                           static_cast<std::uint8_t>(v), now);
+            }
+            if (isTail(f.type))
+                ivc.ctl.pop_front();
+        }
+    }
+}
+
+void
+GenericRouter::acceptFlit(int portIdx, const Flit &f)
+{
+    InputVc &v = vc(portIdx, f.vc);
+    ++act_.bufferWrites;
+    if (isHead(f.type)) {
+        PacketCtl ctl;
+        ctl.owner = f.packetId;
+        ctl.srcDir = static_cast<Direction>(portIdx);
+        v.ctl.push_back(ctl);
+        ++act_.rcComputations; // RC as the head is latched (stage 1)
+    }
+    NOC_ASSERT(!v.ctl.empty() && v.ctl.back().owner == f.packetId,
+               "flit interleaving within a VC");
+    v.buf.push(f);
+}
+
+void
+GenericRouter::receiveFlits(Cycle now)
+{
+    for (int d = 0; d < kNumCardinal; ++d) {
+        PortIo &p = port(static_cast<Direction>(d));
+        if (!p.flitIn)
+            continue;
+        if (auto f = p.flitIn->receive(now))
+            acceptFlit(d, *f);
+    }
+}
+
+void
+GenericRouter::pullInjection(Cycle)
+{
+    if (!nic_ || !nic_->hasPending())
+        return;
+    const Flit &front = nic_->peekPending();
+    const int local = static_cast<int>(Direction::Local);
+
+    // Discard packets that can never leave the source (fault-blocked).
+    if (front.packetId == droppingPacket_) {
+        Flit f = nic_->popPending();
+        if (isTail(f.type))
+            droppingPacket_ = 0;
+        return;
+    }
+    if (isHead(front.type) && permanentlyBlocked(front)) {
+        Flit f = nic_->popPending();
+        if (!isTail(f.type))
+            droppingPacket_ = f.packetId;
+        return;
+    }
+
+    int target = -1;
+    if (isHead(front.type)) {
+        // Claim a completely idle injection VC for the new packet.
+        for (int v = 0; v < numVcs_ && target < 0; ++v) {
+            if (vc(local, v).ctl.empty())
+                target = v;
+        }
+    } else {
+        for (int v = 0; v < numVcs_ && target < 0; ++v) {
+            const InputVc &ivc = vc(local, v);
+            if (!ivc.ctl.empty() &&
+                ivc.ctl.back().owner == front.packetId) {
+                target = v;
+            }
+        }
+        NOC_ASSERT(target >= 0, "body flit lost its injection VC");
+    }
+    if (target < 0 || vc(local, target).buf.full())
+        return; // injection stalls this cycle
+
+    Flit f = nic_->popPending();
+    f.vc = static_cast<std::uint8_t>(target);
+    acceptFlit(local, f);
+}
+
+bool
+GenericRouter::slotAllowed(Direction d, int slot, const Flit &head) const
+{
+    if (d == Direction::Local)
+        return true;
+    // XY-YX partitions VCs by dimension order: the last VC belongs to
+    // YX packets, the rest to XY packets.  Each partition's channel
+    // dependency graph is acyclic on its own, so the oblivious scheme
+    // stays deadlock-free (the role of the paper's extra VCs).
+    if (routing_.kind() == RoutingKind::XYYX) {
+        bool yxSlot = slot == numVcs_ - 1;
+        return head.yxOrder == yxSlot;
+    }
+    // XY is dimension-ordered and west-first adaptive is turn-model
+    // safe; neither restricts VC usage.
+    return true;
+}
+
+bool
+GenericRouter::pickVcRequest(const Flit &head, Direction &dirOut,
+                             int &slotOut)
+{
+    DirectionSet cand = routing_.route(id(), head);
+    NOC_ASSERT(!cand.empty(), "no route candidates");
+
+    int bestCredits = -1;
+    dirOut = Direction::Invalid;
+    slotOut = -1;
+    for (Direction d : cand) {
+        if (d != Direction::Local) {
+            if (!hasPort(d))
+                continue;
+            if (faults_) {
+                auto nb = topo_.neighbor(id(), d);
+                if (nb && faults_->state(*nb).nodeDead)
+                    continue; // never send into a dead node
+            }
+        }
+        int slots = d == Direction::Local ? numVcs_ : outputSlots();
+        for (int s = 0; s < slots; ++s) {
+            if (!slotAllowed(d, s, head))
+                continue;
+            if (outSlot(d, s).busy)
+                continue;
+            int credits = slotCredits(d, s);
+            // Adaptive selection: most free credits wins; ties keep
+            // the routing function's preferred (earlier) direction.
+            if (credits > bestCredits) {
+                bestCredits = credits;
+                dirOut = d;
+                slotOut = s;
+            }
+        }
+    }
+    return slotOut >= 0;
+}
+
+void
+GenericRouter::allocateVcs(Cycle now)
+{
+    // Input-first separable VA: every waiting head picks one candidate
+    // output VC, then each contested output VC arbitrates (Figure 2a).
+    struct Request {
+        int inIdx;
+        Direction dir;
+        int slot;
+    };
+    std::vector<Request> reqs;
+    // Request mask per output VC: key = dir * numVcs_ + slot.
+    std::vector<std::uint64_t> masks(
+        static_cast<size_t>(kNumPorts) * numVcs_, 0);
+
+    for (int i = 0; i < kNumPorts * numVcs_; ++i) {
+        InputVc &ivc = in_[static_cast<size_t>(i)];
+        if (!ivc.headWaiting())
+            continue;
+        const Flit &head = ivc.buf.front();
+        if (permanentlyBlocked(head)) {
+            ivc.ctl.front().stage = PacketCtl::Stage::Drop;
+            continue;
+        }
+        Direction dir;
+        int slot;
+        ++act_.vaLocalArbs;
+        if (!pickVcRequest(head, dir, slot))
+            continue;
+        size_t key =
+            static_cast<size_t>(static_cast<int>(dir)) * numVcs_ + slot;
+        masks[key] |= 1ull << i;
+        reqs.push_back({i, dir, slot});
+    }
+
+    for (const Request &r : reqs) {
+        size_t key =
+            static_cast<size_t>(static_cast<int>(r.dir)) * numVcs_ +
+            r.slot;
+        if (masks[key] == 0)
+            continue; // this output VC already granted this cycle
+        ++act_.vaGlobalArbs;
+        int winner = vaArb_[key].arbitrate(masks[key]);
+        NOC_ASSERT(winner >= 0, "VA arbiter returned no winner");
+        masks[key] = 0;
+
+        InputVc &ivc = in_[static_cast<size_t>(winner)];
+        PacketCtl &ctl = ivc.ctl.front();
+        // The winner's request is the (dir, slot) of this key: all
+        // requesters of one key asked for the same output VC.
+        ctl.stage = PacketCtl::Stage::Active;
+        ctl.outDir = r.dir;
+        ctl.outSlot = r.slot;
+        ctl.vaGrantCycle = now;
+        OutputVc &o = outSlot(r.dir, r.slot);
+        NOC_ASSERT(!o.busy, "VA granted a busy output VC");
+        o.busy = true;
+        o.ownerPacket = ctl.owner;
+    }
+}
+
+void
+GenericRouter::allocateSwitch(Cycle now)
+{
+    // Stage 1: one winner per input port; requests from packets that
+    // won VA this very cycle are speculative and yield to committed
+    // ones.
+    int stage1[kNumPorts];
+    bool stage1Spec[kNumPorts];
+    for (int p = 0; p < kNumPorts; ++p) {
+        std::uint64_t mask = 0;
+        std::uint64_t specMask = 0;
+        for (int v = 0; v < numVcs_; ++v) {
+            InputVc &ivc = vc(p, v);
+            if (ivc.ctl.empty() || ivc.buf.empty())
+                continue;
+            const PacketCtl &ctl = ivc.ctl.front();
+            if (ctl.stage != PacketCtl::Stage::Active)
+                continue;
+            if (ivc.buf.front().packetId != ctl.owner)
+                continue; // active packet's flits not buffered yet
+            if (slotCredits(ctl.outDir, ctl.outSlot) <= 0)
+                continue;
+            if (ctl.vaGrantCycle == now && isHead(ivc.buf.front().type))
+                specMask |= 1ull << v;
+            else
+                mask |= 1ull << v;
+        }
+        if (mask | specMask)
+            ++act_.saLocalArbs;
+        if (mask) {
+            stage1[p] = saPort_[p].arbitrate(mask);
+            stage1Spec[p] = false;
+        } else if (specMask) {
+            stage1[p] = saPort_[p].arbitrate(specMask);
+            stage1Spec[p] = true;
+        } else {
+            stage1[p] = -1;
+            stage1Spec[p] = false;
+        }
+    }
+
+    // Latch each stage-1 winner's requested output now: commits below
+    // mutate the control queues, so reading them lazily would be
+    // stale (or worse, empty) for later outputs.
+    int wantOut[kNumPorts];
+    for (int p = 0; p < kNumPorts; ++p) {
+        wantOut[p] = stage1[p] < 0
+                         ? -1
+                         : static_cast<int>(
+                               vc(p, stage1[p]).ctl.front().outDir);
+    }
+
+    // Stage 2: one winner per output port; speculative requests are
+    // masked whenever a committed request wants the same output.
+    for (int out = 0; out < kNumPorts; ++out) {
+        std::uint64_t mask = 0;
+        std::uint64_t nonspec = 0;
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (wantOut[p] == out) {
+                mask |= 1ull << p;
+                if (!stage1Spec[p])
+                    nonspec |= 1ull << p;
+            }
+        }
+        if (mask == 0)
+            continue;
+        ++act_.saGlobalArbs;
+        int winPort = saOut_[out].arbitrate(nonspec ? nonspec : mask);
+
+        // Contention probes: every stage-1 winner requesting this
+        // output either proceeds or is blocked this cycle (Figure 3).
+        for (int p = 0; p < kNumPorts; ++p) {
+            if (!(mask & (1ull << p)))
+                continue;
+            Direction pd = static_cast<Direction>(p);
+            bool rowInput = pd == Direction::Local
+                                ? isRow(static_cast<Direction>(out))
+                                : isRow(pd);
+            noteContention(rowInput, p != winPort);
+        }
+
+        // Traverse.
+        InputVc &ivc = vc(winPort, stage1[winPort]);
+        PacketCtl ctl = ivc.ctl.front();
+        Flit f = ivc.buf.pop();
+        NOC_ASSERT(f.packetId == ctl.owner, "VC FIFO out of sync");
+        ++act_.bufferReads;
+        xbar_.traverse(winPort, out);
+        ++act_.crossbarTraversals;
+        ++f.hops;
+
+        Direction outDir = static_cast<Direction>(out);
+        if (outDir == Direction::Local) {
+            NOC_ASSERT(f.dst == id(), "ejecting at the wrong node");
+            ejectPipe_.send(f, now); // ST stage before the PE sees it
+        } else {
+            f.vc = static_cast<std::uint8_t>(ctl.outSlot);
+            f.lookahead = Direction::Invalid; // generic: RC at next hop
+            sendFlit(outDir, f, now);
+            --outSlot(outDir, ctl.outSlot).credits;
+        }
+
+        // Return the freed buffer slot upstream (not for injection).
+        if (winPort != static_cast<int>(Direction::Local)) {
+            sendCredit(static_cast<Direction>(winPort),
+                       static_cast<std::uint8_t>(stage1[winPort]), now);
+        }
+
+        if (isTail(f.type)) {
+            OutputVc &o = outSlot(outDir, ctl.outSlot);
+            o.busy = false;
+            o.ownerPacket = 0;
+            ivc.ctl.pop_front();
+        }
+    }
+}
+
+} // namespace noc

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Generic two-stage speculative virtual-channel router (Figure 1a).
+ *
+ * Five ports (N/E/S/W/PE), v VCs per port, one monolithic 5x5 crossbar.
+ * Stage 1 performs routing computation, VC allocation and (speculative)
+ * switch allocation in parallel; stage 2 is switch traversal.  This is
+ * the paper's first baseline.
+ *
+ * VC allocation is separable (input-first then output arbitration per
+ * output VC, 5v:1 in the worst case — Figure 2a); switch allocation is
+ * the classic two stages: a v:1 arbiter per input port, then a 5:1
+ * arbiter per output port.
+ *
+ * Deadlock freedom: XY is dimension-ordered; XY-YX partitions the VCs
+ * by dimension order; adaptive routing is minimal west-first
+ * (turn-model safe with unrestricted VC usage).
+ */
+#ifndef ROCOSIM_ROUTER_GENERIC_GENERIC_ROUTER_H_
+#define ROCOSIM_ROUTER_GENERIC_GENERIC_ROUTER_H_
+
+#include <deque>
+#include <vector>
+
+#include "router/arbiter.h"
+#include "router/crossbar.h"
+#include "router/router.h"
+#include "router/vc_buffer.h"
+
+namespace noc {
+
+class GenericRouter : public Router
+{
+  public:
+    GenericRouter(NodeId id, const SimConfig &cfg, const MeshTopology &topo,
+                  const RoutingAlgorithm &routing, const FaultMap *faults);
+
+    void step(Cycle now) override;
+    RouterArch arch() const override { return RouterArch::Generic; }
+
+    /** Occupancy across all input VCs (tests / drain detection). */
+    int bufferedFlits() const override;
+
+  private:
+    struct InputVc {
+        explicit InputVc(int depth) : buf(depth) {}
+
+        VcBuffer buf;
+        std::deque<PacketCtl> ctl; ///< per-packet state, front = active
+
+        /** True when the front packet's head awaits VC allocation. */
+        bool
+        headWaiting() const
+        {
+            return !ctl.empty() &&
+                   ctl.front().stage == PacketCtl::Stage::VaWait &&
+                   !buf.empty() && isHead(buf.front().type) &&
+                   buf.front().packetId == ctl.front().owner;
+        }
+    };
+
+    InputVc &vc(int port, int v) { return in_[port * numVcs_ + v]; }
+    const InputVc &
+    vc(int port, int v) const
+    {
+        return in_[port * numVcs_ + v];
+    }
+
+    void receiveFlits(Cycle now);
+    void pullInjection(Cycle now);
+    /** Buffer-write bookkeeping shared by link arrivals and injection. */
+    void acceptFlit(int port, const Flit &f);
+    void allocateVcs(Cycle now);
+    void allocateSwitch(Cycle now);
+    /** Drains discarded (fault-blocked) packets, one flit per cycle. */
+    void drainDropped(Cycle now);
+    /** True when no minimal next hop can ever serve @p head. */
+    bool permanentlyBlocked(const Flit &head) const;
+
+    /**
+     * Picks the (direction, output slot) request for a waiting head, or
+     * false when nothing is available this cycle. Applies the XY-YX
+     * slot partition and adaptive credit-based selection.
+     */
+    bool pickVcRequest(const Flit &head, Direction &dirOut, int &slotOut);
+
+    /** True when output @p slot at @p d may hold @p head. */
+    bool slotAllowed(Direction d, int slot, const Flit &head) const;
+
+    /** Free credits behind (dir, slot); huge for the local port. */
+    int slotCredits(Direction d, int slot) const;
+    OutputVc &outSlot(Direction d, int slot);
+
+    int numVcs_;
+    int depth_;
+    std::vector<InputVc> in_;          ///< [port * numVcs_ + vc]
+    std::vector<OutputVc> localOut_;   ///< PE-side output VCs (inf credits)
+    Crossbar xbar_;
+    /**
+     * PE-bound flits pass through switch traversal like any other
+     * output (no early ejection in the generic design); this delay
+     * line models the ST stage before the NIC sees the flit.
+     */
+    FlitChannel ejectPipe_;
+
+    std::uint64_t droppingPacket_ = 0; ///< source packet being discarded
+    std::vector<RoundRobinArbiter> vaArb_;   ///< per output VC slot
+    std::vector<RoundRobinArbiter> saPort_;  ///< stage 1, per input port
+    std::vector<RoundRobinArbiter> saOut_;   ///< stage 2, per output port
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTER_GENERIC_GENERIC_ROUTER_H_

@@ -1,0 +1,513 @@
+#include "router/pathsensitive/ps_router.h"
+
+namespace noc {
+
+PathSensitiveRouter::PathSensitiveRouter(NodeId id, const SimConfig &cfg,
+                                         const MeshTopology &topo,
+                                         const RoutingAlgorithm &routing,
+                                         const FaultMap *faults)
+    : Router(id, cfg, topo, routing, faults),
+      numVcs_(cfg.vcsPerPort), depth_(cfg.bufferDepthModular),
+      xbar_(kNumQuadrants, kNumCardinal)
+{
+    NOC_ASSERT(numVcs_ == 3,
+               "path sets hold one VC per previous direction (3)");
+    in_.reserve(static_cast<size_t>(kNumQuadrants) * numVcs_);
+    for (int i = 0; i < kNumQuadrants * numVcs_; ++i)
+        in_.emplace_back(depth_);
+
+    initOutputVcs(kNumQuadrants * numVcs_, depth_);
+    vaArb_.reserve(static_cast<size_t>(kNumCardinal) * kNumQuadrants *
+                   numVcs_);
+    for (int i = 0; i < kNumCardinal * kNumQuadrants * numVcs_; ++i)
+        vaArb_.emplace_back(kNumQuadrants * numVcs_);
+    for (int i = 0; i < kNumQuadrants; ++i)
+        saSet_.emplace_back(numVcs_);
+    for (int i = 0; i < kNumCardinal; ++i)
+        saOut_.emplace_back(kNumQuadrants);
+}
+
+int
+PathSensitiveRouter::bufferedFlits() const
+{
+    int n = 0;
+    for (const InputVc &v : in_)
+        n += v.buf.occupancy();
+    return n;
+}
+
+int
+PathSensitiveRouter::quadrantOccupancy(Quadrant q) const
+{
+    int n = 0;
+    for (int v = 0; v < numVcs_; ++v)
+        n += in_[static_cast<int>(q) * numVcs_ + v].buf.occupancy();
+    return n;
+}
+
+Direction
+PathSensitiveRouter::slotOwner(Quadrant q, int vcIdx)
+{
+    QuadrantPorts p = portsOf(q);
+    switch (vcIdx) {
+      case 0: return opposite(p.b); // horizontal arrival
+      case 1: return opposite(p.a); // vertical arrival
+      case 2: return Direction::Local;
+      default:
+        NOC_ASSERT(false, "path sets have exactly three VCs");
+        return Direction::Invalid;
+    }
+}
+
+void
+PathSensitiveRouter::step(Cycle now)
+{
+    if (nodeDead())
+        return;
+
+    xbar_.beginCycle();
+    receiveCredits(now, [this](Direction d, std::uint8_t vcId) {
+        OutputVc &o = outputVc(d, vcId);
+        ++o.credits;
+        --o.outstanding;
+        NOC_ASSERT(o.credits <= depth_, "credit overflow");
+        NOC_ASSERT(o.outstanding >= 0, "credit without a send");
+    });
+    receiveFlits(now);
+    pullInjection(now);
+    drainDropped(now);
+    allocateVcs(now);
+    allocateSwitch(now);
+}
+
+void
+PathSensitiveRouter::drainDropped(Cycle now)
+{
+    for (int i = 0; i < static_cast<int>(in_.size()); ++i) {
+        InputVc &ivc = in_[static_cast<size_t>(i)];
+        if (ivc.ctl.empty() ||
+            ivc.ctl.front().stage != PacketCtl::Stage::Drop) {
+            continue;
+        }
+        if (ivc.buf.empty() ||
+            ivc.buf.front().packetId != ivc.ctl.front().owner) {
+            continue;
+        }
+        Flit f = ivc.buf.pop();
+        if (ivc.ctl.front().srcDir != Direction::Local) {
+            sendCredit(ivc.ctl.front().srcDir,
+                       static_cast<std::uint8_t>(i), now);
+        }
+        if (isTail(f.type)) {
+            if (ivc.reservedPacket == f.packetId) {
+                ivc.reservedFrom = Direction::Invalid;
+                ivc.reservedPacket = 0;
+            }
+            ivc.ctl.pop_front();
+        }
+    }
+}
+
+void
+PathSensitiveRouter::bufferFlit(int q, int v, const Flit &f,
+                                Direction srcDir)
+{
+    InputVc &ivc = vc(q, v);
+    ++act_.bufferWrites;
+    if (isHead(f.type)) {
+        PacketCtl ctl;
+        ctl.owner = f.packetId;
+        ctl.srcDir = srcDir;
+        ctl.outDir = f.lookahead;
+        NOC_ASSERT(isCardinal(ctl.outDir),
+                   "buffered flit must have a cardinal output");
+        NOC_ASSERT(quadrantServes(static_cast<Quadrant>(q), ctl.outDir),
+                   "output outside the flit's quadrant");
+        ctl.nextLa = computeLookahead(ctl.outDir, f);
+        ++act_.rcComputations;
+        if (ctl.nextLa == Direction::Invalid || destinationDead(f)) {
+            ctl.stage = PacketCtl::Stage::Drop; // discard at the fault
+        } else if (ctl.nextLa == Direction::Local) {
+            ctl.outSlot = kEjectSlot; // early ejection downstream
+            ctl.stage = PacketCtl::Stage::Active;
+        }
+        ivc.ctl.push_back(ctl);
+    }
+    NOC_ASSERT(!ivc.ctl.empty() && ivc.ctl.back().owner == f.packetId,
+               "flit interleaving within a VC");
+    ivc.occupantLink = srcDir;
+    ivc.buf.push(f);
+    if (isTail(f.type) && ivc.reservedPacket == f.packetId) {
+        ivc.reservedFrom = Direction::Invalid;
+        ivc.reservedPacket = 0;
+    }
+}
+
+bool
+PathSensitiveRouter::reserveInputVc(int slotId, Direction fromDir,
+                                    std::uint64_t packetId,
+                                    bool probeOnly, int &freeSpace)
+{
+    NOC_ASSERT(slotId >= 0 && slotId < static_cast<int>(in_.size()),
+               "reservation slot out of range");
+    InputVc &ivc = in_[static_cast<size_t>(slotId)];
+    if (ivc.reservedFrom != Direction::Invalid &&
+        ivc.reservedFrom != fromDir) {
+        return false;
+    }
+    // Cross-link handoff must wait for the previous link's flits to
+    // drain: buffer pops return credits to the link that sent the
+    // flit, so a new reserver could never learn about that space.
+    if (!ivc.buf.empty() && ivc.occupantLink != fromDir)
+        return false;
+    freeSpace = depth_ - ivc.buf.occupancy();
+    if (!probeOnly) {
+        ivc.reservedFrom = fromDir;
+        ivc.reservedPacket = packetId;
+    }
+    return true;
+}
+
+void
+PathSensitiveRouter::receiveFlits(Cycle now)
+{
+    for (int d = 0; d < kNumCardinal; ++d) {
+        Direction dir = static_cast<Direction>(d);
+        PortIo &p = port(dir);
+        if (!p.flitIn)
+            continue;
+        auto f = p.flitIn->receive(now);
+        if (!f)
+            continue;
+        if (f->lookahead == Direction::Local) {
+            NOC_ASSERT(f->dst == id(), "early ejection at wrong node");
+            ++act_.earlyEjections;
+            ++f->hops;
+            nic_->deliverFlit(*f, now);
+            continue;
+        }
+        int q = f->vc / numVcs_;
+        int v = f->vc % numVcs_;
+        bufferFlit(q, v, *f, dir);
+    }
+}
+
+void
+PathSensitiveRouter::pullInjection(Cycle)
+{
+    if (!nic_ || !nic_->hasPending())
+        return;
+    const Flit &front = nic_->peekPending();
+
+    if (front.packetId == droppingPacket_) {
+        Flit drop = nic_->popPending();
+        if (isTail(drop.type))
+            droppingPacket_ = 0;
+        return;
+    }
+    if (isHead(front.type) && faults_) {
+        bool blocked = destinationDead(front);
+        if (!blocked) {
+            blocked = true;
+            for (Direction d : routing_.route(id(), front)) {
+                if (!isCardinal(d) || !hasPort(d))
+                    continue;
+                auto nb = topo_.neighbor(id(), d);
+                if (nb && !faults_->state(*nb).nodeDead)
+                    blocked = false;
+            }
+        }
+        if (blocked) {
+            Flit drop = nic_->popPending();
+            if (!isTail(drop.type))
+                droppingPacket_ = drop.packetId;
+            return;
+        }
+    }
+
+    int target = -1;
+    Flit f = front;
+    if (isHead(front.type)) {
+        Quadrant q = quadrantOf(topo_, id(), front.dst,
+                                (front.packetId & 1) != 0);
+        // Claim a free VC from the quadrant pool (local demux reaches
+        // the whole path set); quietly fails when the set is full.
+        // Reuse a reservation this head already holds from a stalled
+        // earlier attempt before claiming a new slot.
+        int fs = 0;
+        for (int v = numVcs_ - 1; v >= 0 && target < 0; --v) {
+            int idx = static_cast<int>(q) * numVcs_ + v;
+            const InputVc &ivc = in_[static_cast<size_t>(idx)];
+            if (ivc.reservedFrom == Direction::Local &&
+                ivc.reservedPacket == front.packetId) {
+                target = idx;
+            }
+        }
+        for (int v = numVcs_ - 1; v >= 0 && target < 0; --v) {
+            int idx = static_cast<int>(q) * numVcs_ + v;
+            const InputVc &ivc = in_[static_cast<size_t>(idx)];
+            if (ivc.reservedFrom == Direction::Invalid &&
+                reserveInputVc(idx, Direction::Local, front.packetId,
+                               true, fs)) {
+                target = idx;
+            }
+        }
+        if (target < 0)
+            return;
+        // Choose the output among the quadrant's ports, preferring the
+        // routing function's order.
+        DirectionSet cand = routing_.route(id(), front);
+        Direction outDir = Direction::Invalid;
+        for (Direction d : cand) {
+            if (!isCardinal(d) || !hasPort(d))
+                continue;
+            if (!quadrantServes(q, d))
+                continue;
+            outDir = d;
+            break;
+        }
+        if (outDir == Direction::Invalid)
+            return;
+        f.lookahead = outDir;
+        reserveInputVc(target, Direction::Local, front.packetId, false,
+                       fs);
+    } else {
+        for (int i = 0; i < static_cast<int>(in_.size()) && target < 0;
+             ++i) {
+            const InputVc &ivc = in_[static_cast<size_t>(i)];
+            if (!ivc.ctl.empty() &&
+                ivc.ctl.back().owner == front.packetId &&
+                ivc.ctl.back().srcDir == Direction::Local) {
+                target = i;
+            }
+        }
+        NOC_ASSERT(target >= 0, "body flit lost its injection VC");
+        f.lookahead = in_[static_cast<size_t>(target)].ctl.back().outDir;
+    }
+
+    if (in_[static_cast<size_t>(target)].buf.full())
+        return;
+    nic_->popPending();
+    bufferFlit(target / numVcs_, target % numVcs_, f, Direction::Local);
+}
+
+std::uint64_t
+PathSensitiveRouter::downstreamSlots(Direction outDir,
+                                     const Flit &head) const
+{
+    auto next = topo_.neighbor(id(), outDir);
+    NOC_ASSERT(next.has_value(), "output across the mesh edge");
+    if (faults_ && faults_->state(*next).nodeDead)
+        return 0;
+    Quadrant q =
+        quadrantOf(topo_, *next, head.dst, (head.packetId & 1) != 0);
+    Quadrant alt =
+        quadrantOf(topo_, *next, head.dst, (head.packetId & 1) == 0);
+    std::uint64_t mask = 0;
+    for (int v = 0; v < numVcs_; ++v)
+        mask |= 1ull << (static_cast<int>(q) * numVcs_ + v);
+    if (alt != q) {
+        // On-axis destination: either adjacent quadrant serves it.
+        for (int v = 0; v < numVcs_; ++v)
+            mask |= 1ull << (static_cast<int>(alt) * numVcs_ + v);
+    }
+    return mask;
+}
+
+void
+PathSensitiveRouter::allocateVcs(Cycle now)
+{
+    struct Request {
+        int inIdx;
+        Direction dir;
+        int slot;
+    };
+    std::vector<Request> reqs;
+    std::vector<std::uint64_t> masks(
+        static_cast<size_t>(kNumCardinal) * kNumQuadrants * numVcs_, 0);
+
+    for (int i = 0; i < static_cast<int>(in_.size()); ++i) {
+        InputVc &ivc = in_[static_cast<size_t>(i)];
+        if (!ivc.headWaiting(now))
+            continue;
+        PacketCtl &ctl = ivc.ctl.front();
+        const Flit &head = ivc.buf.front();
+        ++act_.vaLocalArbs;
+
+        Router *down = neighbor(ctl.outDir);
+        NOC_ASSERT(down, "look-ahead across the mesh edge");
+        std::uint64_t elig = downstreamSlots(ctl.outDir, head);
+        if (elig == 0) {
+            // Only a dead downstream node empties the pool: discard.
+            ctl.stage = PacketCtl::Stage::Drop;
+            continue;
+        }
+        int best = -1;
+        int bestCredits = -1;
+        for (int sl = 0; sl < kNumQuadrants * numVcs_; ++sl) {
+            if (!(elig & (1ull << sl)))
+                continue;
+            const OutputVc &o = outputVc(ctl.outDir, sl);
+            if (o.busy)
+                continue;
+            int freeSpace = 0;
+            if (!down->reserveInputVc(sl, opposite(ctl.outDir),
+                                      ctl.owner, true, freeSpace)) {
+                continue;
+            }
+            if (o.credits > bestCredits) {
+                bestCredits = o.credits;
+                best = sl;
+            }
+        }
+        if (best < 0)
+            continue;
+        masks[static_cast<size_t>(static_cast<int>(ctl.outDir)) *
+                  kNumQuadrants * numVcs_ +
+              best] |= 1ull << i;
+        reqs.push_back({i, ctl.outDir, best});
+    }
+
+    for (const Request &r : reqs) {
+        size_t key = static_cast<size_t>(static_cast<int>(r.dir)) *
+                         kNumQuadrants * numVcs_ +
+                     r.slot;
+        if (masks[key] == 0)
+            continue;
+        ++act_.vaGlobalArbs;
+        int winner = vaArb_[key].arbitrate(masks[key]);
+        NOC_ASSERT(winner >= 0, "VA arbiter returned no winner");
+        masks[key] = 0;
+
+        InputVc &ivc = in_[static_cast<size_t>(winner)];
+        PacketCtl &ctl = ivc.ctl.front();
+        NOC_ASSERT(ctl.outDir == r.dir, "VA winner direction mismatch");
+        OutputVc &o = outputVc(r.dir, r.slot);
+        NOC_ASSERT(!o.busy, "VA granted a busy output VC");
+
+        Router *down = neighbor(r.dir);
+        int freeSpace = 0;
+        bool ok = down->reserveInputVc(r.slot, opposite(r.dir),
+                                       ctl.owner, false, freeSpace);
+        NOC_ASSERT(ok, "reservation vanished between probe and grant");
+        o.busy = true;
+        o.ownerPacket = ctl.owner;
+        ctl.outSlot = r.slot;
+        ctl.stage = PacketCtl::Stage::Active;
+        ctl.vaGrantCycle = now;
+    }
+}
+
+void
+PathSensitiveRouter::allocateSwitch(Cycle now)
+{
+    // Stage 1: each path set commits to one candidate head before
+    // output conflicts are visible (the chained dependency).
+    int setWin[kNumQuadrants];
+    bool setSpec[kNumQuadrants];
+    for (int q = 0; q < kNumQuadrants; ++q) {
+        std::uint64_t mask = 0;
+        std::uint64_t specMask = 0;
+        for (int v = 0; v < numVcs_; ++v) {
+            InputVc &ivc = vc(q, v);
+            if (ivc.ctl.empty() || ivc.buf.empty())
+                continue;
+            const PacketCtl &ctl = ivc.ctl.front();
+            if (ctl.stage != PacketCtl::Stage::Active)
+                continue;
+            if (ivc.buf.front().packetId != ctl.owner)
+                continue; // active packet's flits not buffered yet
+            if (ctl.outSlot != kEjectSlot &&
+                outputVc(ctl.outDir, ctl.outSlot).credits <= 0) {
+                continue;
+            }
+            if (ctl.vaGrantCycle == now && isHead(ivc.buf.front().type))
+                specMask |= 1ull << v;
+            else
+                mask |= 1ull << v;
+        }
+        if (mask | specMask)
+            ++act_.saLocalArbs;
+        if (mask) {
+            setWin[q] = saSet_[q].arbitrate(mask);
+            setSpec[q] = false;
+        } else if (specMask) {
+            setWin[q] = saSet_[q].arbitrate(specMask);
+            setSpec[q] = true;
+        } else {
+            setWin[q] = -1;
+            setSpec[q] = false;
+        }
+    }
+
+    // Latch requested outputs before commits mutate the queues.
+    int wantOut[kNumQuadrants];
+    for (int q = 0; q < kNumQuadrants; ++q) {
+        wantOut[q] = setWin[q] < 0
+                         ? -1
+                         : static_cast<int>(
+                               vc(q, setWin[q]).ctl.front().outDir);
+    }
+
+    // Stage 2: 2:1 arbitration per output port between the two
+    // adjacent quadrants; speculative requests yield to committed.
+    for (int out = 0; out < kNumCardinal; ++out) {
+        Direction outDir = static_cast<Direction>(out);
+        std::uint64_t mask = 0;
+        std::uint64_t nonspec = 0;
+        for (int q = 0; q < kNumQuadrants; ++q) {
+            if (wantOut[q] == out) {
+                mask |= 1ull << q;
+                if (!setSpec[q])
+                    nonspec |= 1ull << q;
+            }
+        }
+        if (mask == 0)
+            continue;
+        ++act_.saGlobalArbs;
+        int winQ = saOut_[out].arbitrate(nonspec ? nonspec : mask);
+
+        for (int q = 0; q < kNumQuadrants; ++q) {
+            if (!(mask & (1ull << q)))
+                continue;
+            noteContention(isRow(outDir), q != winQ);
+        }
+
+        InputVc &ivc = vc(winQ, setWin[winQ]);
+        PacketCtl ctl = ivc.ctl.front();
+        Flit f = ivc.buf.pop();
+        NOC_ASSERT(f.packetId == ctl.owner, "VC FIFO out of sync");
+        ++act_.bufferReads;
+        xbar_.traverse(winQ, out);
+        ++act_.crossbarTraversals;
+        ++f.hops;
+
+        f.lookahead = ctl.nextLa;
+        f.vc = ctl.outSlot == kEjectSlot
+                   ? 0xFF
+                   : static_cast<std::uint8_t>(ctl.outSlot);
+        sendFlit(outDir, f, now);
+        if (ctl.outSlot != kEjectSlot) {
+            OutputVc &ov = outputVc(outDir, ctl.outSlot);
+            --ov.credits;
+            ++ov.outstanding;
+        }
+
+        if (ctl.srcDir != Direction::Local) {
+            int myslot = winQ * numVcs_ + setWin[winQ];
+            sendCredit(ctl.srcDir, static_cast<std::uint8_t>(myslot),
+                       now);
+        }
+
+        if (isTail(f.type)) {
+            if (ctl.outSlot != kEjectSlot) {
+                OutputVc &o = outputVc(outDir, ctl.outSlot);
+                o.busy = false;
+                o.ownerPacket = 0;
+            }
+            ivc.ctl.pop_front();
+        }
+    }
+}
+
+} // namespace noc

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The Path-Sensitive router (Kim et al., DAC 2005 — the paper's second
+ * baseline, Section 2).
+ *
+ * Four ports with look-ahead routing and early ejection. VCs are
+ * grouped into four quadrant path sets (NE/NW/SE/SW by destination);
+ * each set holds one VC per possible previous direction (horizontal
+ * arrival, vertical arrival, local injection). A decomposed 4x4
+ * crossbar with half the cross-points of a full switch connects each
+ * path set to the two outputs of its quadrant.
+ *
+ * Switch allocation arbitrates per path set first (a v:1 arbiter picks
+ * one head regardless of which of the set's two outputs it wants) and
+ * then 2:1 per output port. Because the set commits to one candidate
+ * before output conflicts are known, requests exhibit the chained
+ * dependency the paper analyses: only 2 of 16 request patterns achieve
+ * a non-blocking maximal matching (Table 2).
+ */
+#ifndef ROCOSIM_ROUTER_PATHSENSITIVE_PS_ROUTER_H_
+#define ROCOSIM_ROUTER_PATHSENSITIVE_PS_ROUTER_H_
+
+#include <deque>
+#include <vector>
+
+#include "router/arbiter.h"
+#include "router/crossbar.h"
+#include "router/router.h"
+#include "router/vc_buffer.h"
+#include "routing/quadrant.h"
+
+namespace noc {
+
+class PathSensitiveRouter : public Router
+{
+  public:
+    PathSensitiveRouter(NodeId id, const SimConfig &cfg,
+                        const MeshTopology &topo,
+                        const RoutingAlgorithm &routing,
+                        const FaultMap *faults);
+
+    void step(Cycle now) override;
+    RouterArch arch() const override { return RouterArch::PathSensitive; }
+
+    /** Occupancy across all input VCs (tests / drain detection). */
+    int bufferedFlits() const override;
+
+    /**
+     * The arrival direction owning VC index @p vcIdx of quadrant @p q
+     * (0: horizontal arrival, 1: vertical arrival, 2: local).
+     */
+    static Direction slotOwner(Quadrant q, int vcIdx);
+
+    /** Sentinel output slot: flit ejects at the next router, no VC. */
+    static constexpr int kEjectSlot = -2;
+
+    bool reserveInputVc(int slotId, Direction fromDir,
+                        std::uint64_t packetId, bool probeOnly,
+                        int &freeSpace) override;
+
+    /** Flits buffered in one quadrant path set (tests). */
+    int quadrantOccupancy(Quadrant q) const;
+    /** The decomposed crossbar (tests: traversal attribution). */
+    const Crossbar &crossbar() const { return xbar_; }
+
+  private:
+    struct InputVc {
+        explicit InputVc(int depth) : buf(depth) {}
+
+        VcBuffer buf;
+        std::deque<PacketCtl> ctl;
+        /** Link holding the reservation handshake, Invalid when free. */
+        Direction reservedFrom = Direction::Invalid;
+        std::uint64_t reservedPacket = 0;
+        /** Link whose flits currently occupy the buffer. */
+        Direction occupantLink = Direction::Invalid;
+
+        bool
+        headWaiting(Cycle now) const
+        {
+            return !ctl.empty() &&
+                   ctl.front().stage == PacketCtl::Stage::VaWait &&
+                   now >= ctl.front().vaEligible && !buf.empty() &&
+                   isHead(buf.front().type) &&
+                   buf.front().packetId == ctl.front().owner;
+        }
+    };
+
+    InputVc &vc(int q, int v) { return in_[q * numVcs_ + v]; }
+
+    void receiveFlits(Cycle now);
+    void pullInjection(Cycle now);
+    void bufferFlit(int q, int v, const Flit &f, Direction srcDir);
+    void allocateVcs(Cycle now);
+    void allocateSwitch(Cycle now);
+    /** Drains discarded (fault-blocked) packets, one flit per cycle. */
+    void drainDropped(Cycle now);
+
+    /**
+     * Downstream slots a head leaving via @p outDir may claim: the
+     * pooled VCs of the destination quadrant (both eligible quadrants
+     * for on-axis destinations), or 0 when the downstream node is
+     * dead. Bitmask over quadrant*v+vc slot ids.
+     */
+    std::uint64_t downstreamSlots(Direction outDir,
+                                  const Flit &head) const;
+
+    int numVcs_;
+    int depth_;
+    std::vector<InputVc> in_; ///< [quadrant * numVcs_ + vc]
+    Crossbar xbar_;
+    std::vector<RoundRobinArbiter> vaArb_; ///< [dir * 4v + slot]
+    std::vector<RoundRobinArbiter> saSet_; ///< stage 1, per path set
+    std::vector<RoundRobinArbiter> saOut_; ///< stage 2, per output
+    std::uint64_t droppingPacket_ = 0; ///< source packet being discarded
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTER_PATHSENSITIVE_PS_ROUTER_H_

@@ -1,0 +1,70 @@
+#include "router/roco/mirror_allocator.h"
+
+#include "common/log.h"
+
+namespace noc {
+
+MirrorAllocator::MirrorAllocator(int vcsPerSet)
+    : local_{{RoundRobinArbiter(vcsPerSet), RoundRobinArbiter(vcsPerSet)},
+             {RoundRobinArbiter(vcsPerSet), RoundRobinArbiter(vcsPerSet)}},
+      global_(2)
+{
+}
+
+int
+MirrorAllocator::allocate(const std::uint64_t reqs[2][2],
+                          const std::uint64_t specReqs[2][2],
+                          int maxGrants, Grant grants[2], ArbOps &ops)
+{
+    if (maxGrants <= 0)
+        return 0;
+
+    // Local stage: per port, a v:1 arbiter per output direction picks
+    // the winning VC among that direction's requesters (Figure 4).
+    // Committed requests take precedence over speculative ones.
+    int win[2][2];
+    int weight[2][2];
+    for (int p = 0; p < 2; ++p) {
+        for (int o = 0; o < 2; ++o) {
+            win[p][o] = -1;
+            weight[p][o] = 0;
+            if (reqs[p][o]) {
+                ++ops.local;
+                win[p][o] = local_[p][o].arbitrate(reqs[p][o]);
+                weight[p][o] = 2;
+            } else if (specReqs[p][o]) {
+                ++ops.local;
+                win[p][o] = local_[p][o].arbitrate(specReqs[p][o]);
+                weight[p][o] = 1;
+            }
+        }
+    }
+
+    // Global stage: only two maximal matchings exist on a 2x2 switch.
+    // Score both (committed grants outrank speculative ones); the
+    // fuller wins, ties resolved by the single 2:1 mirror arbiter
+    // (port 1's grant is the mirror of port 0's).
+    int straight = weight[0][0] + weight[1][1];
+    int crossed = weight[0][1] + weight[1][0];
+    if (straight == 0 && crossed == 0)
+        return 0;
+
+    ++ops.global;
+    bool useStraight;
+    if (straight != crossed) {
+        useStraight = straight > crossed;
+    } else {
+        // Equal-quality matchings: rotate fairness with the 2:1 arbiter.
+        useStraight = global_.arbitrate(0b11) == 0;
+    }
+
+    int n = 0;
+    for (int p = 0; p < 2 && n < maxGrants; ++p) {
+        int o = useStraight ? p : 1 - p;
+        if (win[p][o] >= 0)
+            grants[n++] = Grant{p, win[p][o], o};
+    }
+    return n;
+}
+
+} // namespace noc

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The Mirroring Effect switch allocator (paper Section 3.3, Figure 4).
+ *
+ * Each RoCo module owns a 2x2 crossbar, so at most two matchings are
+ * maximal: {port0 -> out0, port1 -> out1} and its mirror image
+ * {port0 -> out1, port1 -> out0}.  The allocator runs two v:1 local
+ * arbiters per port (one per output direction), then a single 2:1
+ * global arbiter decides port 0's direction — port 1's grant is the
+ * mirror of port 0's.  State information from port 1 feeds the global
+ * decision so the matching with more total grants always wins, which
+ * is what makes the matching maximal.
+ */
+#ifndef ROCOSIM_ROUTER_ROCO_MIRROR_ALLOCATOR_H_
+#define ROCOSIM_ROUTER_ROCO_MIRROR_ALLOCATOR_H_
+
+#include <cstdint>
+
+#include "router/arbiter.h"
+
+namespace noc {
+
+class MirrorAllocator
+{
+  public:
+    /** One crossbar connection granted this cycle. */
+    struct Grant {
+        int port; ///< module input port (0 or 1)
+        int vc;   ///< winning VC within the port
+        int out;  ///< module output index (0 or 1)
+    };
+
+    /** Counts of arbitration operations, for the energy model. */
+    struct ArbOps {
+        std::uint64_t local = 0;
+        std::uint64_t global = 0;
+    };
+
+    explicit MirrorAllocator(int vcsPerSet);
+
+    /**
+     * Allocates the module's crossbar for one cycle.
+     *
+     * @param reqs      reqs[port][out]: bitmask of that port's VCs
+     *                  requesting that output (committed requests)
+     * @param specReqs  same shape, speculative requests (VA won this
+     *                  cycle); they yield to committed requests
+     * @param maxGrants at most this many grants (2 normally; 1 when the
+     *                  SA has failed and is borrowing VA arbiters; 0
+     *                  when the borrowed arbiters are busy this cycle)
+     * @param grants    output array of up to two grants
+     * @param ops       arbitration-operation counts (accumulated)
+     * @return          number of grants written
+     */
+    int allocate(const std::uint64_t reqs[2][2],
+                 const std::uint64_t specReqs[2][2], int maxGrants,
+                 Grant grants[2], ArbOps &ops);
+
+  private:
+    RoundRobinArbiter local_[2][2]; ///< [port][out] v:1 arbiters
+    RoundRobinArbiter global_;      ///< the single 2:1 mirror arbiter
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTER_ROCO_MIRROR_ALLOCATOR_H_

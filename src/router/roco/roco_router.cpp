@@ -1,0 +1,627 @@
+#include "router/roco/roco_router.h"
+
+namespace noc {
+
+RocoRouter::RocoRouter(NodeId id, const SimConfig &cfg,
+                       const MeshTopology &topo,
+                       const RoutingAlgorithm &routing,
+                       const FaultMap *faults)
+    : Router(id, cfg, topo, routing, faults),
+      numVcs_(cfg.vcsPerPort), depth_(cfg.bufferDepthModular),
+      vcCfg_(RocoVcConfig::forRouting(routing.kind())),
+      xbar_{Crossbar(2, 2), Crossbar(2, 2)},
+      sa_{MirrorAllocator(cfg.vcsPerPort),
+          MirrorAllocator(cfg.vcsPerPort)}
+{
+    NOC_ASSERT(numVcs_ == kVcsPerSet,
+               "RoCo path sets carry exactly 3 VCs (Table 1)");
+    in_.reserve(static_cast<size_t>(2) * kPortsPerModule * numVcs_);
+    for (int i = 0; i < 2 * kPortsPerModule * numVcs_; ++i)
+        in_.emplace_back(depth_);
+
+    // Output slot namespace mirrors the downstream input VC pool:
+    // (module * ports + port) * v + vc, i.e. 12 slots per direction.
+    initOutputVcs(2 * kPortsPerModule * numVcs_, depth_);
+    vaArb_.reserve(static_cast<size_t>(kNumCardinal) * 2 *
+                   kPortsPerModule * numVcs_);
+    for (int i = 0; i < kNumCardinal * 2 * kPortsPerModule * numVcs_; ++i)
+        vaArb_.emplace_back(2 * kPortsPerModule * numVcs_);
+}
+
+int
+RocoRouter::bufferedFlits() const
+{
+    int n = 0;
+    for (const InputVc &v : in_)
+        n += v.buf.occupancy();
+    return n;
+}
+
+int
+RocoRouter::moduleOccupancy(Module m) const
+{
+    int n = 0;
+    for (int p = 0; p < kPortsPerModule; ++p) {
+        for (int v = 0; v < numVcs_; ++v)
+            n += in_[vcIndex(m, p, v)].buf.occupancy();
+    }
+    return n;
+}
+
+int
+RocoRouter::outIndex(Direction d)
+{
+    switch (d) {
+      case Direction::East: return 0;
+      case Direction::West: return 1;
+      case Direction::North: return 0;
+      case Direction::South: return 1;
+      default:
+        NOC_ASSERT(false, "module output for non-cardinal direction");
+        return -1;
+    }
+}
+
+Direction
+RocoRouter::outDirOf(Module m, int outIdx)
+{
+    if (m == Module::Row)
+        return outIdx == 0 ? Direction::East : Direction::West;
+    return outIdx == 0 ? Direction::North : Direction::South;
+}
+
+void
+RocoRouter::step(Cycle now)
+{
+    // RoCo has no whole-node failure mode of its own, but keep the
+    // check so externally forced nodeDead states behave uniformly.
+    if (nodeDead())
+        return;
+
+    xbar_[0].beginCycle();
+    xbar_[1].beginCycle();
+    vaBusy_[0] = vaBusy_[1] = false;
+
+    receiveCredits(now, [this](Direction d, std::uint8_t vcId) {
+        OutputVc &o = outputVc(d, vcId);
+        ++o.credits;
+        --o.outstanding;
+        NOC_ASSERT(o.credits <= depth_, "credit overflow");
+        NOC_ASSERT(o.outstanding >= 0, "credit without a send");
+    });
+    receiveFlits(now);
+    pullInjection(now);
+    drainDropped(now);
+    allocateVcs(now);
+    allocateSwitch(now);
+}
+
+bool
+RocoRouter::injectionBlocked(const Flit &head) const
+{
+    if (!faults_)
+        return false;
+    // Statically blocked when every candidate direction's module is
+    // dead or has no surviving injection VC.
+    for (Direction d : routing_.route(id(), head)) {
+        if (!isCardinal(d) || !hasPort(d))
+            continue;
+        Module dm = moduleOf(d);
+        if (faultState().isModuleDead(dm))
+            continue;
+        VcClass want =
+            dm == Module::Row ? VcClass::InjXy : VcClass::InjYx;
+        for (int p = 0; p < kPortsPerModule; ++p) {
+            for (int v = 0; v < numVcs_; ++v) {
+                if (vcCfg_.at(dm, p, v) == want &&
+                    !faultState().isVcDead(dm, p, v)) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+void
+RocoRouter::drainDropped(Cycle now)
+{
+    for (int i = 0; i < static_cast<int>(in_.size()); ++i) {
+        InputVc &ivc = in_[static_cast<size_t>(i)];
+        if (ivc.ctl.empty() ||
+            ivc.ctl.front().stage != PacketCtl::Stage::Drop) {
+            continue;
+        }
+        if (ivc.buf.empty() ||
+            ivc.buf.front().packetId != ivc.ctl.front().owner) {
+            continue;
+        }
+        Flit f = ivc.buf.pop();
+        if (ivc.ctl.front().srcDir != Direction::Local) {
+            sendCredit(ivc.ctl.front().srcDir,
+                       static_cast<std::uint8_t>(i), now);
+        }
+        if (isTail(f.type)) {
+            if (ivc.reservedPacket == f.packetId) {
+                ivc.reservedFrom = Direction::Invalid;
+                ivc.reservedPacket = 0;
+            }
+            ivc.ctl.pop_front();
+        }
+    }
+}
+
+void
+RocoRouter::bufferFlit(Module m, int port, int v, const Flit &f,
+                       Direction srcDir, Cycle now)
+{
+    InputVc &ivc = vc(m, port, v);
+    ++act_.bufferWrites;
+    if (isHead(f.type)) {
+        PacketCtl ctl;
+        ctl.owner = f.packetId;
+        ctl.srcDir = srcDir;
+        ctl.outDir = f.lookahead;
+        NOC_ASSERT(isCardinal(ctl.outDir),
+                   "buffered flit must have a cardinal output");
+        NOC_ASSERT(moduleOf(ctl.outDir) == m,
+                   "guided queuing placed a flit in the wrong module");
+        // Look-ahead routing for the next hop happens as the head is
+        // latched; a faulty local RC unit adds the double-routing
+        // handshake cycle (Section 4, Figure 5).
+        ctl.nextLa = computeLookahead(ctl.outDir, f);
+        ++act_.rcComputations;
+        ctl.vaEligible = faultState().rcFaulty ? now + 1 : now;
+        if (ctl.nextLa == Direction::Invalid || destinationDead(f)) {
+            // Every minimal next hop is behind a hard fault: discard.
+            ctl.stage = PacketCtl::Stage::Drop;
+        } else if (ctl.nextLa == Direction::Local) {
+            // Ejection at the next router happens before its modules;
+            // no downstream VC is ever allocated (early ejection).
+            ctl.outSlot = kEjectSlot;
+            ctl.stage = PacketCtl::Stage::Active;
+        }
+        ivc.ctl.push_back(ctl);
+    }
+    NOC_ASSERT(!ivc.ctl.empty() && ivc.ctl.back().owner == f.packetId,
+               "flit interleaving within a VC");
+    ivc.occupantLink = srcDir;
+    ivc.buf.push(f);
+    // The reservation handshake releases the slot once the tail is
+    // safely buffered; the next upstream sees the true occupancy.
+    if (isTail(f.type) && ivc.reservedPacket == f.packetId) {
+        ivc.reservedFrom = Direction::Invalid;
+        ivc.reservedPacket = 0;
+    }
+}
+
+bool
+RocoRouter::reserveInputVc(int slotId, Direction fromDir,
+                           std::uint64_t packetId, bool probeOnly,
+                           int &freeSpace)
+{
+    NOC_ASSERT(slotId >= 0 && slotId < static_cast<int>(in_.size()),
+               "reservation slot out of range");
+    InputVc &ivc = in_[static_cast<size_t>(slotId)];
+    // A slot is grantable when unreserved, or when the same link is
+    // chaining packets back to back (its previous tail is in flight).
+    if (ivc.reservedFrom != Direction::Invalid &&
+        ivc.reservedFrom != fromDir) {
+        return false;
+    }
+    // Cross-link handoff must wait for the previous link's flits to
+    // drain: buffer pops return credits to the link that sent the
+    // flit, so a new reserver could never learn about that space.
+    if (!ivc.buf.empty() && ivc.occupantLink != fromDir)
+        return false;
+    freeSpace = depth_ - ivc.buf.occupancy();
+    if (!probeOnly) {
+        ivc.reservedFrom = fromDir;
+        ivc.reservedPacket = packetId;
+    }
+    return true;
+}
+
+void
+RocoRouter::receiveFlits(Cycle now)
+{
+    for (int d = 0; d < kNumCardinal; ++d) {
+        Direction dir = static_cast<Direction>(d);
+        PortIo &p = port(dir);
+        if (!p.flitIn)
+            continue;
+        auto f = p.flitIn->receive(now);
+        if (!f)
+            continue;
+
+        if (f->lookahead == Direction::Local) {
+            // Early ejection: straight off the demux to the PE.
+            NOC_ASSERT(f->dst == id(), "early ejection at wrong node");
+            ++act_.earlyEjections;
+            ++f->hops;
+            nic_->deliverFlit(*f, now);
+            continue;
+        }
+
+        int idx = f->vc;
+        Module m =
+            static_cast<Module>(idx / (kPortsPerModule * numVcs_));
+        int portIdx = (idx / numVcs_) % kPortsPerModule;
+        int v = idx % numVcs_;
+        NOC_ASSERT(!faultState().isModuleDead(m),
+                   "flit steered into a dead module");
+        bufferFlit(m, portIdx, v, *f, dir, now);
+    }
+}
+
+void
+RocoRouter::pullInjection(Cycle now)
+{
+    if (!nic_ || !nic_->hasPending())
+        return;
+    const Flit &front = nic_->peekPending();
+
+    Module m{};
+    int portIdx = -1;
+    int slot = -1;
+    Flit f = front;
+
+    if (front.packetId == droppingPacket_) {
+        Flit drop = nic_->popPending();
+        if (isTail(drop.type))
+            droppingPacket_ = 0;
+        return;
+    }
+
+    if (isHead(front.type)) {
+        if (destinationDead(front) || injectionBlocked(front)) {
+            Flit drop = nic_->popPending();
+            if (!isTail(drop.type))
+                droppingPacket_ = drop.packetId;
+            return;
+        }
+        // Choose the first direction whose module is alive and has a
+        // free injection VC; candidates come in routing preference
+        // order (adaptive lists the X option first).
+        DirectionSet cand = routing_.route(id(), front);
+        Direction outDir = Direction::Invalid;
+        for (Direction d : cand) {
+            if (!isCardinal(d) || !hasPort(d))
+                continue;
+            Module dm = moduleOf(d);
+            if (faultState().isModuleDead(dm))
+                continue;
+            VcClass want = dm == Module::Row ? VcClass::InjXy
+                                             : VcClass::InjYx;
+            for (int p = 0; p < kPortsPerModule && slot < 0; ++p) {
+                for (int v = 0; v < numVcs_ && slot < 0; ++v) {
+                    if (vcCfg_.at(dm, p, v) != want)
+                        continue;
+                    if (faultState().isVcDead(dm, p, v))
+                        continue;
+                    if (vc(dm, p, v).ctl.empty()) {
+                        m = dm;
+                        portIdx = p;
+                        slot = v;
+                        outDir = d;
+                    }
+                }
+            }
+            if (slot >= 0)
+                break;
+        }
+        if (slot < 0)
+            return; // no free injection VC this cycle
+        f.lookahead = outDir;
+    } else {
+        // Body/tail flits follow their packet's injection VC.
+        for (int i = 0; i < static_cast<int>(in_.size()) && slot < 0;
+             ++i) {
+            const InputVc &ivc = in_[static_cast<size_t>(i)];
+            if (!ivc.ctl.empty() &&
+                ivc.ctl.back().owner == front.packetId &&
+                ivc.ctl.back().srcDir == Direction::Local) {
+                m = static_cast<Module>(i / (kPortsPerModule * numVcs_));
+                portIdx = (i / numVcs_) % kPortsPerModule;
+                slot = i % numVcs_;
+            }
+        }
+        NOC_ASSERT(slot >= 0, "body flit lost its injection VC");
+        f.lookahead = vc(m, portIdx, slot).ctl.back().outDir;
+    }
+
+    if (vc(m, portIdx, slot).buf.full())
+        return; // stall: buffer back-pressure
+
+    nic_->popPending();
+    bufferFlit(m, portIdx, slot, f, Direction::Local, now);
+}
+
+std::uint64_t
+RocoRouter::eligibleSlots(Direction outDir, Direction nextLa,
+                          const Flit &head) const
+{
+    Direction arrival = opposite(outDir);
+    Module m2 = moduleForOutput(nextLa);
+    // Guided queuing steers a link's flits to its canonical module
+    // port; pooling across ports would let opposite directions share
+    // buffers and reintroduce head-on deadlock.
+    int p2 = portSideFor(m2, arrival);
+    VcClass cls = classifyFlit(arrival, nextLa);
+
+    auto next = topo_.neighbor(id(), outDir);
+    NOC_ASSERT(next.has_value(), "output across the mesh edge");
+    const NodeFaultState *down =
+        faults_ ? &faults_->state(*next) : nullptr;
+    if (down && (down->nodeDead ||
+                 down->moduleDead[static_cast<int>(m2)])) {
+        return 0; // never allocate into a dead node/module
+    }
+
+    // XY-YX order partition: txy/tyx classes are order-exclusive by
+    // construction; where Table 1 provides two dx/dy slots, one is set
+    // aside for the minority order (the paper's extra VCs).
+    bool partition = routing_.kind() == RoutingKind::XYYX &&
+                     (cls == VcClass::Dx || cls == VcClass::Dy) &&
+                     vcCfg_.countClass(m2, p2, cls) >= 2;
+    bool minority = cls == VcClass::Dx ? head.yxOrder : !head.yxOrder;
+
+    std::uint64_t mask = 0;
+    int seen = 0;
+    for (int v = 0; v < numVcs_; ++v) {
+        if (vcCfg_.at(m2, p2, v) != cls)
+            continue;
+        int ordinal = seen++;
+        if (partition) {
+            bool lastSlot =
+                ordinal == vcCfg_.countClass(m2, p2, cls) - 1;
+            if (minority != lastSlot)
+                continue;
+        }
+        if (down && down->isVcDead(m2, p2, v))
+            continue;
+        mask |= 1ull << vcIndex(m2, p2, v);
+    }
+    return mask;
+}
+
+void
+RocoRouter::allocateVcs(Cycle now)
+{
+    // Separable VA over the module's smaller arbiters (Figure 2b):
+    // each waiting head picks its best eligible downstream slot, then
+    // each contested (output, slot) pair arbitrates.
+    struct Request {
+        int inIdx;
+        Direction dir;
+        int slot;
+        Direction nextLa;
+    };
+    std::vector<Request> reqs;
+    const int slotsPerDirAll = 2 * kPortsPerModule * numVcs_;
+    std::vector<std::uint64_t> masks(
+        static_cast<size_t>(kNumCardinal) * slotsPerDirAll, 0);
+
+    const bool adaptive = routing_.kind() == RoutingKind::Adaptive;
+
+    for (int i = 0; i < static_cast<int>(in_.size()); ++i) {
+        InputVc &ivc = in_[static_cast<size_t>(i)];
+        if (!ivc.headWaiting(now))
+            continue;
+        PacketCtl &ctl = ivc.ctl.front();
+        Module myModule = moduleOf(ctl.outDir);
+        if (faultState().isModuleDead(myModule))
+            continue; // dead module: VCs frozen
+        const Flit &head = ivc.buf.front();
+
+        ++act_.vaLocalArbs;
+
+        // Stage 1: pick the (look-ahead direction, slot) pair with the
+        // most downstream credits.  Under adaptive routing the
+        // look-ahead choice is re-scored on every attempt from the
+        // credit state the router already tracks — this is where the
+        // RoCo design's adaptivity actually bites.
+        DirectionSet laCands;
+        if (adaptive)
+            laCands = lookaheadCandidates(ctl.outDir, head);
+        else
+            laCands.push(ctl.nextLa);
+        if (laCands.empty()) {
+            ctl.stage = PacketCtl::Stage::Drop;
+            continue;
+        }
+
+        Router *down = neighbor(ctl.outDir);
+        NOC_ASSERT(down, "look-ahead across the mesh edge");
+        const Direction arrivalAtDown = opposite(ctl.outDir);
+
+        int best = -1;
+        int bestCredits = -1;
+        Direction bestLa = ctl.nextLa;
+        for (Direction la : laCands) {
+            std::uint64_t elig = eligibleSlots(ctl.outDir, la, head);
+            for (int s = 0; s < slotsPerDirAll; ++s) {
+                if (!(elig & (1ull << s)))
+                    continue;
+                const OutputVc &o = outputVc(ctl.outDir, s);
+                if (o.busy)
+                    continue;
+                int freeSpace = 0;
+                if (!down->reserveInputVc(s, arrivalAtDown, ctl.owner,
+                                          true, freeSpace)) {
+                    continue; // another link holds the slot
+                }
+                if (o.credits > bestCredits) {
+                    bestCredits = o.credits;
+                    best = s;
+                    bestLa = la;
+                }
+            }
+        }
+        if (best < 0) {
+            // Distinguish transient contention from static blockage:
+            // a head with no *statically* eligible slot for any
+            // look-ahead candidate can never progress.
+            std::uint64_t statically = 0;
+            for (Direction la : laCands)
+                statically |= eligibleSlots(ctl.outDir, la, head);
+            if (statically == 0)
+                ctl.stage = PacketCtl::Stage::Drop;
+            continue;
+        }
+        masks[static_cast<size_t>(static_cast<int>(ctl.outDir)) *
+                  slotsPerDirAll +
+              best] |= 1ull << i;
+        reqs.push_back({i, ctl.outDir, best, bestLa});
+    }
+
+    // Index requests by input VC so a grant applies the *winner's* own
+    // request (its slot and its look-ahead choice).
+    int reqOf[64];
+    for (auto &x : reqOf)
+        x = -1;
+    for (int ri = 0; ri < static_cast<int>(reqs.size()); ++ri)
+        reqOf[reqs[static_cast<size_t>(ri)].inIdx] = ri;
+
+    for (const Request &r0 : reqs) {
+        size_t key = static_cast<size_t>(static_cast<int>(r0.dir)) *
+                         slotsPerDirAll +
+                     r0.slot;
+        if (masks[key] == 0)
+            continue; // already granted this cycle
+        ++act_.vaGlobalArbs;
+        int winner = vaArb_[key].arbitrate(masks[key]);
+        NOC_ASSERT(winner >= 0 && reqOf[winner] >= 0,
+                   "VA arbiter returned no winner");
+        masks[key] = 0;
+        const Request &r = reqs[static_cast<size_t>(reqOf[winner])];
+
+        InputVc &ivc = in_[static_cast<size_t>(winner)];
+        PacketCtl &ctl = ivc.ctl.front();
+        NOC_ASSERT(ctl.outDir == r.dir, "VA winner direction mismatch");
+        OutputVc &o = outputVc(r.dir, r.slot);
+        NOC_ASSERT(!o.busy, "VA granted a busy output VC");
+
+        Router *down = neighbor(r.dir);
+        int freeSpace = 0;
+        bool ok = down->reserveInputVc(r.slot, opposite(r.dir),
+                                       ctl.owner, false, freeSpace);
+        NOC_ASSERT(ok, "reservation vanished between probe and grant");
+        o.busy = true;
+        o.ownerPacket = ctl.owner;
+        ctl.outSlot = r.slot;
+        ctl.nextLa = r.nextLa; // commit the adaptive look-ahead choice
+        ctl.stage = PacketCtl::Stage::Active;
+        ctl.vaGrantCycle = now;
+        // The VA arbiters actually fired: a degraded SA cannot borrow
+        // them this cycle (Figure 7).
+        vaBusy_[static_cast<int>(moduleOf(r.dir))] = true;
+    }
+}
+
+void
+RocoRouter::allocateSwitch(Cycle now)
+{
+    for (int mi = 0; mi < 2; ++mi) {
+        Module m = static_cast<Module>(mi);
+        const NodeFaultState &fs = faultState();
+        if (fs.isModuleDead(m))
+            continue;
+
+        std::uint64_t reqs[2][2] = {{0, 0}, {0, 0}};
+        std::uint64_t specReqs[2][2] = {{0, 0}, {0, 0}};
+        for (int p = 0; p < kPortsPerModule; ++p) {
+            for (int v = 0; v < numVcs_; ++v) {
+                InputVc &ivc = vc(m, p, v);
+                if (ivc.ctl.empty() || ivc.buf.empty())
+                    continue;
+                const PacketCtl &ctl = ivc.ctl.front();
+                if (ctl.stage != PacketCtl::Stage::Active)
+                    continue;
+                if (ivc.buf.front().packetId != ctl.owner)
+                    continue; // active packet's flits not here yet
+                if (ctl.outSlot != kEjectSlot &&
+                    outputVc(ctl.outDir, ctl.outSlot).credits <= 0) {
+                    continue;
+                }
+                bool spec = ctl.vaGrantCycle == now &&
+                            isHead(ivc.buf.front().type);
+                if (spec)
+                    specReqs[p][outIndex(ctl.outDir)] |= 1ull << v;
+                else
+                    reqs[p][outIndex(ctl.outDir)] |= 1ull << v;
+            }
+        }
+
+        // SA fault: grants ride the VA's idle arbiters (Figure 7) —
+        // one grant at most, and none while the VA is busy.
+        int maxGrants = 2;
+        if (fs.saDegraded[mi])
+            maxGrants = vaBusy_[mi] ? 0 : 1;
+
+        MirrorAllocator::Grant grants[2];
+        MirrorAllocator::ArbOps ops;
+        int n = sa_[mi].allocate(reqs, specReqs, maxGrants, grants, ops);
+        act_.saLocalArbs += ops.local;
+        act_.saGlobalArbs += ops.global;
+
+        // Contention probes: a port with requests either sends or is
+        // blocked this cycle.
+        for (int p = 0; p < kPortsPerModule; ++p) {
+            if ((reqs[p][0] | reqs[p][1] | specReqs[p][0] |
+                 specReqs[p][1]) == 0)
+                continue;
+            bool granted = false;
+            for (int g = 0; g < n; ++g)
+                granted = granted || grants[g].port == p;
+            noteContention(m == Module::Row, !granted);
+        }
+
+        for (int g = 0; g < n; ++g)
+            commitGrant(m, grants[g], now);
+    }
+}
+
+void
+RocoRouter::commitGrant(Module m, const MirrorAllocator::Grant &g,
+                        Cycle now)
+{
+    InputVc &ivc = vc(m, g.port, g.vc);
+    PacketCtl ctl = ivc.ctl.front();
+    Flit f = ivc.buf.pop();
+    NOC_ASSERT(f.packetId == ctl.owner, "VC FIFO out of sync");
+    ++act_.bufferReads;
+    xbar_[static_cast<int>(m)].traverse(g.port, g.out);
+    ++act_.crossbarTraversals;
+    ++f.hops;
+
+    Direction outDir = outDirOf(m, g.out);
+    NOC_ASSERT(outDir == ctl.outDir, "grant/output mismatch");
+
+    f.lookahead = ctl.nextLa;
+    f.vc = ctl.outSlot == kEjectSlot
+               ? 0xFF
+               : static_cast<std::uint8_t>(ctl.outSlot);
+    sendFlit(outDir, f, now);
+    if (ctl.outSlot != kEjectSlot) {
+        OutputVc &ov = outputVc(outDir, ctl.outSlot);
+        --ov.credits;
+        ++ov.outstanding;
+    }
+
+    if (ctl.srcDir != Direction::Local) {
+        int myslot = vcIndex(m, g.port, g.vc);
+        sendCredit(ctl.srcDir, static_cast<std::uint8_t>(myslot), now);
+    }
+
+    if (isTail(f.type)) {
+        if (ctl.outSlot != kEjectSlot) {
+            OutputVc &o = outputVc(outDir, ctl.outSlot);
+            o.busy = false;
+            o.ownerPacket = 0;
+        }
+        ivc.ctl.pop_front();
+    }
+}
+
+} // namespace noc

@@ -1,0 +1,141 @@
+/**
+ * @file
+ * The Row-Column (RoCo) Decoupled Router — the paper's contribution
+ * (Section 3, Figure 1b).
+ *
+ * Two fully independent modules, each with a 2x2 crossbar:
+ *   Row module    - East/West outputs
+ *   Column module - North/South outputs
+ * Twelve VCs in four path sets (Table 1), filled by Guided Flit
+ * Queuing: the input demux classifies each arriving flit by its
+ * look-ahead output dimension and steers it to the right module/port.
+ * Flits destined for the local PE are ejected right after the demux
+ * (Early Ejection) — they consume no VC, no switch allocation and no
+ * crossbar traversal, saving two cycles at the destination.
+ *
+ * Switch allocation uses the Mirroring Effect (mirror_allocator.h).
+ * Look-ahead routing computes each flit's output port one hop ahead.
+ *
+ * Fault behaviour implements Section 4's hardware recycling: RC faults
+ * cost one cycle of double routing, buffer faults retire single VCs,
+ * SA faults borrow idle VA arbiters, and VA/crossbar/mux faults
+ * isolate one module while the other keeps serving its dimension.
+ */
+#ifndef ROCOSIM_ROUTER_ROCO_ROCO_ROUTER_H_
+#define ROCOSIM_ROUTER_ROCO_ROCO_ROUTER_H_
+
+#include <deque>
+#include <vector>
+
+#include "router/crossbar.h"
+#include "router/roco/mirror_allocator.h"
+#include "router/roco/vc_config.h"
+#include "router/router.h"
+#include "router/vc_buffer.h"
+
+namespace noc {
+
+class RocoRouter : public Router
+{
+  public:
+    RocoRouter(NodeId id, const SimConfig &cfg, const MeshTopology &topo,
+               const RoutingAlgorithm &routing, const FaultMap *faults);
+
+    void step(Cycle now) override;
+    RouterArch arch() const override { return RouterArch::Roco; }
+
+    /** Occupancy across all input VCs (tests / drain detection). */
+    int bufferedFlits() const override;
+
+    /** The Table 1 layout in force. */
+    const RocoVcConfig &vcConfig() const { return vcCfg_; }
+
+    bool reserveInputVc(int slotId, Direction fromDir,
+                        std::uint64_t packetId, bool probeOnly,
+                        int &freeSpace) override;
+
+    /** Flits buffered in one module (tests: guided-queuing placement). */
+    int moduleOccupancy(Module m) const;
+    /** The module's crossbar (tests: traversal attribution). */
+    const Crossbar &crossbar(Module m) const
+    {
+        return xbar_[static_cast<int>(m)];
+    }
+
+    /** Sentinel output slot: flit ejects at the next router, no VC. */
+    static constexpr int kEjectSlot = -2;
+
+  private:
+    struct InputVc {
+        explicit InputVc(int depth) : buf(depth) {}
+
+        VcBuffer buf;
+        std::deque<PacketCtl> ctl;
+        /** Link holding the reservation handshake, Invalid when free. */
+        Direction reservedFrom = Direction::Invalid;
+        std::uint64_t reservedPacket = 0;
+        /** Link whose flits currently occupy the buffer. */
+        Direction occupantLink = Direction::Invalid;
+
+        bool
+        headWaiting(Cycle now) const
+        {
+            return !ctl.empty() &&
+                   ctl.front().stage == PacketCtl::Stage::VaWait &&
+                   now >= ctl.front().vaEligible && !buf.empty() &&
+                   isHead(buf.front().type) &&
+                   buf.front().packetId == ctl.front().owner;
+        }
+    };
+
+    int
+    vcIndex(Module m, int port, int vc) const
+    {
+        return (static_cast<int>(m) * kPortsPerModule + port) * numVcs_ +
+               vc;
+    }
+    InputVc &vc(Module m, int port, int v) { return in_[vcIndex(m, port, v)]; }
+
+    void receiveFlits(Cycle now);
+    void pullInjection(Cycle now);
+    void allocateVcs(Cycle now);
+    void allocateSwitch(Cycle now);
+    /** Drains discarded (fault-blocked) packets, one flit per cycle. */
+    void drainDropped(Cycle now);
+    /** True when no injection path can ever serve @p head. */
+    bool injectionBlocked(const Flit &head) const;
+    void commitGrant(Module m, const MirrorAllocator::Grant &g, Cycle now);
+
+    /** Accepts a transit/injection flit into (module, port, vc). */
+    void bufferFlit(Module m, int port, int v, const Flit &f,
+                    Direction srcDir, Cycle now);
+
+    /**
+     * Downstream VC slots a head leaving via @p outDir with look-ahead
+     * @p nextLa may claim, as a bitmask over the downstream input VC
+     * pool ((module*ports+port)*v+vc). Class matching spans both
+     * module ports — the guided-queuing demux distributes a link's
+     * flits across path sets — and applies the XY-YX order partition
+     * and downstream fault awareness.
+     */
+    std::uint64_t eligibleSlots(Direction outDir, Direction nextLa,
+                                const Flit &head) const;
+
+    /** Module output index (Row: E=0/W=1; Column: N=0/S=1). */
+    static int outIndex(Direction d);
+    static Direction outDirOf(Module m, int outIdx);
+
+    int numVcs_;
+    int depth_;
+    RocoVcConfig vcCfg_;
+    std::vector<InputVc> in_; ///< [(module*2+port)*v + vc]
+    Crossbar xbar_[2];        ///< one 2x2 per module
+    MirrorAllocator sa_[2];
+    std::vector<RoundRobinArbiter> vaArb_; ///< [dir * 4v + slot]
+    bool vaBusy_[2] = {false, false}; ///< VA arbiters used this cycle
+    std::uint64_t droppingPacket_ = 0; ///< source packet being discarded
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTER_ROCO_ROCO_ROUTER_H_

@@ -1,0 +1,117 @@
+#include "router/roco/vc_config.h"
+
+#include "common/log.h"
+
+namespace noc {
+
+const char *
+toString(VcClass c)
+{
+    switch (c) {
+      case VcClass::Dx: return "dx";
+      case VcClass::Dy: return "dy";
+      case VcClass::Txy: return "txy";
+      case VcClass::Tyx: return "tyx";
+      case VcClass::InjXy: return "Injxy";
+      case VcClass::InjYx: return "Injyx";
+    }
+    return "?";
+}
+
+RocoVcConfig
+RocoVcConfig::forRouting(RoutingKind kind)
+{
+    using enum VcClass;
+    RocoVcConfig c{};
+    switch (kind) {
+      case RoutingKind::Adaptive:
+        // Row: {dx, tyx, Injxy} {dx, dx, tyx}
+        // Col: {dy, txy, Injyx} {dy, txy, txy}
+        c.cls[0][0][0] = Dx;  c.cls[0][0][1] = Tyx; c.cls[0][0][2] = InjXy;
+        c.cls[0][1][0] = Dx;  c.cls[0][1][1] = Dx;  c.cls[0][1][2] = Tyx;
+        c.cls[1][0][0] = Dy;  c.cls[1][0][1] = Txy; c.cls[1][0][2] = InjYx;
+        c.cls[1][1][0] = Dy;  c.cls[1][1][1] = Txy; c.cls[1][1][2] = Txy;
+        break;
+      case RoutingKind::XYYX:
+        // Row: {dx, tyx, Injxy} {dx, dx, tyx}
+        // Col: {dy, txy, Injyx} {dy, dy, txy}
+        c.cls[0][0][0] = Dx;  c.cls[0][0][1] = Tyx; c.cls[0][0][2] = InjXy;
+        c.cls[0][1][0] = Dx;  c.cls[0][1][1] = Dx;  c.cls[0][1][2] = Tyx;
+        c.cls[1][0][0] = Dy;  c.cls[1][0][1] = Txy; c.cls[1][0][2] = InjYx;
+        c.cls[1][1][0] = Dy;  c.cls[1][1][1] = Dy;  c.cls[1][1][2] = Txy;
+        break;
+      case RoutingKind::XY:
+        // Row: {dx, dx, Injxy} {dx, dx, Injxy}
+        // Col: {dy, txy, Injyx} {dy, dy, txy}
+        c.cls[0][0][0] = Dx;  c.cls[0][0][1] = Dx;  c.cls[0][0][2] = InjXy;
+        c.cls[0][1][0] = Dx;  c.cls[0][1][1] = Dx;  c.cls[0][1][2] = InjXy;
+        c.cls[1][0][0] = Dy;  c.cls[1][0][1] = Txy; c.cls[1][0][2] = InjYx;
+        c.cls[1][1][0] = Dy;  c.cls[1][1][1] = Dy;  c.cls[1][1][2] = Txy;
+        break;
+    }
+    return c;
+}
+
+int
+RocoVcConfig::countClass(Module m, int port, VcClass c) const
+{
+    int n = 0;
+    for (int v = 0; v < kVcsPerSet; ++v)
+        n += at(m, port, v) == c ? 1 : 0;
+    return n;
+}
+
+VcClass
+classifyFlit(Direction arrival, Direction outHere)
+{
+    NOC_ASSERT(outHere != Direction::Local && outHere != Direction::Invalid,
+               "locally destined flits are early-ejected, not buffered");
+    if (arrival == Direction::Local)
+        return isRow(outHere) ? VcClass::InjXy : VcClass::InjYx;
+
+    // Continuing in the arrival dimension vs turning (Section 3.1).
+    if (isRow(arrival))
+        return isRow(outHere) ? VcClass::Dx : VcClass::Txy;
+    return isColumn(outHere) ? VcClass::Dy : VcClass::Tyx;
+}
+
+Direction
+ownerDirection(Module m, int port, VcClass c)
+{
+    // Which input link's demux writes this VC (one write port each).
+    switch (c) {
+      case VcClass::InjXy:
+      case VcClass::InjYx:
+        return Direction::Local;
+      case VcClass::Dx:
+      case VcClass::Txy:
+        // X-dimension arrivals: West feeds port 0, East feeds port 1.
+        return port == 0 ? Direction::West : Direction::East;
+      case VcClass::Dy:
+      case VcClass::Tyx:
+        // Y-dimension arrivals: South feeds port 0, North feeds port 1.
+        return port == 0 ? Direction::South : Direction::North;
+    }
+    NOC_ASSERT(false, "unknown VC class");
+    return Direction::Invalid;
+    (void)m;
+}
+
+int
+portSideFor(Module m, Direction arrival)
+{
+    if (arrival == Direction::Local)
+        return 0;
+    if (m == Module::Row) {
+        // Row module: West/South arrivals on port 0, East/North on 1.
+        return (arrival == Direction::West || arrival == Direction::South)
+                   ? 0
+                   : 1;
+    }
+    // Column module: South/West on port 0, North/East on 1.
+    return (arrival == Direction::South || arrival == Direction::West)
+               ? 0
+               : 1;
+}
+
+} // namespace noc

@@ -1,0 +1,175 @@
+#include "router/router.h"
+
+namespace noc {
+
+namespace {
+
+/** Healthy state returned when no fault map is installed. */
+const NodeFaultState kHealthy{};
+
+} // namespace
+
+Router::Router(NodeId id, const SimConfig &cfg, const MeshTopology &topo,
+               const RoutingAlgorithm &routing, const FaultMap *faults)
+    : cfg_(cfg), topo_(topo), routing_(routing), faults_(faults),
+      rng_(cfg.seed, 0x5EED0000ull + id), id_(id)
+{
+}
+
+void
+Router::connectPort(Direction d, const PortIo &io)
+{
+    NOC_ASSERT(isCardinal(d), "only cardinal ports are wired");
+    NOC_ASSERT(io.flitIn && io.flitOut && io.creditIn && io.creditOut,
+               "incomplete port wiring");
+    ports_[static_cast<int>(d)] = io;
+}
+
+void
+Router::setNeighbor(Direction d, Router *r)
+{
+    NOC_ASSERT(isCardinal(d), "neighbors sit behind cardinal ports");
+    neighbors_[static_cast<int>(d)] = r;
+}
+
+bool
+Router::reserveInputVc(int, Direction, std::uint64_t, bool, int &)
+{
+    NOC_ASSERT(false,
+               "this architecture does not use receiver-side VC "
+               "reservation");
+    return false;
+}
+
+void
+Router::initOutputVcs(int slotsPerDir, int bufferDepth)
+{
+    slotsPerDir_ = slotsPerDir;
+    outVcDepth_ = bufferDepth;
+    outVc_.assign(static_cast<size_t>(kNumCardinal) * slotsPerDir,
+                  OutputVc{});
+    for (auto &vc : outVc_)
+        vc.credits = bufferDepth;
+}
+
+bool
+Router::creditsQuiescent() const
+{
+    for (int d = 0; d < kNumCardinal; ++d) {
+        if (!ports_[d].flitOut)
+            continue; // mesh edge: slots never used
+        for (int s = 0; s < slotsPerDir_; ++s) {
+            const OutputVc &o = outputVc(static_cast<Direction>(d), s);
+            if (o.busy || o.outstanding != 0 ||
+                o.credits != outVcDepth_) {
+                return false;
+            }
+        }
+    }
+    return true;
+}
+
+OutputVc &
+Router::outputVc(Direction d, int slot)
+{
+    NOC_ASSERT(isCardinal(d), "output VC on non-cardinal port");
+    NOC_ASSERT(slot >= 0 && slot < slotsPerDir_, "output slot range");
+    return outVc_[static_cast<size_t>(d) * slotsPerDir_ + slot];
+}
+
+const OutputVc &
+Router::outputVc(Direction d, int slot) const
+{
+    return const_cast<Router *>(this)->outputVc(d, slot);
+}
+
+void
+Router::sendFlit(Direction d, const Flit &f, Cycle now)
+{
+    PortIo &p = port(d);
+    NOC_ASSERT(p.flitOut, "sendFlit on missing port");
+    p.flitOut->send(f, now);
+    ++act_.linkTraversals;
+}
+
+void
+Router::sendCredit(Direction inDir, std::uint8_t vcId, Cycle now)
+{
+    PortIo &p = port(inDir);
+    NOC_ASSERT(p.creditOut, "sendCredit on missing port");
+    p.creditOut->send(Credit{vcId}, now);
+}
+
+const NodeFaultState &
+Router::faultState() const
+{
+    return faults_ ? faults_->state(id_) : kHealthy;
+}
+
+DirectionSet
+Router::lookaheadCandidates(Direction outDir, const Flit &f) const
+{
+    auto next = topo_.neighbor(id_, outDir);
+    NOC_ASSERT(next.has_value(), "look-ahead across the mesh edge");
+    DirectionSet out;
+    if (*next == f.dst) {
+        if (!faults_ || !faults_->state(*next).nodeDead)
+            out.push(Direction::Local);
+        return out; // empty when the destination itself is off-line
+    }
+
+    DirectionSet cand = routing_.route(*next, f);
+    NOC_ASSERT(!cand.empty(), "routing returned no candidates");
+
+    // Fault awareness: skip candidates that would strand the flit at
+    // the next router (dead node beyond it, or — for module-scoped
+    // architectures — the module owning the candidate output is dead
+    // at the next router itself).
+    for (Direction c : cand) {
+        if (faults_) {
+            if (faults_->blocksOutput(*next, c))
+                continue; // cannot even be buffered for that output
+            auto beyond = topo_.neighbor(*next, c);
+            if (beyond && faults_->state(*beyond).nodeDead)
+                continue; // would head into a dead node
+
+        }
+        out.push(c);
+    }
+    // An empty result means every minimal candidate is permanently
+    // blocked; callers discard the packet (static fault handling).
+    return out;
+}
+
+Direction
+Router::computeLookahead(Direction outDir, const Flit &f) const
+{
+    DirectionSet cand = lookaheadCandidates(outDir, f);
+    if (cand.empty())
+        return Direction::Invalid; // permanently blocked: discard
+    // Prefer continuing in the dimension the flit is moving in now;
+    // fewer turns means less pressure on the txy/tyx path sets.
+    for (Direction c : cand) {
+        if (c == Direction::Local || isRow(c) == isRow(outDir))
+            return c;
+    }
+    return cand[0];
+}
+
+bool
+Router::destinationDead(const Flit &f) const
+{
+    return faults_ && faults_->state(f.dst).nodeDead;
+}
+
+void
+Router::noteContention(bool rowInput, bool denied)
+{
+    RatioStat &s = rowInput ? rowContention_ : colContention_;
+    if (denied)
+        s.hit();
+    else
+        s.miss();
+}
+
+} // namespace noc

@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Abstract router: port plumbing, credit bookkeeping, look-ahead
+ * helpers and activity counting shared by the three microarchitectures.
+ *
+ * A router is stepped once per cycle. All inter-router channels are
+ * delay lines that never deliver in the cycle they were written, so
+ * routers may be stepped in any order; within step() a router performs
+ * its receive, allocation and traversal phases back to back.
+ */
+#ifndef ROCOSIM_ROUTER_ROUTER_H_
+#define ROCOSIM_ROUTER_ROUTER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/config.h"
+#include "common/flit.h"
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/types.h"
+#include "fault/fault.h"
+#include "power/energy_model.h"
+#include "routing/routing.h"
+#include "topology/channel.h"
+#include "topology/mesh.h"
+
+namespace noc {
+
+/**
+ * The router's view of its network interface (PE side). Implemented by
+ * sim::Nic; routers pull injection flits and push ejected flits through
+ * this interface, which models the PE's single flit-wide local channel.
+ */
+class NicIf
+{
+  public:
+    virtual ~NicIf() = default;
+
+    /** True when the source queue has a flit ready to inject. */
+    virtual bool hasPending() const = 0;
+    /** Front of the source queue; only valid when hasPending(). */
+    virtual const Flit &peekPending() const = 0;
+    /** Removes and returns the front of the source queue. */
+    virtual Flit popPending() = 0;
+    /** Receives one ejected flit (the PE always sinks). */
+    virtual void deliverFlit(const Flit &f, Cycle now) = 0;
+};
+
+/** The four wires of one network port. */
+struct PortIo {
+    FlitChannel *flitIn = nullptr;    ///< flits arriving from upstream
+    FlitChannel *flitOut = nullptr;   ///< flits departing downstream
+    CreditChannel *creditOut = nullptr; ///< credits back to upstream
+    CreditChannel *creditIn = nullptr;  ///< credits from downstream
+};
+
+/**
+ * Control state for one packet occupying an input VC.
+ *
+ * Because credits free buffer slots flit by flit, the head of a new
+ * packet can arrive while the previous packet's tail is still queued
+ * in the same VC; each VC therefore keeps a FIFO of these records and
+ * allocates for the front packet only.
+ */
+struct PacketCtl {
+    /**
+     * Drop: every minimal next hop is permanently blocked by a hard
+     * fault, so the packet is drained and discarded (the paper's
+     * "fragmented packets are simply discarded"). Draining frees the
+     * VC and returns credits so congestion stays contained around the
+     * faulty node.
+     */
+    enum class Stage : std::uint8_t { VaWait, Active, Drop };
+
+    Stage stage = Stage::VaWait;
+    std::uint64_t owner = 0;                ///< packet id
+    Direction srcDir = Direction::Invalid;  ///< arrival link
+    Direction outDir = Direction::Invalid;  ///< output at this router
+    Direction nextLa = Direction::Invalid;  ///< output at next router
+    int outSlot = -1;                       ///< downstream VC slot
+    Cycle vaEligible = 0; ///< earliest VA cycle (double-routing delay)
+    /**
+     * Cycle the packet won VC allocation. A switch request issued in
+     * the same cycle is *speculative* (stage 1 runs RC|VA|SA in
+     * parallel) and yields to non-speculative requests — the paper's
+     * arbitration-depth argument: high-contention routers waste their
+     * speculative grants, low-contention ones keep them.
+     */
+    Cycle vaGrantCycle = 0;
+};
+
+/** Upstream-side state of one downstream virtual channel. */
+struct OutputVc {
+    bool busy = false;              ///< allocated to an in-flight packet
+    std::uint64_t ownerPacket = 0;  ///< packet holding the VC
+    int credits = 0;                ///< sendable flits under my reservation
+    int outstanding = 0;            ///< my flits sent, credits not yet back
+};
+
+/**
+ * Base router: identity, configuration, port wiring, output-VC credit
+ * tables, look-ahead route computation and fault awareness.
+ */
+class Router
+{
+  public:
+    Router(NodeId id, const SimConfig &cfg, const MeshTopology &topo,
+           const RoutingAlgorithm &routing, const FaultMap *faults);
+    virtual ~Router() = default;
+
+    Router(const Router &) = delete;
+    Router &operator=(const Router &) = delete;
+
+    /** Attaches the wires of cardinal port @p d. */
+    void connectPort(Direction d, const PortIo &io);
+    /** Attaches the processing element. */
+    void setNic(NicIf *nic) { nic_ = nic; }
+    /** Registers the adjacent router behind port @p d (handshake wires). */
+    void setNeighbor(Direction d, Router *r);
+
+    /**
+     * Receiver-side VC reservation handshake (RoCo / Path-Sensitive).
+     *
+     * The downstream router referees its own input VC pool: several
+     * upstream links may feed one path set, so an upstream probes and
+     * reserves a slot over per-VC request/grant wires instead of
+     * mirroring ownership locally. @p probeOnly leaves state untouched
+     * and returns whether the slot could be reserved; a real call
+     * records (@p fromDir, @p packetId). @p freeSpace reports the
+     * buffer slots available to the reserver at grant time.
+     * The reservation clears when the packet's tail flit is written
+     * into the buffer. Default implementation panics (the generic
+     * router keeps classic per-link VC state).
+     */
+    virtual bool reserveInputVc(int slotId, Direction fromDir,
+                                std::uint64_t packetId, bool probeOnly,
+                                int &freeSpace);
+
+    /** Advances the router by one clock cycle. */
+    virtual void step(Cycle now) = 0;
+
+    virtual RouterArch arch() const = 0;
+
+    /** Flits currently buffered in the router's input VCs. */
+    virtual int bufferedFlits() const = 0;
+
+    NodeId id() const { return id_; }
+    const ActivityCounters &activity() const { return act_; }
+    void resetActivity() { act_.reset(); }
+
+    /** SA contention at row-dimension inputs (Figure 3a). */
+    const RatioStat &rowContention() const { return rowContention_; }
+    /** SA contention at column-dimension inputs (Figure 3b). */
+    const RatioStat &colContention() const { return colContention_; }
+    void
+    resetContention()
+    {
+        rowContention_.reset();
+        colContention_.reset();
+    }
+
+    /** This node's fault state (healthy default when no fault map). */
+    const NodeFaultState &faultState() const;
+
+    /**
+     * Credit-protocol invariant for a drained network: every output VC
+     * is idle with all credits home and no flits outstanding. Checked
+     * by the integration tests after each drain.
+     */
+    bool creditsQuiescent() const;
+
+  protected:
+    /** True when port @p d exists (mesh interior or edge). */
+    bool
+    hasPort(Direction d) const
+    {
+        return ports_[static_cast<int>(d)].flitIn != nullptr;
+    }
+
+    PortIo &port(Direction d) { return ports_[static_cast<int>(d)]; }
+    const PortIo &
+    port(Direction d) const
+    {
+        return ports_[static_cast<int>(d)];
+    }
+
+    /**
+     * Sizes the output-VC credit tables: @p slotsPerDir downstream VC
+     * slots behind each cardinal output, each starting with
+     * @p bufferDepth credits. Called from subclass constructors.
+     */
+    void initOutputVcs(int slotsPerDir, int bufferDepth);
+
+
+    OutputVc &outputVc(Direction d, int slot);
+    const OutputVc &outputVc(Direction d, int slot) const;
+    int outputSlots() const { return slotsPerDir_; }
+
+    /** Pushes @p f downstream on @p d and counts the link traversal. */
+    void sendFlit(Direction d, const Flit &f, Cycle now);
+
+    /** Returns a credit for VC id @p vcId to the upstream on @p inDir. */
+    void sendCredit(Direction inDir, std::uint8_t vcId, Cycle now);
+
+    /** Drains the credit-return channel of every connected port. */
+    template <typename ApplyFn>
+    void
+    receiveCredits(Cycle now, ApplyFn &&apply)
+    {
+        for (int d = 0; d < kNumCardinal; ++d) {
+            PortIo &p = ports_[d];
+            if (!p.creditIn)
+                continue;
+            while (auto c = p.creditIn->receive(now))
+                apply(static_cast<Direction>(d), c->vc);
+        }
+    }
+
+    /**
+     * Whether the whole node is off-line (generic/PS under any fault).
+     */
+    bool nodeDead() const { return faultState().nodeDead; }
+
+    /**
+     * Look-ahead routing (Section 3.1): the output direction @p f will
+     * take at the neighbour behind output @p outDir.  Adaptive
+     * candidates are filtered against the fault map (the paper's
+     * neighbour handshaking) and preference is given to continuing in
+     * the current dimension, which keeps flits in dx/dy classes.
+     */
+    Direction computeLookahead(Direction outDir, const Flit &f) const;
+
+    /**
+     * All viable look-ahead candidates for @p f beyond output
+     * @p outDir, fault-filtered, in routing preference order. Used by
+     * adaptive routers that re-score candidates against downstream
+     * credit state on every allocation attempt.
+     */
+    DirectionSet lookaheadCandidates(Direction outDir, const Flit &f) const;
+
+    /** Records one SA global-stage outcome for the contention probes. */
+    void noteContention(bool rowInput, bool denied);
+
+    /** True when the packet's destination node is off-line. */
+    bool destinationDead(const Flit &f) const;
+
+    /** Adjacent router behind @p d, or nullptr at a mesh edge. */
+    Router *neighbor(Direction d) const
+    {
+        return neighbors_[static_cast<int>(d)];
+    }
+
+    const SimConfig &cfg_;
+    const MeshTopology &topo_;
+    const RoutingAlgorithm &routing_;
+    const FaultMap *faults_;  ///< may be null (fault-free run)
+    NicIf *nic_ = nullptr;
+    ActivityCounters act_;
+    Rng rng_; ///< deterministic tie-breaking
+
+  private:
+    NodeId id_;
+    PortIo ports_[kNumPorts];
+    Router *neighbors_[kNumPorts] = {};
+    std::vector<OutputVc> outVc_; ///< [dir * slotsPerDir_ + slot]
+    int slotsPerDir_ = 0;
+    int outVcDepth_ = 0; ///< credits a quiescent slot holds
+    RatioStat rowContention_;
+    RatioStat colContention_;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTER_ROUTER_H_

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * A virtual-channel FIFO buffer with a fixed depth.
+ */
+#ifndef ROCOSIM_ROUTER_VC_BUFFER_H_
+#define ROCOSIM_ROUTER_VC_BUFFER_H_
+
+#include <deque>
+
+#include "common/flit.h"
+#include "common/log.h"
+
+namespace noc {
+
+/** Bounded flit FIFO; overflow is a simulator bug (credits prevent it). */
+class VcBuffer
+{
+  public:
+    explicit VcBuffer(int depth) : depth_(depth)
+    {
+        NOC_ASSERT(depth >= 1, "VC buffer depth must be positive");
+    }
+
+    bool empty() const { return q_.empty(); }
+    bool full() const { return static_cast<int>(q_.size()) >= depth_; }
+    int occupancy() const { return static_cast<int>(q_.size()); }
+    int depth() const { return depth_; }
+
+    void
+    push(const Flit &f)
+    {
+        NOC_ASSERT(!full(), "VC buffer overflow: credit protocol broken");
+        q_.push_back(f);
+    }
+
+    const Flit &
+    front() const
+    {
+        NOC_ASSERT(!empty(), "front() on empty VC buffer");
+        return q_.front();
+    }
+
+    Flit
+    pop()
+    {
+        NOC_ASSERT(!empty(), "pop() on empty VC buffer");
+        Flit f = q_.front();
+        q_.pop_front();
+        return f;
+    }
+
+  private:
+    int depth_;
+    std::deque<Flit> q_;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTER_VC_BUFFER_H_

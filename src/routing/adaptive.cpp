@@ -1,0 +1,32 @@
+#include "routing/adaptive.h"
+
+namespace noc {
+
+DirectionSet
+AdaptiveRouting::route(NodeId cur, const Flit &f) const
+{
+    DirectionSet out;
+    if (cur == f.dst) {
+        out.push(Direction::Local);
+        return out;
+    }
+    Coord c = topo_.coord(cur);
+    Coord d = topo_.coord(f.dst);
+
+    // West-first: while the destination lies to the west, West is the
+    // only legal move (turning back into West later is forbidden).
+    if (d.x < c.x) {
+        out.push(Direction::West);
+        return out;
+    }
+    // Fully adaptive among the remaining productive directions.
+    if (d.x > c.x)
+        out.push(Direction::East);
+    if (d.y > c.y)
+        out.push(Direction::North);
+    else if (d.y < c.y)
+        out.push(Direction::South);
+    return out;
+}
+
+} // namespace noc

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Minimal adaptive routing using the west-first turn model.
+ *
+ * Turns into the West direction are forbidden (Glass & Ni), so all
+ * West hops happen first, deterministically; once the destination is
+ * not to the west, the packet adapts freely among the remaining
+ * productive directions.  The turn restriction makes the channel
+ * dependency graph acyclic with no virtual-channel requirements, which
+ * keeps the three router architectures' VC organisations free for
+ * performance rather than correctness (the role the paper assigns to
+ * its extra VCs).
+ */
+#ifndef ROCOSIM_ROUTING_ADAPTIVE_H_
+#define ROCOSIM_ROUTING_ADAPTIVE_H_
+
+#include "routing/routing.h"
+
+namespace noc {
+
+class AdaptiveRouting : public RoutingAlgorithm
+{
+  public:
+    using RoutingAlgorithm::RoutingAlgorithm;
+
+    RoutingKind kind() const override { return RoutingKind::Adaptive; }
+    DirectionSet route(NodeId cur, const Flit &f) const override;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTING_ADAPTIVE_H_

@@ -1,0 +1,68 @@
+#include "routing/quadrant.h"
+
+#include "common/log.h"
+
+namespace noc {
+
+const char *
+toString(Quadrant q)
+{
+    switch (q) {
+      case Quadrant::NE: return "NE";
+      case Quadrant::NW: return "NW";
+      case Quadrant::SE: return "SE";
+      case Quadrant::SW: return "SW";
+    }
+    return "?";
+}
+
+Quadrant
+quadrantOf(const MeshTopology &topo, NodeId cur, NodeId dst, bool tieBreak)
+{
+    NOC_ASSERT(cur != dst, "quadrantOf() needs a remote destination");
+    Coord c = topo.coord(cur);
+    Coord d = topo.coord(dst);
+    int dx = d.x - c.x;
+    int dy = d.y - c.y;
+
+    if (dx > 0 && dy > 0)
+        return Quadrant::NE;
+    if (dx < 0 && dy > 0)
+        return Quadrant::NW;
+    if (dx > 0 && dy < 0)
+        return Quadrant::SE;
+    if (dx < 0 && dy < 0)
+        return Quadrant::SW;
+
+    // On-axis destinations: either quadrant adjacent to the productive
+    // direction can serve the packet; alternate via the tie-break bit.
+    if (dx > 0)
+        return tieBreak ? Quadrant::NE : Quadrant::SE;
+    if (dx < 0)
+        return tieBreak ? Quadrant::NW : Quadrant::SW;
+    if (dy > 0)
+        return tieBreak ? Quadrant::NE : Quadrant::NW;
+    return tieBreak ? Quadrant::SE : Quadrant::SW;
+}
+
+QuadrantPorts
+portsOf(Quadrant q)
+{
+    switch (q) {
+      case Quadrant::NE: return {Direction::North, Direction::East};
+      case Quadrant::NW: return {Direction::North, Direction::West};
+      case Quadrant::SE: return {Direction::South, Direction::East};
+      case Quadrant::SW: return {Direction::South, Direction::West};
+    }
+    NOC_ASSERT(false, "bad quadrant");
+    return {Direction::Invalid, Direction::Invalid};
+}
+
+bool
+quadrantServes(Quadrant q, Direction d)
+{
+    QuadrantPorts p = portsOf(q);
+    return p.a == d || p.b == d;
+}
+
+} // namespace noc

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Quadrant algebra for the Path-Sensitive router (Kim et al., DAC'05).
+ *
+ * The Path-Sensitive router groups VCs into four path sets, one per
+ * destination quadrant (NE/NW/SE/SW relative to the current node), and
+ * connects each set to the two output ports of its quadrant through a
+ * decomposed 4x4 crossbar.
+ */
+#ifndef ROCOSIM_ROUTING_QUADRANT_H_
+#define ROCOSIM_ROUTING_QUADRANT_H_
+
+#include "common/flit.h"
+#include "common/types.h"
+#include "topology/mesh.h"
+
+namespace noc {
+
+/** Destination quadrant relative to the current node. */
+enum class Quadrant : std::uint8_t {
+    NE = 0,
+    NW = 1,
+    SE = 2,
+    SW = 3,
+};
+
+constexpr int kNumQuadrants = 4;
+
+/** Human-readable quadrant name. */
+const char *toString(Quadrant q);
+
+/**
+ * Quadrant of @p dst as seen from @p cur.
+ *
+ * Destinations on an axis (zero offset in one dimension) do not fall
+ * strictly inside a quadrant; they are assigned to the quadrant whose
+ * productive output serves them, using @p tieBreak to balance load
+ * between the two eligible quadrants (the hardware would fix a wiring
+ * choice; alternating by packet id keeps both sets utilised).
+ * @pre cur != dst.
+ */
+Quadrant quadrantOf(const MeshTopology &topo, NodeId cur, NodeId dst,
+                    bool tieBreak);
+
+/** The two output directions reachable from a quadrant path set. */
+struct QuadrantPorts {
+    Direction a; ///< vertical member (North or South)
+    Direction b; ///< horizontal member (East or West)
+};
+
+/** Crossbar connectivity of the decomposed 4x4 switch. */
+QuadrantPorts portsOf(Quadrant q);
+
+/** True when path set @p q connects to output @p d. */
+bool quadrantServes(Quadrant q, Direction d);
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTING_QUADRANT_H_

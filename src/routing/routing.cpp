@@ -1,0 +1,38 @@
+#include "routing/routing.h"
+
+#include "routing/adaptive.h"
+#include "routing/xy.h"
+#include "routing/xyyx.h"
+
+namespace noc {
+
+Direction
+RoutingAlgorithm::escapeDirection(NodeId cur, const Flit &f) const
+{
+    if (cur == f.dst)
+        return Direction::Local;
+    Coord c = topo_.coord(cur);
+    Coord d = topo_.coord(f.dst);
+    if (d.x > c.x)
+        return Direction::East;
+    if (d.x < c.x)
+        return Direction::West;
+    return d.y > c.y ? Direction::North : Direction::South;
+}
+
+std::unique_ptr<RoutingAlgorithm>
+makeRouting(RoutingKind kind, const MeshTopology &topo)
+{
+    switch (kind) {
+      case RoutingKind::XY:
+        return std::make_unique<XyRouting>(topo);
+      case RoutingKind::XYYX:
+        return std::make_unique<XyYxRouting>(topo);
+      case RoutingKind::Adaptive:
+        return std::make_unique<AdaptiveRouting>(topo);
+    }
+    NOC_ASSERT(false, "unknown routing kind");
+    return nullptr;
+}
+
+} // namespace noc

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Routing-algorithm interface and factory.
+ *
+ * A routing function maps (current node, flit) to the ordered set of
+ * candidate output directions.  Routers perform the final selection:
+ * the generic router picks the first candidate (or adapts by credits),
+ * RoCo/Path-Sensitive run the function one hop ahead (look-ahead
+ * routing, Section 3.1) and may skip candidates whose downstream module
+ * is known faulty.
+ */
+#ifndef ROCOSIM_ROUTING_ROUTING_H_
+#define ROCOSIM_ROUTING_ROUTING_H_
+
+#include <memory>
+
+#include "common/flit.h"
+#include "common/log.h"
+#include "common/types.h"
+#include "topology/mesh.h"
+
+namespace noc {
+
+/**
+ * Small fixed-capacity direction list; a mesh routing function returns
+ * at most two productive directions (or Local), so no heap is needed.
+ */
+class DirectionSet
+{
+  public:
+    void
+    push(Direction d)
+    {
+        NOC_ASSERT(size_ < kCap, "DirectionSet overflow");
+        dirs_[size_++] = d;
+    }
+
+    int size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    Direction operator[](int i) const { return dirs_[i]; }
+
+    bool
+    contains(Direction d) const
+    {
+        for (int i = 0; i < size_; ++i)
+            if (dirs_[i] == d)
+                return true;
+        return false;
+    }
+
+    const Direction *begin() const { return dirs_; }
+    const Direction *end() const { return dirs_ + size_; }
+
+  private:
+    static constexpr int kCap = 3;
+    Direction dirs_[kCap] = {Direction::Invalid, Direction::Invalid,
+                             Direction::Invalid};
+    int size_ = 0;
+};
+
+/** Abstract routing function. Implementations are stateless. */
+class RoutingAlgorithm
+{
+  public:
+    explicit RoutingAlgorithm(const MeshTopology &topo) : topo_(topo) {}
+    virtual ~RoutingAlgorithm() = default;
+
+    RoutingAlgorithm(const RoutingAlgorithm &) = delete;
+    RoutingAlgorithm &operator=(const RoutingAlgorithm &) = delete;
+
+    virtual RoutingKind kind() const = 0;
+
+    /**
+     * Candidate output directions for @p f at node @p cur, most
+     * preferred first.  Returns {Local} when cur == f.dst.  All
+     * candidates are minimal (productive); deadlock freedom is enforced
+     * by the routers' VC discipline.
+     */
+    virtual DirectionSet route(NodeId cur, const Flit &f) const = 0;
+
+    /**
+     * The deterministic escape direction at @p cur for @p f: the XY
+     * (dimension-order) choice, always deadlock-free. Used for escape-VC
+     * allocation under adaptive routing and as the single candidate
+     * under XY.
+     */
+    Direction escapeDirection(NodeId cur, const Flit &f) const;
+
+    const MeshTopology &topology() const { return topo_; }
+
+  protected:
+    const MeshTopology &topo_;
+};
+
+/** Builds the routing algorithm named by @p kind. */
+std::unique_ptr<RoutingAlgorithm>
+makeRouting(RoutingKind kind, const MeshTopology &topo);
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTING_ROUTING_H_

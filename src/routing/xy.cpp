@@ -1,0 +1,13 @@
+#include "routing/xy.h"
+
+namespace noc {
+
+DirectionSet
+XyRouting::route(NodeId cur, const Flit &f) const
+{
+    DirectionSet out;
+    out.push(escapeDirection(cur, f));
+    return out;
+}
+
+} // namespace noc

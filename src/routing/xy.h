@@ -1,0 +1,24 @@
+/**
+ * @file
+ * Deterministic dimension-order (XY) routing: exhaust the X offset,
+ * then the Y offset. Deadlock-free on a mesh without extra VCs.
+ */
+#ifndef ROCOSIM_ROUTING_XY_H_
+#define ROCOSIM_ROUTING_XY_H_
+
+#include "routing/routing.h"
+
+namespace noc {
+
+class XyRouting : public RoutingAlgorithm
+{
+  public:
+    using RoutingAlgorithm::RoutingAlgorithm;
+
+    RoutingKind kind() const override { return RoutingKind::XY; }
+    DirectionSet route(NodeId cur, const Flit &f) const override;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_ROUTING_XY_H_

@@ -1,0 +1,35 @@
+#include "routing/xyyx.h"
+
+namespace noc {
+
+DirectionSet
+XyYxRouting::route(NodeId cur, const Flit &f) const
+{
+    DirectionSet out;
+    if (cur == f.dst) {
+        out.push(Direction::Local);
+        return out;
+    }
+    Coord c = topo_.coord(cur);
+    Coord d = topo_.coord(f.dst);
+    Direction xDir = Direction::Invalid;
+    Direction yDir = Direction::Invalid;
+    if (d.x > c.x)
+        xDir = Direction::East;
+    else if (d.x < c.x)
+        xDir = Direction::West;
+    if (d.y > c.y)
+        yDir = Direction::North;
+    else if (d.y < c.y)
+        yDir = Direction::South;
+
+    if (f.yxOrder) {
+        // Y first, then X.
+        out.push(yDir != Direction::Invalid ? yDir : xDir);
+    } else {
+        out.push(xDir != Direction::Invalid ? xDir : yDir);
+    }
+    return out;
+}
+
+} // namespace noc

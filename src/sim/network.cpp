@@ -1,0 +1,217 @@
+#include "sim/network.h"
+
+#include "router/generic/generic_router.h"
+#include "router/pathsensitive/ps_router.h"
+#include "router/roco/roco_router.h"
+
+namespace noc {
+
+std::unique_ptr<Router>
+makeRouter(NodeId id, const SimConfig &cfg, const MeshTopology &topo,
+           const RoutingAlgorithm &routing, const FaultMap *faults)
+{
+    switch (cfg.arch) {
+      case RouterArch::Generic:
+        return std::make_unique<GenericRouter>(id, cfg, topo, routing,
+                                               faults);
+      case RouterArch::PathSensitive:
+        return std::make_unique<PathSensitiveRouter>(id, cfg, topo,
+                                                     routing, faults);
+      case RouterArch::Roco:
+        return std::make_unique<RocoRouter>(id, cfg, topo, routing,
+                                            faults);
+    }
+    NOC_ASSERT(false, "unknown router architecture");
+    return nullptr;
+}
+
+Network::Network(const SimConfig &cfg, const std::vector<FaultSpec> &faults)
+    : cfg_(cfg), topo_(cfg.meshWidth, cfg.meshHeight)
+{
+    cfg_.validate();
+    routing_ = makeRouting(cfg_.routing, topo_);
+    faults_ = std::make_unique<FaultMap>(topo_.numNodes(), cfg_.arch);
+    build(faults);
+}
+
+Network::~Network() = default;
+
+void
+Network::build(const std::vector<FaultSpec> &faults)
+{
+    for (const FaultSpec &f : faults)
+        faults_->apply(f);
+
+    int n = topo_.numNodes();
+    if (cfg_.traffic == TrafficKind::Trace) {
+        trace_ = std::make_unique<TraceSchedule>(
+            TraceSchedule::load(cfg_.traceFile, n));
+    }
+    routers_.reserve(static_cast<size_t>(n));
+    nics_.reserve(static_cast<size_t>(n));
+    for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+        routers_.push_back(
+            makeRouter(id, cfg_, topo_, *routing_, faults_.get()));
+        nics_.push_back(std::make_unique<Nic>(id, cfg_, topo_));
+        routers_.back()->setNic(nics_.back().get());
+        if (trace_)
+            nics_.back()->attachTrace(*trace_);
+    }
+
+    // One channel pair per link direction. The flit channel models
+    // switch traversal plus link propagation after the allocation
+    // cycle: a flit granted at cycle t is received at t + hopDelay
+    // (one cycle of ST, one of wire, landing in the input register).
+    int flitLatency = cfg_.hopDelay;
+    const Direction edgeDirs[2] = {Direction::East, Direction::North};
+    for (NodeId a = 0; a < static_cast<NodeId>(n); ++a) {
+        for (Direction d : edgeDirs) {
+            auto b = topo_.neighbor(a, d);
+            if (!b)
+                continue;
+            channels_.push_back(std::make_unique<ChannelPair>(
+                flitLatency, cfg_.creditDelay));
+            ChannelPair *ab = channels_.back().get(); // flits a -> b
+            channels_.push_back(std::make_unique<ChannelPair>(
+                flitLatency, cfg_.creditDelay));
+            ChannelPair *ba = channels_.back().get(); // flits b -> a
+
+            PortIo aSide;
+            aSide.flitOut = &ab->flits;
+            aSide.creditIn = &ab->credits;
+            aSide.flitIn = &ba->flits;
+            aSide.creditOut = &ba->credits;
+            routers_[a]->connectPort(d, aSide);
+
+            PortIo bSide;
+            bSide.flitOut = &ba->flits;
+            bSide.creditIn = &ba->credits;
+            bSide.flitIn = &ab->flits;
+            bSide.creditOut = &ab->credits;
+            routers_[*b]->connectPort(opposite(d), bSide);
+
+            routers_[a]->setNeighbor(d, routers_[*b].get());
+            routers_[*b]->setNeighbor(opposite(d), routers_[a].get());
+        }
+    }
+}
+
+void
+Network::step(Cycle now, bool generationEnabled, bool measured)
+{
+    for (auto &nic : nics_)
+        nic->generate(now, nextPacketId_, measured, generationEnabled);
+    for (auto &r : routers_)
+        r->step(now);
+}
+
+int
+Network::flitsInFlight() const
+{
+    int n = 0;
+    for (const auto &r : routers_)
+        n += r->bufferedFlits();
+    for (const auto &ch : channels_)
+        n += static_cast<int>(ch->flits.inFlight());
+    return n;
+}
+
+std::uint64_t
+Network::totalInjected() const
+{
+    std::uint64_t n = 0;
+    for (const auto &nic : nics_)
+        n += nic->injectedPackets();
+    return n;
+}
+
+std::uint64_t
+Network::totalInjectedMeasured() const
+{
+    std::uint64_t n = 0;
+    for (const auto &nic : nics_)
+        n += nic->injectedMeasured();
+    return n;
+}
+
+std::uint64_t
+Network::totalDelivered() const
+{
+    std::uint64_t n = 0;
+    for (const auto &nic : nics_)
+        n += nic->deliveredPackets();
+    return n;
+}
+
+std::uint64_t
+Network::totalDeliveredMeasured() const
+{
+    std::uint64_t n = 0;
+    for (const auto &nic : nics_)
+        n += nic->deliveredMeasured();
+    return n;
+}
+
+bool
+Network::traceExhausted() const
+{
+    if (!trace_)
+        return false;
+    for (const auto &nic : nics_) {
+        if (!nic->traceExhausted())
+            return false;
+    }
+    return true;
+}
+
+Cycle
+Network::lastDeliveryCycle() const
+{
+    Cycle c = 0;
+    for (const auto &nic : nics_)
+        c = std::max(c, nic->lastDelivery());
+    return c;
+}
+
+ActivityCounters
+Network::totalActivity() const
+{
+    ActivityCounters sum;
+    for (const auto &r : routers_)
+        sum += r->activity();
+    return sum;
+}
+
+void
+Network::resetActivity()
+{
+    for (auto &r : routers_)
+        r->resetActivity();
+}
+
+void
+Network::resetContention()
+{
+    for (auto &r : routers_)
+        r->resetContention();
+}
+
+RatioStat
+Network::rowContention() const
+{
+    RatioStat s;
+    for (const auto &r : routers_)
+        s.addHits(r->rowContention().hits(), r->rowContention().trials());
+    return s;
+}
+
+RatioStat
+Network::colContention() const
+{
+    RatioStat s;
+    for (const auto &r : routers_)
+        s.addHits(r->colContention().hits(), r->colContention().trials());
+    return s;
+}
+
+} // namespace noc

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Network: builds and owns the routers, NICs, channels, routing and
+ * fault state for one mesh, and advances them cycle by cycle.
+ */
+#ifndef ROCOSIM_SIM_NETWORK_H_
+#define ROCOSIM_SIM_NETWORK_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/config.h"
+#include "fault/fault.h"
+#include "power/energy_model.h"
+#include "router/router.h"
+#include "routing/routing.h"
+#include "sim/nic.h"
+#include "traffic/trace.h"
+#include "topology/channel.h"
+#include "topology/mesh.h"
+
+namespace noc {
+
+class Network
+{
+  public:
+    /**
+     * Builds the mesh described by @p cfg with @p faults applied
+     * statically at construction (the paper's static fault handling).
+     */
+    Network(const SimConfig &cfg,
+            const std::vector<FaultSpec> &faults = {});
+    ~Network();
+
+    Network(const Network &) = delete;
+    Network &operator=(const Network &) = delete;
+
+    /**
+     * Advances one cycle: NICs generate traffic, then every router
+     * steps. Channel delay lines make the order immaterial.
+     */
+    void step(Cycle now, bool generationEnabled, bool measured);
+
+    const MeshTopology &topology() const { return topo_; }
+    const SimConfig &config() const { return cfg_; }
+    const FaultMap &faultMap() const { return *faults_; }
+
+    Router &router(NodeId n) { return *routers_[n]; }
+    const Router &router(NodeId n) const { return *routers_[n]; }
+    Nic &nic(NodeId n) { return *nics_[n]; }
+    const Nic &nic(NodeId n) const { return *nics_[n]; }
+    int numNodes() const { return topo_.numNodes(); }
+
+    std::uint64_t packetsGenerated() const { return nextPacketId_; }
+
+    /** Trace traffic: true once every node's schedule has replayed. */
+    bool traceExhausted() const;
+
+    /** Flits anywhere in the network (buffers + links), excluding
+     *  source queues; zero means fully drained. */
+    int flitsInFlight() const;
+
+    /** Sums of per-node statistics. */
+    std::uint64_t totalInjected() const;
+    std::uint64_t totalInjectedMeasured() const;
+    std::uint64_t totalDelivered() const;
+    std::uint64_t totalDeliveredMeasured() const;
+    Cycle lastDeliveryCycle() const;
+
+    /** Aggregated router activity for the energy model. */
+    ActivityCounters totalActivity() const;
+    void resetActivity();
+    void resetContention();
+
+    /** Network-wide SA contention ratios (Figure 3). */
+    RatioStat rowContention() const;
+    RatioStat colContention() const;
+
+  private:
+    void build(const std::vector<FaultSpec> &faults);
+
+    SimConfig cfg_;
+    MeshTopology topo_;
+    std::unique_ptr<RoutingAlgorithm> routing_;
+    std::unique_ptr<FaultMap> faults_;
+    std::vector<std::unique_ptr<ChannelPair>> channels_;
+    std::vector<std::unique_ptr<Router>> routers_;
+    std::vector<std::unique_ptr<Nic>> nics_;
+    std::unique_ptr<TraceSchedule> trace_;
+    std::uint64_t nextPacketId_ = 1;
+};
+
+/** Instantiates the router microarchitecture selected by @p cfg. */
+std::unique_ptr<Router>
+makeRouter(NodeId id, const SimConfig &cfg, const MeshTopology &topo,
+           const RoutingAlgorithm &routing, const FaultMap *faults);
+
+} // namespace noc
+
+#endif // ROCOSIM_SIM_NETWORK_H_

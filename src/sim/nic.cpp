@@ -1,0 +1,121 @@
+#include "sim/nic.h"
+
+#include <memory>
+
+#include "common/log.h"
+
+namespace noc {
+
+Nic::Nic(NodeId id, const SimConfig &cfg, const MeshTopology &topo)
+    : id_(id), cfg_(cfg), traffic_(cfg, topo, id),
+      rng_(cfg.seed, 0x41C0000ull + id)
+{
+}
+
+void
+Nic::attachTrace(const TraceSchedule &schedule)
+{
+    trace_ = std::make_unique<TraceReplayer>(schedule, id_);
+}
+
+bool
+Nic::traceExhausted() const
+{
+    return trace_ && trace_->exhausted();
+}
+
+void
+Nic::generate(Cycle now, std::uint64_t &nextPacketId, bool measured,
+              bool generationEnabled)
+{
+    if (!generationEnabled)
+        return;
+    if (trace_) {
+        NodeId dst = trace_->next(now);
+        if (dst != kInvalidNode) {
+            enqueuePacket(dst, now, nextPacketId, measured,
+                          rng_.nextBool(0.5));
+        }
+        return;
+    }
+    auto dst = traffic_.maybeGenerate(now);
+    if (!dst)
+        return;
+    enqueuePacket(*dst, now, nextPacketId, measured, rng_.nextBool(0.5));
+}
+
+std::uint64_t
+Nic::enqueuePacket(NodeId dst, Cycle now, std::uint64_t &nextPacketId,
+                   bool measured, bool yxOrder)
+{
+    NOC_ASSERT(dst != id_, "packet to self");
+    std::uint64_t pid = nextPacketId++;
+    int len = cfg_.flitsPerPacket;
+    for (int i = 0; i < len; ++i) {
+        Flit f;
+        f.packetId = pid;
+        f.flitSeq = static_cast<std::uint16_t>(i);
+        f.packetLen = static_cast<std::uint16_t>(len);
+        if (len == 1)
+            f.type = FlitType::HeadTail;
+        else if (i == 0)
+            f.type = FlitType::Head;
+        else if (i == len - 1)
+            f.type = FlitType::Tail;
+        else
+            f.type = FlitType::Body;
+        f.src = id_;
+        f.dst = dst;
+        f.createTime = now;
+        f.yxOrder = yxOrder;
+        f.measured = measured;
+        sourceQueue_.push_back(f);
+    }
+    ++injected_;
+    if (measured)
+        ++injectedMeasured_;
+    return pid;
+}
+
+const Flit &
+Nic::peekPending() const
+{
+    NOC_ASSERT(!sourceQueue_.empty(), "peek on empty source queue");
+    return sourceQueue_.front();
+}
+
+Flit
+Nic::popPending()
+{
+    NOC_ASSERT(!sourceQueue_.empty(), "pop on empty source queue");
+    Flit f = sourceQueue_.front();
+    sourceQueue_.pop_front();
+    return f;
+}
+
+void
+Nic::deliverFlit(const Flit &f, Cycle now)
+{
+    NOC_ASSERT(f.dst == id_, "flit delivered to the wrong NIC");
+    ++deliveredFlits_;
+    lastDelivery_ = now;
+
+    Arrival &a = arrivals_[f.packetId];
+    a.measured = a.measured || f.measured;
+    // Wormhole switching delivers a packet's flits strictly in order.
+    NOC_ASSERT(a.flitsSeen == f.flitSeq, "out-of-order flit delivery");
+    ++a.flitsSeen;
+    NOC_ASSERT(a.flitsSeen <= f.packetLen, "duplicate flit delivery");
+    if (a.flitsSeen == f.packetLen) {
+        ++delivered_;
+        if (a.measured) {
+            ++deliveredMeasured_;
+            double lat = static_cast<double>(now - f.createTime);
+            latency_.add(lat);
+            histogram_.add(lat);
+        }
+        arrivals_.erase(f.packetId);
+    }
+}
+
+} // namespace noc

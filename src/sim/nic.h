@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Network interface controller: one per node.
+ *
+ * Generates packets per the node's traffic source, segments them into
+ * flits in an (open-loop) source queue the router pulls from, receives
+ * ejected flits, and keeps the per-node statistics the paper reports:
+ * injected packets, delivered packets and end-to-end latency.
+ */
+#ifndef ROCOSIM_SIM_NIC_H_
+#define ROCOSIM_SIM_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "common/config.h"
+#include "common/flit.h"
+#include "common/stats.h"
+#include "router/router.h"
+#include "topology/mesh.h"
+#include "traffic/trace.h"
+#include "traffic/traffic.h"
+
+namespace noc {
+
+class Nic : public NicIf
+{
+  public:
+    Nic(NodeId id, const SimConfig &cfg, const MeshTopology &topo);
+
+    /**
+     * Runs the traffic source for cycle @p now; @p nextPacketId is the
+     * network-wide id counter. @p measured tags packets created after
+     * warm-up so statistics cover only the measurement window.
+     * No-op when @p generationEnabled is false (drain phase).
+     */
+    void generate(Cycle now, std::uint64_t &nextPacketId, bool measured,
+                  bool generationEnabled);
+
+    /** Replays @p schedule entries for this node instead of the
+     *  synthetic source (Trace traffic). */
+    void attachTrace(const TraceSchedule &schedule);
+    /** True when a trace is attached and fully replayed. */
+    bool traceExhausted() const;
+
+    /**
+     * Enqueues one packet to @p dst directly (tests and examples that
+     * drive traffic by hand). Returns the packet id.
+     */
+    std::uint64_t enqueuePacket(NodeId dst, Cycle now,
+                                std::uint64_t &nextPacketId,
+                                bool measured, bool yxOrder = false);
+
+    // NicIf
+    bool hasPending() const override { return !sourceQueue_.empty(); }
+    const Flit &peekPending() const override;
+    Flit popPending() override;
+    void deliverFlit(const Flit &f, Cycle now) override;
+
+    // Statistics
+    std::uint64_t injectedPackets() const { return injected_; }
+    std::uint64_t injectedMeasured() const { return injectedMeasured_; }
+    std::uint64_t deliveredMeasured() const { return deliveredMeasured_; }
+    std::uint64_t deliveredPackets() const { return delivered_; }
+    std::uint64_t deliveredFlits() const { return deliveredFlits_; }
+    const RunningStat &latency() const { return latency_; }
+    /** Latency distribution of measured packets (2-cycle bins). */
+    const Histogram &latencyHistogram() const { return histogram_; }
+    Cycle lastDelivery() const { return lastDelivery_; }
+
+    /** Flits still waiting in the source queue. */
+    std::size_t queuedFlits() const { return sourceQueue_.size(); }
+
+  private:
+    NodeId id_;
+    const SimConfig &cfg_;
+    TrafficGenerator traffic_;
+    Rng rng_; ///< per-packet choices (XY-YX order)
+    std::unique_ptr<TraceReplayer> trace_;
+    std::deque<Flit> sourceQueue_;
+
+    /** Reassembly progress of packets ejecting here. */
+    struct Arrival {
+        int flitsSeen = 0;
+        bool measured = false;
+    };
+    std::unordered_map<std::uint64_t, Arrival> arrivals_;
+    /** Measured-flag of packets this NIC injected (keyed by id bit). */
+    std::uint64_t injected_ = 0;
+    std::uint64_t injectedMeasured_ = 0;
+    std::uint64_t delivered_ = 0;
+    std::uint64_t deliveredMeasured_ = 0;
+    std::uint64_t deliveredFlits_ = 0;
+    RunningStat latency_;
+    Histogram histogram_{2.0, 1024};
+    Cycle lastDelivery_ = 0;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_SIM_NIC_H_

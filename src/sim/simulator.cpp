@@ -1,0 +1,106 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace noc {
+
+Simulator::Simulator(const SimConfig &cfg,
+                     const std::vector<FaultSpec> &faults)
+    : cfg_(cfg), net_(cfg, faults)
+{
+}
+
+SimResult
+Simulator::run()
+{
+    const std::uint64_t warmTarget = cfg_.warmupPackets;
+    const std::uint64_t genTarget =
+        cfg_.warmupPackets + cfg_.measurePackets;
+
+    Cycle now = 0;
+    Cycle measureStart = 0;
+    bool measuring = false;
+    bool generating = true;
+    Cycle generationEnd = 0;
+
+    // Inactivity window: in a faulty network blocked packets never
+    // drain; the paper stops after twice the fault-free completion
+    // time. We approximate with a generous idle window.
+    const Cycle idleWindow = 5000;
+
+    while (now < cfg_.maxCycles) {
+        bool genDone = cfg_.traffic == TrafficKind::Trace
+                           ? net_.traceExhausted()
+                           : net_.packetsGenerated() > genTarget;
+        if (generating && genDone) {
+            generating = false;
+            generationEnd = now;
+        }
+        if (!measuring && net_.packetsGenerated() > warmTarget) {
+            measuring = true;
+            measureStart = now;
+            net_.resetActivity();
+            net_.resetContention();
+        }
+
+        net_.step(now, generating, measuring);
+        ++now;
+
+        if (!generating) {
+            bool queued = false;
+            for (int i = 0; i < net_.numNodes() && !queued; ++i)
+                queued = net_.nic(static_cast<NodeId>(i)).queuedFlits() > 0;
+            if (!queued && net_.flitsInFlight() == 0)
+                break; // fully drained
+            Cycle last = std::max(net_.lastDeliveryCycle(), generationEnd);
+            if (now > last + idleWindow)
+                break; // blocked remainder (faulty network)
+        }
+    }
+
+    SimResult r;
+    r.timedOut = now >= cfg_.maxCycles;
+    r.cycles = measuring ? now - measureStart : now;
+
+    RunningStat lat;
+    Histogram hist(2.0, 1024);
+    for (int i = 0; i < net_.numNodes(); ++i) {
+        lat.merge(net_.nic(static_cast<NodeId>(i)).latency());
+        hist.merge(net_.nic(static_cast<NodeId>(i)).latencyHistogram());
+    }
+    r.avgLatency = lat.mean();
+    r.latencyStddev = lat.stddev();
+    r.maxLatency = lat.max();
+    r.p50Latency = hist.percentile(0.50);
+    r.p99Latency = hist.percentile(0.99);
+
+    r.injected = net_.totalInjectedMeasured();
+    r.delivered = net_.totalDeliveredMeasured();
+    r.completion = r.injected
+                       ? static_cast<double>(r.delivered) /
+                             static_cast<double>(r.injected)
+                       : 1.0;
+
+    std::uint64_t deliveredFlits = 0;
+    for (int i = 0; i < net_.numNodes(); ++i)
+        deliveredFlits += net_.nic(static_cast<NodeId>(i)).deliveredFlits();
+    r.throughputFlits =
+        r.cycles ? static_cast<double>(deliveredFlits) /
+                       static_cast<double>(r.cycles) / net_.numNodes()
+                 : 0.0;
+
+    EnergyModel em(EnergyParams::forArch(cfg_.arch, cfg_));
+    r.energy = em.compute(net_.totalActivity(), r.cycles,
+                          net_.numNodes());
+    r.energyPerPacketNj = EnergyModel::perPacketNj(
+        r.energy, std::max<std::uint64_t>(r.delivered, 1));
+
+    r.edp = r.avgLatency * r.energyPerPacketNj;
+    r.pef = r.completion > 0 ? r.edp / r.completion : 0.0;
+
+    r.rowContention = net_.rowContention().ratio();
+    r.colContention = net_.colContention().ratio();
+    return r;
+}
+
+} // namespace noc

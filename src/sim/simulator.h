@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Simulation driver: warm-up, measurement and drain phases, and the
+ * aggregated result record every bench and figure is built from.
+ */
+#ifndef ROCOSIM_SIM_SIMULATOR_H_
+#define ROCOSIM_SIM_SIMULATOR_H_
+
+#include <vector>
+
+#include "common/config.h"
+#include "common/stats.h"
+#include "fault/fault.h"
+#include "power/energy_model.h"
+#include "sim/network.h"
+
+namespace noc {
+
+/** Everything a run produces (the paper's reported quantities). */
+struct SimResult {
+    // Performance.
+    double avgLatency = 0;      ///< cycles, measured packets (Figs 8-10)
+    double latencyStddev = 0;
+    double maxLatency = 0;
+    double p50Latency = 0;      ///< median
+    double p99Latency = 0;      ///< tail (2-cycle histogram bins)
+    double throughputFlits = 0; ///< delivered flits/node/cycle
+
+    // Reliability.
+    std::uint64_t injected = 0;   ///< measured packets offered
+    std::uint64_t delivered = 0;  ///< measured packets completed
+    double completion = 1.0;      ///< Figs 11-12
+
+    // Energy.
+    EnergyBreakdown energy;       ///< measurement window
+    double energyPerPacketNj = 0; ///< Fig 13
+
+    // Composite metrics (Section 5.3).
+    double edp = 0; ///< latency x energy/packet (nJ*cycles)
+    double pef = 0; ///< EDP / completion probability (Fig 14)
+
+    // Diagnostics.
+    Cycle cycles = 0;      ///< measurement-window length
+    bool timedOut = false; ///< hit maxCycles before draining
+    double rowContention = 0; ///< Fig 3a probe
+    double colContention = 0; ///< Fig 3b probe
+};
+
+/**
+ * Runs one configuration to completion.
+ *
+ * Protocol (Section 5.4): inject warmupPackets network-wide, then tag
+ * and measure measurePackets more; generation then stops and the run
+ * drains.  Faulty networks may never drain — the run ends after an
+ * inactivity window of twice the expected drain time or at maxCycles,
+ * and undelivered measured packets lower the completion probability.
+ */
+class Simulator
+{
+  public:
+    explicit Simulator(const SimConfig &cfg,
+                       const std::vector<FaultSpec> &faults = {});
+
+    /** Runs to completion and returns the aggregated results. */
+    SimResult run();
+
+    Network &network() { return net_; }
+
+  private:
+    SimConfig cfg_;
+    Network net_;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_SIM_SIMULATOR_H_

@@ -1,0 +1,11 @@
+// DelayChannel is header-only (template); this translation unit exists to
+// anchor the channel component in the build and to hold explicit
+// instantiations used across the library, keeping template bloat down.
+#include "topology/channel.h"
+
+namespace noc {
+
+template class DelayChannel<Flit>;
+template class DelayChannel<Credit>;
+
+} // namespace noc

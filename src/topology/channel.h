@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Fixed-latency channels connecting routers (and NICs to routers).
+ *
+ * A channel is a delay line: values pushed during cycle t with latency d
+ * become visible to the receiver at the start of cycle t+d.  Because
+ * nothing pushed in the current cycle is ever received in the same
+ * cycle, routers may be stepped in any order, which is what makes the
+ * two-phase engine deterministic.
+ */
+#ifndef ROCOSIM_TOPOLOGY_CHANNEL_H_
+#define ROCOSIM_TOPOLOGY_CHANNEL_H_
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "common/flit.h"
+#include "common/log.h"
+#include "common/types.h"
+
+namespace noc {
+
+/** A credit returning buffer space for one VC of one input port. */
+struct Credit {
+    std::uint8_t vc = 0;
+};
+
+/**
+ * Single-reader single-writer delay line.
+ *
+ * At most one value may be pushed per cycle (a physical channel carries
+ * one flit per cycle); receive() pops the value whose arrival cycle has
+ * come due, if any.
+ */
+template <typename T>
+class DelayChannel
+{
+  public:
+    explicit DelayChannel(int latency) : latency_(latency)
+    {
+        NOC_ASSERT(latency >= 1, "channel latency must be >= 1");
+    }
+
+    /**
+     * Pushes @p v during cycle @p now; visible at now + latency.
+     * Several values may be pushed in one cycle (e.g. credits freed by
+     * the two RoCo modules on the same upstream port); delivery stays
+     * FIFO within the arrival cycle.
+     */
+    void
+    send(const T &v, Cycle now)
+    {
+        NOC_ASSERT(queue_.empty() ||
+                       queue_.back().arrival <= now + latency_,
+                   "channel sends must not reorder");
+        queue_.push_back({now + static_cast<Cycle>(latency_), v});
+    }
+
+    /** True when a value is deliverable at cycle @p now. */
+    bool
+    ready(Cycle now) const
+    {
+        return !queue_.empty() && queue_.front().arrival <= now;
+    }
+
+    /** Pops the value due at @p now, or std::nullopt. */
+    std::optional<T>
+    receive(Cycle now)
+    {
+        if (!ready(now))
+            return std::nullopt;
+        T v = queue_.front().value;
+        queue_.pop_front();
+        return v;
+    }
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t inFlight() const { return queue_.size(); }
+    int latency() const { return latency_; }
+
+  private:
+    struct Entry {
+        Cycle arrival;
+        T value;
+    };
+
+    int latency_;
+    std::deque<Entry> queue_;
+};
+
+using FlitChannel = DelayChannel<Flit>;
+using CreditChannel = DelayChannel<Credit>;
+
+/**
+ * The pair of wires between two adjacent ports: flits downstream,
+ * credits upstream. Owned by the Network; routers hold raw pointers.
+ */
+struct ChannelPair {
+    ChannelPair(int flitLatency, int creditLatency)
+        : flits(flitLatency), credits(creditLatency)
+    {}
+
+    FlitChannel flits;
+    CreditChannel credits;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_TOPOLOGY_CHANNEL_H_

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * 2D mesh topology: node/coordinate algebra and neighbour lookup.
+ *
+ * Nodes are numbered row-major: id = y * width + x, with x growing
+ * eastward and y growing northward, matching the paper's 8x8 mesh.
+ */
+#ifndef ROCOSIM_TOPOLOGY_MESH_H_
+#define ROCOSIM_TOPOLOGY_MESH_H_
+
+#include <optional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace noc {
+
+/** Immutable description of a width x height 2D mesh. */
+class MeshTopology
+{
+  public:
+    MeshTopology(int width, int height);
+
+    int width() const { return width_; }
+    int height() const { return height_; }
+    int numNodes() const { return width_ * height_; }
+
+    /** Coordinate of @p id; asserts on out-of-range ids. */
+    Coord coord(NodeId id) const;
+    /** Node at @p c; asserts when outside the mesh. */
+    NodeId node(Coord c) const;
+    /** True when @p c lies inside the mesh. */
+    bool contains(Coord c) const;
+
+    /**
+     * Neighbour of @p id in direction @p d, or std::nullopt at a mesh
+     * edge. @p d must be cardinal.
+     */
+    std::optional<NodeId> neighbor(NodeId id, Direction d) const;
+
+    /** True when @p id has a link in direction @p d. */
+    bool hasNeighbor(NodeId id, Direction d) const;
+
+    /** Manhattan (minimal hop) distance between two nodes. */
+    int distance(NodeId a, NodeId b) const;
+
+    /**
+     * Productive cardinal directions from @p from toward @p to (0, 1 or
+     * 2 entries; empty when from == to). X direction first when present.
+     */
+    std::vector<Direction> productiveDirections(NodeId from, NodeId to) const;
+
+  private:
+    int width_;
+    int height_;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_TOPOLOGY_MESH_H_

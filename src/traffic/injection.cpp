@@ -1,0 +1,62 @@
+#include "traffic/injection.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+
+namespace noc {
+
+BernoulliInjection::BernoulliInjection(double flitRate, int flitsPerPacket)
+    : packetRate_(flitRate / flitsPerPacket)
+{
+    NOC_ASSERT(flitsPerPacket > 0, "flitsPerPacket must be positive");
+    NOC_ASSERT(packetRate_ <= 1.0, "packet rate exceeds one per cycle");
+}
+
+bool
+BernoulliInjection::fire(Cycle, Rng &rng)
+{
+    return rng.nextBool(packetRate_);
+}
+
+ParetoOnOffInjection::ParetoOnOffInjection(double flitRate,
+                                           int flitsPerPacket,
+                                           double alphaOn, double alphaOff,
+                                           double meanOn, double dutyCycle)
+    : packetRate_(flitRate / flitsPerPacket),
+      alphaOn_(alphaOn), alphaOff_(alphaOff)
+{
+    NOC_ASSERT(dutyCycle > 0.0 && dutyCycle < 1.0, "duty cycle in (0,1)");
+    NOC_ASSERT(alphaOn > 1.0 && alphaOff > 1.0,
+               "Pareto shapes must exceed 1 for finite means");
+    peakProb_ = std::min(1.0, packetRate_ / dutyCycle);
+
+    // Pareto mean = alpha * xm / (alpha - 1)  =>  xm from desired mean.
+    xmOn_ = meanOn * (alphaOn - 1.0) / alphaOn;
+    double meanOff = meanOn * (1.0 - dutyCycle) / dutyCycle;
+    xmOff_ = meanOff * (alphaOff - 1.0) / alphaOff;
+}
+
+void
+ParetoOnOffInjection::drawPeriod(Rng &rng)
+{
+    double len = on_ ? rng.nextPareto(alphaOn_, xmOn_)
+                     : rng.nextPareto(alphaOff_, xmOff_);
+    remaining_ = static_cast<Cycle>(std::ceil(len));
+    if (remaining_ == 0)
+        remaining_ = 1;
+}
+
+bool
+ParetoOnOffInjection::fire(Cycle, Rng &rng)
+{
+    while (remaining_ == 0) {
+        on_ = !on_;
+        drawPeriod(rng);
+    }
+    --remaining_;
+    return on_ && rng.nextBool(peakProb_);
+}
+
+} // namespace noc

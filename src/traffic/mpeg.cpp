@@ -1,0 +1,61 @@
+#include "traffic/mpeg.h"
+
+#include <cmath>
+
+#include "common/log.h"
+
+namespace noc {
+
+namespace {
+
+// I:P:B size ratio of 4:2:1, normalised so the GOP mean weight is 1.
+// GOP = I B B P B B P B B P B B -> one I, three P, eight B.
+constexpr double kRawI = 4.0;
+constexpr double kRawP = 2.0;
+constexpr double kRawB = 1.0;
+constexpr double kGopRawSum = kRawI + 3 * kRawP + 8 * kRawB;
+
+} // namespace
+
+MpegInjection::MpegInjection(double flitRate, int flitsPerPacket,
+                             Cycle framePeriod)
+    : packetRate_(flitRate / flitsPerPacket), framePeriod_(framePeriod)
+{
+    NOC_ASSERT(framePeriod >= 1, "frame period must be positive");
+    meanPacketsPerFrame_ =
+        packetRate_ * static_cast<double>(framePeriod_);
+}
+
+double
+MpegInjection::frameWeight(int idx)
+{
+    NOC_ASSERT(idx >= 0 && idx < kGopLength, "GOP index out of range");
+    double raw;
+    if (idx == 0)
+        raw = kRawI;
+    else if (idx % 3 == 0)
+        raw = kRawP;
+    else
+        raw = kRawB;
+    return raw * kGopLength / kGopRawSum;
+}
+
+bool
+MpegInjection::fire(Cycle now, Rng &rng)
+{
+    if (now >= nextFrameStart_) {
+        // New frame: add this frame's packet budget to the bucket with
+        // +-25% jitter around the GOP-shaped mean (VBR).
+        double jitter = 0.75 + 0.5 * rng.nextDouble();
+        tokens_ += meanPacketsPerFrame_ * frameWeight(frameIdx_) * jitter;
+        frameIdx_ = (frameIdx_ + 1) % kGopLength;
+        nextFrameStart_ = now + framePeriod_;
+    }
+    if (tokens_ >= 1.0) {
+        tokens_ -= 1.0;
+        return true;
+    }
+    return false;
+}
+
+} // namespace noc

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * MPEG-2 GOP-structured variable-bit-rate injection process.
+ *
+ * Substitutes the paper's MPEG-2 multimedia traces [3] (results omitted
+ * in the paper for space): a repeating IBBPBBPBBPBB group of pictures at
+ * a fixed frame cadence, with per-frame sizes drawn around I/P/B means
+ * in a 4:2:1 ratio and scaled so the long-run load equals the requested
+ * rate. Each frame's packets drain back-to-back from a token bucket,
+ * producing the frame-synchronous bursts that stress router buffering.
+ */
+#ifndef ROCOSIM_TRAFFIC_MPEG_H_
+#define ROCOSIM_TRAFFIC_MPEG_H_
+
+#include "traffic/injection.h"
+
+namespace noc {
+
+class MpegInjection : public InjectionProcess
+{
+  public:
+    /**
+     * @param flitRate       average offered load, flits/node/cycle
+     * @param flitsPerPacket flits per packet
+     * @param framePeriod    cycles between frame starts (default 256)
+     */
+    MpegInjection(double flitRate, int flitsPerPacket,
+                  Cycle framePeriod = 256);
+
+    bool fire(Cycle now, Rng &rng) override;
+    double packetRate() const override { return packetRate_; }
+
+    /** GOP length in frames (IBBPBBPBBPBB). */
+    static constexpr int kGopLength = 12;
+
+  private:
+    /** Relative size weight of frame @p idx within the GOP. */
+    static double frameWeight(int idx);
+
+    double packetRate_;
+    Cycle framePeriod_;
+    double meanPacketsPerFrame_;
+    int frameIdx_ = 0;
+    Cycle nextFrameStart_ = 0;
+    double tokens_ = 0.0;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_TRAFFIC_MPEG_H_

@@ -1,0 +1,137 @@
+#include "traffic/patterns.h"
+
+#include "common/log.h"
+
+namespace noc {
+
+NodeId
+UniformPattern::pick(NodeId src, Rng &rng) const
+{
+    int n = topo_.numNodes();
+    NOC_ASSERT(n > 1, "uniform traffic needs >1 node");
+    // Draw over n-1 slots and skip the source to stay exactly uniform.
+    NodeId d = static_cast<NodeId>(rng.nextRange(n - 1));
+    if (d >= src)
+        ++d;
+    return d;
+}
+
+TransposePattern::TransposePattern(const MeshTopology &topo) : topo_(topo)
+{
+    NOC_ASSERT(topo.width() == topo.height(),
+               "transpose requires a square mesh");
+}
+
+NodeId
+TransposePattern::pick(NodeId src, Rng &) const
+{
+    Coord c = topo_.coord(src);
+    if (c.x == c.y)
+        return kInvalidNode; // diagonal maps to itself; nothing to send
+    return topo_.node({c.y, c.x});
+}
+
+NodeId
+BitComplementPattern::pick(NodeId src, Rng &) const
+{
+    NodeId d = static_cast<NodeId>(topo_.numNodes() - 1) - src;
+    return d == src ? kInvalidNode : d;
+}
+
+HotspotPattern::HotspotPattern(const MeshTopology &topo,
+                               std::vector<NodeId> hotspots,
+                               double hotFraction)
+    : topo_(topo), hotspots_(std::move(hotspots)),
+      hotFraction_(hotFraction), uniform_(topo)
+{
+    NOC_ASSERT(!hotspots_.empty(), "hotspot pattern needs hotspots");
+    for (NodeId h : hotspots_)
+        NOC_ASSERT(h < static_cast<NodeId>(topo.numNodes()),
+                   "hotspot outside mesh");
+}
+
+NodeId
+HotspotPattern::pick(NodeId src, Rng &rng) const
+{
+    if (rng.nextBool(hotFraction_)) {
+        NodeId d = hotspots_[rng.nextRange(hotspots_.size())];
+        if (d != src)
+            return d;
+        // Source is itself a hotspot target: fall through to uniform.
+    }
+    return uniform_.pick(src, rng);
+}
+
+NodeId
+TornadoPattern::pick(NodeId src, Rng &) const
+{
+    Coord c = topo_.coord(src);
+    int w = topo_.width();
+    int shift = (w + 1) / 2 - 1;
+    if (shift <= 0)
+        return kInvalidNode; // mesh too narrow for a tornado offset
+    Coord d{(c.x + shift) % w, c.y};
+    NodeId n = topo_.node(d);
+    return n == src ? kInvalidNode : n;
+}
+
+namespace {
+
+int
+log2Exact(int n)
+{
+    int bits = 0;
+    while ((1 << bits) < n)
+        ++bits;
+    NOC_ASSERT((1 << bits) == n,
+               "bit permutations need a power-of-two node count");
+    return bits;
+}
+
+} // namespace
+
+BitReversePattern::BitReversePattern(const MeshTopology &topo)
+    : topo_(topo), bits_(log2Exact(topo.numNodes()))
+{
+}
+
+NodeId
+BitReversePattern::pick(NodeId src, Rng &) const
+{
+    NodeId d = 0;
+    for (int b = 0; b < bits_; ++b) {
+        if (src & (1u << b))
+            d |= 1u << (bits_ - 1 - b);
+    }
+    return d == src ? kInvalidNode : d;
+}
+
+ShufflePattern::ShufflePattern(const MeshTopology &topo)
+    : topo_(topo), bits_(log2Exact(topo.numNodes()))
+{
+}
+
+NodeId
+ShufflePattern::pick(NodeId src, Rng &) const
+{
+    NodeId d = ((src << 1) | (src >> (bits_ - 1))) &
+               ((1u << bits_) - 1);
+    return d == src ? kInvalidNode : d;
+}
+
+NodeId
+NearestNeighborPattern::pick(NodeId src, Rng &rng) const
+{
+    Direction dirs[kNumCardinal];
+    int count = 0;
+    for (int i = 0; i < kNumCardinal; ++i) {
+        Direction d = static_cast<Direction>(i);
+        if (topo_.hasNeighbor(src, d))
+            dirs[count++] = d;
+    }
+    NOC_ASSERT(count > 0, "node with no neighbors");
+    Direction d = dirs[rng.nextRange(count)];
+    return *topo_.neighbor(src, d);
+}
+
+} // namespace noc

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Destination patterns: given a source, pick where a packet goes.
+ *
+ * Uniform, transpose (Figures 8/10), plus the standard synthetic suite
+ * (bit-complement, hotspot, tornado, nearest-neighbour) used by the
+ * extended benches and tests.
+ */
+#ifndef ROCOSIM_TRAFFIC_PATTERNS_H_
+#define ROCOSIM_TRAFFIC_PATTERNS_H_
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/types.h"
+#include "topology/mesh.h"
+
+namespace noc {
+
+/** Abstract destination chooser for one source node. */
+class DestinationPattern
+{
+  public:
+    virtual ~DestinationPattern() = default;
+
+    /**
+     * Destination for a packet from @p src, or kInvalidNode when this
+     * source does not participate (e.g. transpose diagonal nodes).
+     * Never returns @p src itself.
+     */
+    virtual NodeId pick(NodeId src, Rng &rng) const = 0;
+};
+
+/** Uniform random over all nodes except the source. */
+class UniformPattern : public DestinationPattern
+{
+  public:
+    explicit UniformPattern(const MeshTopology &topo) : topo_(topo) {}
+    NodeId pick(NodeId src, Rng &rng) const override;
+
+  private:
+    const MeshTopology &topo_;
+};
+
+/** Matrix transpose: (x, y) -> (y, x). Diagonal nodes do not inject. */
+class TransposePattern : public DestinationPattern
+{
+  public:
+    explicit TransposePattern(const MeshTopology &topo);
+    NodeId pick(NodeId src, Rng &rng) const override;
+
+  private:
+    const MeshTopology &topo_;
+};
+
+/** Bit complement: node i -> (N-1) - i. Center-symmetric hot paths. */
+class BitComplementPattern : public DestinationPattern
+{
+  public:
+    explicit BitComplementPattern(const MeshTopology &topo) : topo_(topo) {}
+    NodeId pick(NodeId src, Rng &rng) const override;
+
+  private:
+    const MeshTopology &topo_;
+};
+
+/**
+ * Hotspot: with probability @p hotFraction the destination is drawn from
+ * the hotspot list, otherwise uniform.
+ */
+class HotspotPattern : public DestinationPattern
+{
+  public:
+    HotspotPattern(const MeshTopology &topo, std::vector<NodeId> hotspots,
+                   double hotFraction);
+    NodeId pick(NodeId src, Rng &rng) const override;
+
+  private:
+    const MeshTopology &topo_;
+    std::vector<NodeId> hotspots_;
+    double hotFraction_;
+    UniformPattern uniform_;
+};
+
+/** Tornado: (x, y) -> (x + ceil(W/2) - 1 mod W, y). */
+class TornadoPattern : public DestinationPattern
+{
+  public:
+    explicit TornadoPattern(const MeshTopology &topo) : topo_(topo) {}
+    NodeId pick(NodeId src, Rng &rng) const override;
+
+  private:
+    const MeshTopology &topo_;
+};
+
+/**
+ * Bit reversal: node i -> reverse of i's bits (log2(N) wide). A
+ * classic adversarial permutation for dimension-ordered routing;
+ * requires a power-of-two node count.
+ */
+class BitReversePattern : public DestinationPattern
+{
+  public:
+    explicit BitReversePattern(const MeshTopology &topo);
+    NodeId pick(NodeId src, Rng &rng) const override;
+
+  private:
+    const MeshTopology &topo_;
+    int bits_;
+};
+
+/**
+ * Perfect shuffle: node i -> rotate-left of i's bits by one. Requires
+ * a power-of-two node count.
+ */
+class ShufflePattern : public DestinationPattern
+{
+  public:
+    explicit ShufflePattern(const MeshTopology &topo);
+    NodeId pick(NodeId src, Rng &rng) const override;
+
+  private:
+    const MeshTopology &topo_;
+    int bits_;
+};
+
+/**
+ * Nearest neighbour: uniform over adjacent nodes. Exercises the RoCo
+ * early-ejection advantage the paper highlights for NoC mappings that
+ * co-locate communicating PEs.
+ */
+class NearestNeighborPattern : public DestinationPattern
+{
+  public:
+    explicit NearestNeighborPattern(const MeshTopology &topo) : topo_(topo) {}
+    NodeId pick(NodeId src, Rng &rng) const override;
+
+  private:
+    const MeshTopology &topo_;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_TRAFFIC_PATTERNS_H_

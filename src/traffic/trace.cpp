@@ -1,0 +1,90 @@
+#include "traffic/trace.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/log.h"
+
+namespace noc {
+
+TraceSchedule
+TraceSchedule::parse(std::istream &in, int numNodes)
+{
+    TraceSchedule s;
+    s.bySource_.assign(static_cast<size_t>(numNodes), {});
+
+    std::string line;
+    int lineno = 0;
+    while (std::getline(in, line)) {
+        ++lineno;
+        std::string_view v(line);
+        if (auto hash = v.find('#'); hash != std::string_view::npos)
+            v = v.substr(0, hash);
+        std::istringstream fields{std::string(v)};
+        TraceEntry e;
+        std::uint64_t src = 0;
+        std::uint64_t dst = 0;
+        if (!(fields >> e.cycle >> src >> dst)) {
+            std::istringstream check{std::string(v)};
+            std::string tok;
+            if (!(check >> tok))
+                continue; // blank / comment-only line
+            fatal("malformed trace line");
+        }
+        if (src >= static_cast<std::uint64_t>(numNodes) ||
+            dst >= static_cast<std::uint64_t>(numNodes) || src == dst) {
+            fatal("trace node id out of range (or src == dst)");
+        }
+        e.src = static_cast<NodeId>(src);
+        e.dst = static_cast<NodeId>(dst);
+        auto &list = s.bySource_[e.src];
+        if (!list.empty() && list.back().cycle > e.cycle)
+            fatal("trace entries must be cycle-sorted per source");
+        list.push_back(e);
+        ++s.total_;
+    }
+    return s;
+}
+
+TraceSchedule
+TraceSchedule::load(const std::string &path, int numNodes)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open trace file");
+    return parse(in, numNodes);
+}
+
+const std::vector<TraceEntry> &
+TraceSchedule::forSource(NodeId src) const
+{
+    NOC_ASSERT(src < bySource_.size(), "trace source out of range");
+    return bySource_[src];
+}
+
+void
+writeTraceLine(std::ostream &out, const TraceEntry &e)
+{
+    out << e.cycle << ' ' << e.src << ' ' << e.dst << '\n';
+}
+
+TraceReplayer::TraceReplayer(const TraceSchedule &schedule, NodeId src)
+    : entries_(schedule.forSource(src))
+{
+}
+
+NodeId
+TraceReplayer::next(Cycle now)
+{
+    if (pos_ >= entries_.size() || entries_[pos_].cycle > now)
+        return kInvalidNode;
+    return entries_[pos_++].dst;
+}
+
+bool
+TraceReplayer::exhausted() const
+{
+    return pos_ >= entries_.size();
+}
+
+} // namespace noc

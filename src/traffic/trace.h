@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Trace-driven traffic: replay a recorded packet schedule instead of a
+ * synthetic process.
+ *
+ * Trace format: text, one packet per line, `#` comments allowed:
+ *
+ *     <inject-cycle> <src-node> <dst-node>
+ *
+ * Lines must be sorted by inject cycle per source (the loader
+ * verifies). The same format is emitted by writeTraceLine(), so a run
+ * of the simulator can be recorded and replayed, and external tools
+ * (e.g. a full-system simulator) can hand their communication
+ * schedules to this network model.
+ */
+#ifndef ROCOSIM_TRAFFIC_TRACE_H_
+#define ROCOSIM_TRAFFIC_TRACE_H_
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/types.h"
+
+namespace noc {
+
+/** One recorded packet. */
+struct TraceEntry {
+    Cycle cycle = 0;
+    NodeId src = 0;
+    NodeId dst = 0;
+};
+
+/**
+ * A parsed trace, indexed by source node for the per-NIC replayers.
+ */
+class TraceSchedule
+{
+  public:
+    /** Parses @p in; fatal() on malformed lines. @p numNodes bounds ids. */
+    static TraceSchedule parse(std::istream &in, int numNodes);
+    /** Loads @p path from disk; fatal() when unreadable. */
+    static TraceSchedule load(const std::string &path, int numNodes);
+
+    /** Entries originating at @p src, in cycle order. */
+    const std::vector<TraceEntry> &forSource(NodeId src) const;
+
+    std::size_t totalPackets() const { return total_; }
+    int numNodes() const { return static_cast<int>(bySource_.size()); }
+
+  private:
+    std::vector<std::vector<TraceEntry>> bySource_;
+    std::size_t total_ = 0;
+};
+
+/** Serialises one entry in the trace format. */
+void writeTraceLine(std::ostream &out, const TraceEntry &e);
+
+/**
+ * Per-node replayer with the TrafficGenerator pull interface: returns
+ * the destination when the next entry is due at @p now. Entries whose
+ * cycle has passed (e.g. several packets scheduled on one cycle) are
+ * released one per call, preserving order.
+ */
+class TraceReplayer
+{
+  public:
+    TraceReplayer(const TraceSchedule &schedule, NodeId src);
+
+    /** Destination of a due packet, or kInvalidNode when none. */
+    NodeId next(Cycle now);
+
+    bool exhausted() const;
+
+  private:
+    const std::vector<TraceEntry> &entries_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_TRAFFIC_TRACE_H_

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Per-node traffic generator: composes an injection process with a
+ * destination pattern as selected by the configuration.
+ */
+#ifndef ROCOSIM_TRAFFIC_TRAFFIC_H_
+#define ROCOSIM_TRAFFIC_TRAFFIC_H_
+
+#include <memory>
+#include <optional>
+
+#include "common/config.h"
+#include "common/rng.h"
+#include "topology/mesh.h"
+#include "traffic/injection.h"
+#include "traffic/patterns.h"
+
+namespace noc {
+
+/**
+ * One node's traffic source. Deterministic given (config seed, node id).
+ */
+class TrafficGenerator
+{
+  public:
+    TrafficGenerator(const SimConfig &cfg, const MeshTopology &topo,
+                     NodeId src);
+
+    /**
+     * Destination of a packet generated during cycle @p now, or
+     * std::nullopt when none. Patterns may suppress a firing (e.g. a
+     * transpose diagonal node), in which case nothing is generated.
+     */
+    std::optional<NodeId> maybeGenerate(Cycle now);
+
+    /** Long-run offered load in packets/cycle from this node. */
+    double packetRate() const { return process_->packetRate(); }
+
+  private:
+    NodeId src_;
+    Rng rng_;
+    std::unique_ptr<InjectionProcess> process_;
+    std::unique_ptr<DestinationPattern> pattern_;
+};
+
+/**
+ * Default hotspot placement: the four interior nodes nearest the mesh
+ * quarter points, which is the conventional 4-hotspot layout.
+ */
+std::vector<NodeId> defaultHotspots(const MeshTopology &topo);
+
+} // namespace noc
+
+#endif // ROCOSIM_TRAFFIC_TRAFFIC_H_

@@ -1,0 +1,59 @@
+/** @file Tests for the Figure 2 VA complexity comparison. */
+#include <gtest/gtest.h>
+
+#include "metrics/arbiter_complexity.h"
+
+namespace noc {
+namespace {
+
+TEST(VaComplexityTest, GenericInventory)
+{
+    // Figure 2a, R => P with v VCs: 5v v:1 arbiters then 5v 5v:1.
+    VaComplexity c = vaComplexity(RouterArch::Generic, 3);
+    EXPECT_EQ(c.stage1.count, 15);
+    EXPECT_EQ(c.stage1.width, 3);
+    EXPECT_EQ(c.stage2.count, 15);
+    EXPECT_EQ(c.stage2.width, 15);
+}
+
+TEST(VaComplexityTest, RocoInventory)
+{
+    // Figure 2b: FEWER (4v vs 5v) and SMALLER (2v:1 vs 5v:1) arbiters.
+    VaComplexity c = vaComplexity(RouterArch::Roco, 3);
+    EXPECT_EQ(c.stage1.count, 12);
+    EXPECT_EQ(c.stage1.width, 3);
+    EXPECT_EQ(c.stage2.count, 12);
+    EXPECT_EQ(c.stage2.width, 6);
+}
+
+TEST(VaComplexityTest, FewerAndSmallerClaim)
+{
+    for (int v : {1, 2, 3, 4}) {
+        VaComplexity g = vaComplexity(RouterArch::Generic, v);
+        VaComplexity r = vaComplexity(RouterArch::Roco, v);
+        EXPECT_LT(r.stage1.count, g.stage1.count) << "fewer, v=" << v;
+        EXPECT_LT(r.stage2.width, g.stage2.width) << "smaller, v=" << v;
+        EXPECT_LT(r.crosspoints(), g.crosspoints());
+    }
+}
+
+TEST(VaComplexityTest, CrosspointProxy)
+{
+    VaComplexity g = vaComplexity(RouterArch::Generic, 3);
+    EXPECT_EQ(g.crosspoints(), 15 * 3 + 15 * 15);
+    VaComplexity r = vaComplexity(RouterArch::Roco, 3);
+    EXPECT_EQ(r.crosspoints(), 12 * 3 + 12 * 6);
+    // Roughly 2.5x less VA arbitration hardware.
+    EXPECT_GT(static_cast<double>(g.crosspoints()) / r.crosspoints(),
+              2.0);
+}
+
+TEST(VaComplexityTest, PathSensitiveSitsWithRoco)
+{
+    VaComplexity ps = vaComplexity(RouterArch::PathSensitive, 3);
+    VaComplexity r = vaComplexity(RouterArch::Roco, 3);
+    EXPECT_EQ(ps.crosspoints(), r.crosspoints());
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,138 @@
+/** @file Unit tests for common/types.h and common/flit.h. */
+#include <gtest/gtest.h>
+
+#include "common/config.h"
+#include "common/flit.h"
+#include "common/types.h"
+
+namespace noc {
+namespace {
+
+TEST(DirectionTest, OppositePairsUp)
+{
+    EXPECT_EQ(opposite(Direction::North), Direction::South);
+    EXPECT_EQ(opposite(Direction::South), Direction::North);
+    EXPECT_EQ(opposite(Direction::East), Direction::West);
+    EXPECT_EQ(opposite(Direction::West), Direction::East);
+}
+
+TEST(DirectionTest, OppositeIsInvolution)
+{
+    for (int i = 0; i < kNumCardinal; ++i) {
+        Direction d = static_cast<Direction>(i);
+        EXPECT_EQ(opposite(opposite(d)), d);
+    }
+}
+
+TEST(DirectionTest, RowColumnPartitionCardinals)
+{
+    int rows = 0;
+    int cols = 0;
+    for (int i = 0; i < kNumCardinal; ++i) {
+        Direction d = static_cast<Direction>(i);
+        EXPECT_TRUE(isCardinal(d));
+        EXPECT_NE(isRow(d), isColumn(d));
+        rows += isRow(d) ? 1 : 0;
+        cols += isColumn(d) ? 1 : 0;
+    }
+    EXPECT_EQ(rows, 2);
+    EXPECT_EQ(cols, 2);
+    EXPECT_FALSE(isCardinal(Direction::Local));
+    EXPECT_FALSE(isCardinal(Direction::Invalid));
+}
+
+TEST(DirectionTest, ModuleOwnership)
+{
+    EXPECT_EQ(moduleOf(Direction::East), Module::Row);
+    EXPECT_EQ(moduleOf(Direction::West), Module::Row);
+    EXPECT_EQ(moduleOf(Direction::North), Module::Column);
+    EXPECT_EQ(moduleOf(Direction::South), Module::Column);
+}
+
+TEST(DirectionTest, NamesAreDistinct)
+{
+    EXPECT_STRNE(toString(Direction::North), toString(Direction::South));
+    EXPECT_STREQ(toString(Direction::Local), "Local");
+    EXPECT_STREQ(toString(RouterArch::Roco), "RoCo");
+    EXPECT_STREQ(toString(RoutingKind::XYYX), "XY-YX");
+    EXPECT_STREQ(toString(Module::Row), "Row");
+}
+
+TEST(CoordTest, ManhattanDistance)
+{
+    EXPECT_EQ(manhattan({0, 0}, {0, 0}), 0);
+    EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+    EXPECT_EQ(manhattan({3, 4}, {0, 0}), 7);
+    EXPECT_EQ(manhattan({-2, 5}, {2, -5}), 14);
+}
+
+TEST(FlitTest, HeadTailPredicates)
+{
+    EXPECT_TRUE(isHead(FlitType::Head));
+    EXPECT_TRUE(isHead(FlitType::HeadTail));
+    EXPECT_FALSE(isHead(FlitType::Body));
+    EXPECT_FALSE(isHead(FlitType::Tail));
+    EXPECT_TRUE(isTail(FlitType::Tail));
+    EXPECT_TRUE(isTail(FlitType::HeadTail));
+    EXPECT_FALSE(isTail(FlitType::Head));
+    EXPECT_FALSE(isTail(FlitType::Body));
+}
+
+TEST(ConfigTest, DefaultsMatchThePaper)
+{
+    SimConfig cfg;
+    EXPECT_EQ(cfg.meshWidth, 8);
+    EXPECT_EQ(cfg.meshHeight, 8);
+    EXPECT_EQ(cfg.flitsPerPacket, 4);
+    EXPECT_EQ(cfg.flitBits, 128);
+    EXPECT_EQ(cfg.vcsPerPort, 3);
+    cfg.validate(); // must not die
+}
+
+TEST(ConfigTest, SixtyFlitsOfBufferingForEveryArchitecture)
+{
+    // Section 5.4: 3 VCs x 4-deep x 5 ports = 3 VCs x 5-deep x 4 sets.
+    SimConfig cfg;
+    for (RouterArch a : {RouterArch::Generic, RouterArch::PathSensitive,
+                         RouterArch::Roco}) {
+        cfg.arch = a;
+        EXPECT_EQ(cfg.totalBufferFlits(), 60) << toString(a);
+    }
+}
+
+TEST(ConfigTest, BufferDepthPerArch)
+{
+    SimConfig cfg;
+    cfg.arch = RouterArch::Generic;
+    EXPECT_EQ(cfg.bufferDepth(), 4);
+    cfg.arch = RouterArch::Roco;
+    EXPECT_EQ(cfg.bufferDepth(), 5);
+    cfg.arch = RouterArch::PathSensitive;
+    EXPECT_EQ(cfg.bufferDepth(), 5);
+}
+
+TEST(ConfigValidationDeathTest, RejectsBadMesh)
+{
+    SimConfig cfg;
+    cfg.meshWidth = 1;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "mesh");
+}
+
+TEST(ConfigValidationDeathTest, RejectsBadRate)
+{
+    SimConfig cfg;
+    cfg.injectionRate = 1.5;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "injectionRate");
+}
+
+TEST(ConfigValidationDeathTest, RejectsTooFewVcsForModularRouters)
+{
+    SimConfig cfg;
+    cfg.arch = RouterArch::Roco;
+    cfg.vcsPerPort = 2;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1), "VCs");
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,72 @@
+/** @file Unit tests for the crossbar conflict checker. */
+#include <gtest/gtest.h>
+
+#include "router/crossbar.h"
+
+namespace noc {
+namespace {
+
+TEST(CrossbarTest, CountsTraversals)
+{
+    Crossbar x(5, 5);
+    x.beginCycle();
+    x.traverse(0, 1);
+    x.traverse(1, 0);
+    EXPECT_EQ(x.traversals(), 2u);
+    x.beginCycle();
+    x.traverse(0, 1);
+    EXPECT_EQ(x.traversals(), 3u);
+}
+
+TEST(CrossbarTest, FullPermutationAllowed)
+{
+    Crossbar x(4, 4);
+    x.beginCycle();
+    for (int i = 0; i < 4; ++i)
+        x.traverse(i, 3 - i);
+    EXPECT_EQ(x.traversals(), 4u);
+}
+
+TEST(CrossbarTest, ShapeAccessors)
+{
+    Crossbar x(2, 3);
+    EXPECT_EQ(x.numInputs(), 2);
+    EXPECT_EQ(x.numOutputs(), 3);
+}
+
+TEST(CrossbarDeathTest, InputConflictPanics)
+{
+    Crossbar x(2, 2);
+    x.beginCycle();
+    x.traverse(0, 0);
+    EXPECT_DEATH(x.traverse(0, 1), "input");
+}
+
+TEST(CrossbarDeathTest, OutputConflictPanics)
+{
+    Crossbar x(2, 2);
+    x.beginCycle();
+    x.traverse(0, 0);
+    EXPECT_DEATH(x.traverse(1, 0), "output");
+}
+
+TEST(CrossbarDeathTest, RangePanics)
+{
+    Crossbar x(2, 2);
+    x.beginCycle();
+    EXPECT_DEATH(x.traverse(2, 0), "range");
+    EXPECT_DEATH(x.traverse(0, 2), "range");
+}
+
+TEST(CrossbarTest, BeginCycleResetsConflicts)
+{
+    Crossbar x(2, 2);
+    x.beginCycle();
+    x.traverse(0, 0);
+    x.beginCycle();
+    x.traverse(0, 0); // same ports, next cycle: fine
+    EXPECT_EQ(x.traversals(), 2u);
+}
+
+} // namespace
+} // namespace noc

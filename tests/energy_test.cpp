@@ -1,0 +1,115 @@
+/** @file Tests for the energy model and per-architecture parameters. */
+#include <gtest/gtest.h>
+
+#include "power/energy_model.h"
+
+namespace noc {
+namespace {
+
+SimConfig
+defaultConfig(RouterArch arch)
+{
+    SimConfig cfg;
+    cfg.arch = arch;
+    return cfg;
+}
+
+TEST(EnergyParamsTest, CrossbarOrderingMatchesStructure)
+{
+    // 5x5 monolithic > decomposed 4x4 > 2x2 modules.
+    SimConfig cfg;
+    double g =
+        EnergyParams::forArch(RouterArch::Generic, cfg).crossbarPj;
+    double ps =
+        EnergyParams::forArch(RouterArch::PathSensitive, cfg).crossbarPj;
+    double r = EnergyParams::forArch(RouterArch::Roco, cfg).crossbarPj;
+    EXPECT_GT(g, ps);
+    EXPECT_GT(ps, r);
+}
+
+TEST(EnergyParamsTest, ArbitersScaleWithWidth)
+{
+    SimConfig cfg;
+    auto g = EnergyParams::forArch(RouterArch::Generic, cfg);
+    auto r = EnergyParams::forArch(RouterArch::Roco, cfg);
+    EXPECT_GT(g.vaGlobalPj, r.vaGlobalPj); // 5v:1 vs 2v:1
+    EXPECT_GT(g.saGlobalPj, r.saGlobalPj); // 5:1 vs 2:1
+}
+
+TEST(EnergyParamsTest, ScalesWithFlitWidth)
+{
+    SimConfig narrow;
+    narrow.flitBits = 64;
+    SimConfig wide;
+    wide.flitBits = 128;
+    auto n = EnergyParams::forArch(RouterArch::Roco, narrow);
+    auto w = EnergyParams::forArch(RouterArch::Roco, wide);
+    EXPECT_DOUBLE_EQ(w.bufferWritePj, 2.0 * n.bufferWritePj);
+    EXPECT_DOUBLE_EQ(w.linkPj, 2.0 * n.linkPj);
+    EXPECT_DOUBLE_EQ(w.crossbarPj, 2.0 * n.crossbarPj);
+}
+
+TEST(EnergyModelTest, ZeroActivityOnlyLeaks)
+{
+    SimConfig cfg;
+    EnergyModel em(EnergyParams::forArch(RouterArch::Roco, cfg));
+    EnergyBreakdown e = em.compute(ActivityCounters{}, 1000, 64);
+    EXPECT_DOUBLE_EQ(e.dynamicPj(), 0.0);
+    EXPECT_DOUBLE_EQ(e.leakagePj,
+                     1000.0 * 64 * em.params().leakagePjPerCycle);
+}
+
+TEST(EnergyModelTest, BreakdownSumsLinearly)
+{
+    SimConfig cfg;
+    EnergyModel em(EnergyParams::forArch(RouterArch::Generic, cfg));
+    ActivityCounters a;
+    a.bufferWrites = 10;
+    a.bufferReads = 10;
+    a.crossbarTraversals = 5;
+    a.linkTraversals = 5;
+    a.rcComputations = 2;
+    EnergyBreakdown e1 = em.compute(a, 0, 64);
+
+    ActivityCounters b = a;
+    b += a; // doubled
+    EnergyBreakdown e2 = em.compute(b, 0, 64);
+    EXPECT_NEAR(e2.dynamicPj(), 2.0 * e1.dynamicPj(), 1e-9);
+}
+
+TEST(EnergyModelTest, AccumulateOperator)
+{
+    ActivityCounters a;
+    a.bufferWrites = 3;
+    a.earlyEjections = 1;
+    ActivityCounters b;
+    b.bufferWrites = 4;
+    b.saGlobalArbs = 2;
+    a += b;
+    EXPECT_EQ(a.bufferWrites, 7u);
+    EXPECT_EQ(a.earlyEjections, 1u);
+    EXPECT_EQ(a.saGlobalArbs, 2u);
+    a.reset();
+    EXPECT_EQ(a.bufferWrites, 0u);
+}
+
+TEST(EnergyModelTest, PerPacketConversion)
+{
+    EnergyBreakdown e;
+    e.bufferPj = 1500.0;
+    e.leakagePj = 500.0;
+    EXPECT_DOUBLE_EQ(EnergyModel::perPacketNj(e, 2), 1.0);
+    EXPECT_DOUBLE_EQ(EnergyModel::perPacketNj(e, 0), 0.0);
+}
+
+TEST(EnergyModelTest, EarlyEjectionIsCheaperThanTraversal)
+{
+    // The RoCo saving: a demux-tap ejection must cost less than a
+    // buffer read plus a crossbar pass.
+    SimConfig cfg = defaultConfig(RouterArch::Roco);
+    auto r = EnergyParams::forArch(RouterArch::Roco, cfg);
+    EXPECT_LT(r.ejectPj, r.bufferReadPj + r.crossbarPj);
+}
+
+} // namespace
+} // namespace noc

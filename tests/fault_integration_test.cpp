@@ -1,0 +1,196 @@
+/**
+ * @file
+ * End-to-end tests of the hardware-recycling fault behaviour
+ * (paper Section 4, Figures 11 and 12).
+ */
+#include <gtest/gtest.h>
+
+#include "fault/fault_injector.h"
+#include "sim/simulator.h"
+
+namespace noc {
+namespace {
+
+SimConfig
+faultyConfig(RouterArch arch, RoutingKind routing)
+{
+    SimConfig cfg;
+    cfg.arch = arch;
+    cfg.routing = routing;
+    cfg.injectionRate = 0.3; // the paper's faulty-network load
+    cfg.warmupPackets = 300;
+    cfg.measurePackets = 2500;
+    cfg.maxCycles = 100000;
+    return cfg;
+}
+
+SimResult
+runWithFault(RouterArch arch, RoutingKind routing, const FaultSpec &f)
+{
+    Simulator sim(faultyConfig(arch, routing), {f});
+    return sim.run();
+}
+
+TEST(RecyclingTest, RcFaultCostsLatencyNotPackets)
+{
+    // Double routing (Figure 5): full completion, and a directed
+    // packet through the faulty node pays exactly the one-cycle
+    // handshake penalty per faulty router crossed.
+    FaultSpec f{27, FaultComponent::RoutingUnit, Module::Row, 0, 0};
+    SimResult faulty =
+        runWithFault(RouterArch::Roco, RoutingKind::XY, f);
+    EXPECT_DOUBLE_EQ(faulty.completion, 1.0);
+
+    auto directed = [&](bool withFault) {
+        SimConfig cfg = faultyConfig(RouterArch::Roco, RoutingKind::XY);
+        cfg.injectionRate = 0.0;
+        std::vector<FaultSpec> faults;
+        if (withFault)
+            faults.push_back(f);
+        Simulator sim(cfg, faults);
+        Network &net = sim.network();
+        std::uint64_t id = 1;
+        net.nic(24).enqueuePacket(31, 0, id, true); // through node 27
+        for (Cycle t = 0; t < 300; ++t)
+            net.step(t, false, false);
+        return net.nic(31).latency().mean();
+    };
+    EXPECT_DOUBLE_EQ(directed(true), directed(false) + 1.0);
+}
+
+TEST(RecyclingTest, BufferFaultIsAbsorbedByThePathSet)
+{
+    // Virtual queuing averts isolation: the VC is retired, traffic
+    // rides the remaining VCs.
+    FaultSpec f{27, FaultComponent::VcBuffer, Module::Row, 1, 0};
+    SimResult r = runWithFault(RouterArch::Roco, RoutingKind::XY, f);
+    EXPECT_DOUBLE_EQ(r.completion, 1.0);
+}
+
+TEST(RecyclingTest, SaFaultDegradesButDelivers)
+{
+    FaultSpec f{27, FaultComponent::SaArbiter, Module::Row, 0, 0};
+    SimResult r = runWithFault(RouterArch::Roco, RoutingKind::XY, f);
+    EXPECT_DOUBLE_EQ(r.completion, 1.0);
+    Simulator clean(faultyConfig(RouterArch::Roco, RoutingKind::XY));
+    EXPECT_GE(r.avgLatency, clean.run().avgLatency);
+}
+
+TEST(RecyclingTest, ModuleFaultKeepsTheOtherDimensionAlive)
+{
+    // Column module dead at node 27: row traffic through 27 flows.
+    FaultSpec f{27, FaultComponent::Crossbar, Module::Column, 0, 0};
+    SimConfig cfg = faultyConfig(RouterArch::Roco, RoutingKind::XY);
+    cfg.injectionRate = 0.0;
+    Simulator sim(cfg, {f});
+    Network &net = sim.network();
+    std::uint64_t id = 1;
+    // 24 -> 31 crosses node 27 heading straight East (row module).
+    net.nic(24).enqueuePacket(31, 0, id, true);
+    for (Cycle t = 0; t < 300; ++t)
+        net.step(t, false, false);
+    EXPECT_EQ(net.nic(31).deliveredPackets(), 1u);
+}
+
+TEST(RecyclingTest, EjectionSurvivesModuleFaults)
+{
+    // Early ejection happens before either module: packets TO the
+    // faulty node still arrive.
+    FaultSpec f{27, FaultComponent::Crossbar, Module::Row, 0, 0};
+    SimConfig cfg = faultyConfig(RouterArch::Roco, RoutingKind::XY);
+    cfg.injectionRate = 0.0;
+    Simulator sim(cfg, {f});
+    Network &net = sim.network();
+    std::uint64_t id = 1;
+    net.nic(24).enqueuePacket(27, 0, id, true);
+    for (Cycle t = 0; t < 300; ++t)
+        net.step(t, false, false);
+    EXPECT_EQ(net.nic(27).deliveredPackets(), 1u);
+}
+
+TEST(RecyclingTest, DeadModuleBlocksItsDimensionUnderXy)
+{
+    // Row module dead at 27: XY packets that must continue East
+    // through 27 are discarded, so completion drops below 1.
+    FaultSpec f{27, FaultComponent::VaArbiter, Module::Row, 0, 0};
+    SimResult r = runWithFault(RouterArch::Roco, RoutingKind::XY, f);
+    EXPECT_LT(r.completion, 1.0);
+    EXPECT_GT(r.completion, 0.8); // but only row-through traffic dies
+}
+
+TEST(FaultComparisonTest, GenericLosesTheWholeNode)
+{
+    FaultSpec f{27, FaultComponent::RoutingUnit, Module::Row, 0, 0};
+    SimResult g = runWithFault(RouterArch::Generic, RoutingKind::XY, f);
+    SimResult rc = runWithFault(RouterArch::Roco, RoutingKind::XY, f);
+    // The same benign RC fault: RoCo recycles it, generic dies.
+    EXPECT_LT(g.completion, 0.95);
+    EXPECT_DOUBLE_EQ(rc.completion, 1.0);
+}
+
+class FaultSweep
+    : public testing::TestWithParam<std::tuple<RoutingKind, int>>
+{
+};
+
+TEST_P(FaultSweep, RocoCompletesAtLeastAsMuchAsBaselines)
+{
+    auto [routing, nFaults] = GetParam();
+    MeshTopology topo(8, 8);
+    auto faults = placeRandomFaults(
+        topo, FaultClass::RouterCentricCritical, nFaults, 3, 77);
+    SimResult g =
+        Simulator(faultyConfig(RouterArch::Generic, routing), faults)
+            .run();
+    SimResult ps = Simulator(faultyConfig(RouterArch::PathSensitive,
+                                          routing),
+                             faults)
+                       .run();
+    SimResult rc =
+        Simulator(faultyConfig(RouterArch::Roco, routing), faults)
+            .run();
+    EXPECT_GE(rc.completion + 1e-9, g.completion);
+    EXPECT_GE(rc.completion + 1e-9, ps.completion);
+    EXPECT_GT(rc.completion, 0.5);
+}
+
+TEST_P(FaultSweep, RecyclingMakesNonCriticalFaultsNearlyFree)
+{
+    auto [routing, nFaults] = GetParam();
+    MeshTopology topo(8, 8);
+    auto faults = placeRandomFaults(
+        topo, FaultClass::MessageCentricNonCritical, nFaults, 3, 78);
+    SimResult rc =
+        Simulator(faultyConfig(RouterArch::Roco, routing), faults)
+            .run();
+    SimResult g =
+        Simulator(faultyConfig(RouterArch::Generic, routing), faults)
+            .run();
+    EXPECT_GT(rc.completion, 0.95);
+    EXPECT_GT(rc.completion, g.completion);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RoutingByFaults, FaultSweep,
+    testing::Combine(testing::Values(RoutingKind::XY, RoutingKind::XYYX,
+                                     RoutingKind::Adaptive),
+                     testing::Values(1, 2, 4)));
+
+TEST(PefTest, RocoWinsTheCompositeMetricUnderFaults)
+{
+    MeshTopology topo(8, 8);
+    auto faults = placeRandomFaults(
+        topo, FaultClass::RouterCentricCritical, 2, 3, 5);
+    SimResult g =
+        Simulator(faultyConfig(RouterArch::Generic, RoutingKind::XY),
+                  faults)
+            .run();
+    SimResult rc =
+        Simulator(faultyConfig(RouterArch::Roco, RoutingKind::XY),
+                  faults)
+            .run();
+    EXPECT_LT(rc.pef, g.pef);
+}
+
+} // namespace
+} // namespace noc

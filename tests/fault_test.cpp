@@ -1,0 +1,192 @@
+/** @file Tests for the fault taxonomy, reaction table and injector. */
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "fault/fault.h"
+#include "fault/fault_injector.h"
+
+namespace noc {
+namespace {
+
+TEST(ClassifyTest, Table3RowsMatchThePaper)
+{
+    // RC: per-packet, non-critical, message-centric.
+    FaultClassification rc = classify(FaultComponent::RoutingUnit);
+    EXPECT_FALSE(rc.perFlit);
+    EXPECT_FALSE(rc.critical);
+    EXPECT_FALSE(rc.routerCentric);
+    // Buffer (with bypass): per-flit, non-critical, message-centric.
+    FaultClassification buf = classify(FaultComponent::VcBuffer);
+    EXPECT_TRUE(buf.perFlit);
+    EXPECT_FALSE(buf.critical);
+    EXPECT_FALSE(buf.routerCentric);
+    // VA: per-packet, non-critical, router-centric.
+    FaultClassification va = classify(FaultComponent::VaArbiter);
+    EXPECT_FALSE(va.perFlit);
+    EXPECT_FALSE(va.critical);
+    EXPECT_TRUE(va.routerCentric);
+    // SA: per-flit, non-critical, router-centric.
+    FaultClassification sa = classify(FaultComponent::SaArbiter);
+    EXPECT_TRUE(sa.perFlit);
+    EXPECT_FALSE(sa.critical);
+    EXPECT_TRUE(sa.routerCentric);
+    // Crossbar: per-flit, critical, router-centric.
+    FaultClassification xb = classify(FaultComponent::Crossbar);
+    EXPECT_TRUE(xb.perFlit);
+    EXPECT_TRUE(xb.critical);
+    EXPECT_TRUE(xb.routerCentric);
+    // MUX/DEMUX: per-flit, critical, message-centric.
+    FaultClassification mx = classify(FaultComponent::MuxDemux);
+    EXPECT_TRUE(mx.perFlit);
+    EXPECT_TRUE(mx.critical);
+    EXPECT_FALSE(mx.routerCentric);
+}
+
+TEST(ClassifyTest, FaultClassesPartitionComponents)
+{
+    auto crit = componentsInClass(FaultClass::RouterCentricCritical);
+    auto soft = componentsInClass(FaultClass::MessageCentricNonCritical);
+    EXPECT_EQ(crit.size() + soft.size(), 6u);
+    for (FaultComponent c : crit) {
+        FaultClassification k = classify(c);
+        EXPECT_TRUE(k.routerCentric || k.critical) << toString(c);
+    }
+    for (FaultComponent c : soft) {
+        FaultClassification k = classify(c);
+        EXPECT_FALSE(k.routerCentric);
+        EXPECT_FALSE(k.critical);
+    }
+}
+
+TEST(FaultMapTest, UnifiedDesignsLoseTheWholeNode)
+{
+    for (RouterArch arch :
+         {RouterArch::Generic, RouterArch::PathSensitive}) {
+        for (FaultComponent c :
+             {FaultComponent::RoutingUnit, FaultComponent::VcBuffer,
+              FaultComponent::VaArbiter, FaultComponent::SaArbiter,
+              FaultComponent::Crossbar, FaultComponent::MuxDemux}) {
+            FaultMap map(64, arch);
+            map.apply({5, c, Module::Row, 0, 0});
+            EXPECT_TRUE(map.state(5).nodeDead)
+                << toString(arch) << " " << toString(c);
+            EXPECT_FALSE(map.state(6).nodeDead);
+        }
+    }
+}
+
+TEST(FaultMapTest, RocoRecyclesRcFaults)
+{
+    FaultMap map(64, RouterArch::Roco);
+    map.apply({5, FaultComponent::RoutingUnit, Module::Row, 0, 0});
+    const NodeFaultState &s = map.state(5);
+    EXPECT_TRUE(s.rcFaulty);
+    EXPECT_FALSE(s.nodeDead);
+    EXPECT_FALSE(s.anyModuleDead());
+}
+
+TEST(FaultMapTest, RocoRetiresSingleBuffers)
+{
+    FaultMap map(64, RouterArch::Roco);
+    map.apply({5, FaultComponent::VcBuffer, Module::Column, 1, 2});
+    const NodeFaultState &s = map.state(5);
+    EXPECT_TRUE(s.isVcDead(Module::Column, 1, 2));
+    EXPECT_FALSE(s.isVcDead(Module::Column, 1, 1));
+    EXPECT_FALSE(s.isVcDead(Module::Row, 1, 2));
+    EXPECT_FALSE(s.anyModuleDead());
+}
+
+TEST(FaultMapTest, RocoDegradesSaButKeepsTheModule)
+{
+    FaultMap map(64, RouterArch::Roco);
+    map.apply({5, FaultComponent::SaArbiter, Module::Row, 0, 0});
+    const NodeFaultState &s = map.state(5);
+    EXPECT_TRUE(s.saDegraded[0]);
+    EXPECT_FALSE(s.saDegraded[1]);
+    EXPECT_FALSE(s.anyModuleDead());
+}
+
+TEST(FaultMapTest, RocoIsolatesModuleOnVaCrossbarMux)
+{
+    for (FaultComponent c :
+         {FaultComponent::VaArbiter, FaultComponent::Crossbar,
+          FaultComponent::MuxDemux}) {
+        FaultMap map(64, RouterArch::Roco);
+        map.apply({5, c, Module::Column, 0, 0});
+        EXPECT_TRUE(map.state(5).isModuleDead(Module::Column))
+            << toString(c);
+        EXPECT_FALSE(map.state(5).isModuleDead(Module::Row));
+        EXPECT_FALSE(map.state(5).nodeDead);
+    }
+}
+
+TEST(FaultMapTest, BlocksOutputFollowsModules)
+{
+    FaultMap map(64, RouterArch::Roco);
+    map.apply({5, FaultComponent::Crossbar, Module::Row, 0, 0});
+    EXPECT_TRUE(map.blocksOutput(5, Direction::East));
+    EXPECT_TRUE(map.blocksOutput(5, Direction::West));
+    EXPECT_FALSE(map.blocksOutput(5, Direction::North));
+    EXPECT_FALSE(map.blocksOutput(5, Direction::Local));
+    EXPECT_FALSE(map.blocksOutput(6, Direction::East));
+}
+
+TEST(FaultMapTest, DeadNodeBlocksEverything)
+{
+    FaultMap map(64, RouterArch::Generic);
+    map.apply({5, FaultComponent::Crossbar, Module::Row, 0, 0});
+    for (int d = 0; d < kNumCardinal; ++d)
+        EXPECT_TRUE(map.blocksOutput(5, static_cast<Direction>(d)));
+}
+
+TEST(InjectorTest, PlacesDistinctNodesDeterministically)
+{
+    MeshTopology topo(8, 8);
+    auto a = placeRandomFaults(topo, FaultClass::RouterCentricCritical,
+                               8, 3, 42);
+    auto b = placeRandomFaults(topo, FaultClass::RouterCentricCritical,
+                               8, 3, 42);
+    ASSERT_EQ(a.size(), 8u);
+    std::set<NodeId> nodes;
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].node, b[i].node);
+        EXPECT_EQ(a[i].component, b[i].component);
+        nodes.insert(a[i].node);
+    }
+    EXPECT_EQ(nodes.size(), 8u); // distinct
+}
+
+TEST(InjectorTest, DrawsComponentsFromTheRequestedClass)
+{
+    MeshTopology topo(8, 8);
+    for (FaultClass cls : {FaultClass::RouterCentricCritical,
+                           FaultClass::MessageCentricNonCritical}) {
+        auto pool = componentsInClass(cls);
+        auto faults = placeRandomFaults(topo, cls, 32, 3, 7);
+        for (const FaultSpec &f : faults) {
+            bool inPool = false;
+            for (FaultComponent c : pool)
+                inPool = inPool || c == f.component;
+            EXPECT_TRUE(inPool) << toString(f.component);
+            EXPECT_LT(f.vcIndex, 3);
+            EXPECT_LT(f.portIndex, 2);
+        }
+    }
+}
+
+TEST(InjectorTest, DifferentSeedsDiffer)
+{
+    MeshTopology topo(8, 8);
+    auto a = placeRandomFaults(topo, FaultClass::RouterCentricCritical,
+                               8, 3, 1);
+    auto b = placeRandomFaults(topo, FaultClass::RouterCentricCritical,
+                               8, 3, 2);
+    bool anyDiff = false;
+    for (size_t i = 0; i < a.size(); ++i)
+        anyDiff = anyDiff || a[i].node != b[i].node;
+    EXPECT_TRUE(anyDiff);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,80 @@
+/** @file Tests for Equation 1 and the Table 2 probabilities. */
+#include <gtest/gtest.h>
+
+#include "metrics/matching.h"
+
+namespace noc {
+namespace {
+
+TEST(MatchingTest, FactorialAndBinomial)
+{
+    EXPECT_EQ(factorial(0), 1u);
+    EXPECT_EQ(factorial(1), 1u);
+    EXPECT_EQ(factorial(5), 120u);
+    EXPECT_EQ(factorial(12), 479001600u);
+    EXPECT_EQ(binomial(5, 0), 1u);
+    EXPECT_EQ(binomial(5, 2), 10u);
+    EXPECT_EQ(binomial(5, 5), 1u);
+    EXPECT_EQ(binomial(10, 5), 252u);
+}
+
+TEST(MatchingTest, EquationOneBoundaryValues)
+{
+    // The paper gives F(1) = 0, F(2) = 1.
+    EXPECT_EQ(nonBlockingMatchings(1), 0u);
+    EXPECT_EQ(nonBlockingMatchings(2), 1u);
+}
+
+TEST(MatchingTest, EquationOneIsTheDerangementSequence)
+{
+    EXPECT_EQ(nonBlockingMatchings(3), 2u);
+    EXPECT_EQ(nonBlockingMatchings(4), 9u);
+    EXPECT_EQ(nonBlockingMatchings(5), 44u);
+    EXPECT_EQ(nonBlockingMatchings(6), 265u);
+    EXPECT_EQ(nonBlockingMatchings(7), 1854u);
+}
+
+TEST(MatchingTest, DerangementRecurrenceHolds)
+{
+    // D(n) = (n-1) (D(n-1) + D(n-2)).
+    for (int n = 3; n <= 12; ++n) {
+        EXPECT_EQ(nonBlockingMatchings(n),
+                  static_cast<std::uint64_t>(n - 1) *
+                      (nonBlockingMatchings(n - 1) +
+                       nonBlockingMatchings(n - 2)));
+    }
+}
+
+TEST(Table2Test, GenericIsPointZeroFourThree)
+{
+    // 44 / 4^5 = 0.0429... — the paper reports 0.043.
+    double p = nonBlockingProbability(RouterArch::Generic);
+    EXPECT_NEAR(p, 0.043, 0.0005);
+    EXPECT_DOUBLE_EQ(p, 44.0 / 1024.0);
+}
+
+TEST(Table2Test, PathSensitiveIsOneEighth)
+{
+    EXPECT_DOUBLE_EQ(nonBlockingProbability(RouterArch::PathSensitive),
+                     0.125);
+}
+
+TEST(Table2Test, RocoIsOneQuarter)
+{
+    EXPECT_DOUBLE_EQ(nonBlockingProbability(RouterArch::Roco), 0.25);
+}
+
+TEST(Table2Test, PaperOrderingHolds)
+{
+    // RoCo ~6x the generic router, ~2x the Path-Sensitive router.
+    double g = nonBlockingProbability(RouterArch::Generic);
+    double ps = nonBlockingProbability(RouterArch::PathSensitive);
+    double rc = nonBlockingProbability(RouterArch::Roco);
+    EXPECT_GT(ps, g);
+    EXPECT_GT(rc, ps);
+    EXPECT_NEAR(rc / g, 5.8, 0.3);
+    EXPECT_DOUBLE_EQ(rc / ps, 2.0);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Unit and property tests for the Mirroring Effect allocator —
+ * including the exhaustive maximal-matching property the paper claims
+ * ("maximal matching is always achieved at each crossbar").
+ */
+#include <gtest/gtest.h>
+
+#include "router/roco/mirror_allocator.h"
+
+namespace noc {
+namespace {
+
+constexpr std::uint64_t kNone[2][2] = {{0, 0}, {0, 0}};
+
+/** Maximum achievable matching size for a 2x2 request pattern. */
+int
+maxMatching(const bool req[2][2])
+{
+    int straight = (req[0][0] ? 1 : 0) + (req[1][1] ? 1 : 0);
+    int crossed = (req[0][1] ? 1 : 0) + (req[1][0] ? 1 : 0);
+    return std::max(straight, crossed);
+}
+
+TEST(MirrorAllocatorTest, NoRequestsNoGrants)
+{
+    MirrorAllocator a(3);
+    MirrorAllocator::Grant g[2];
+    MirrorAllocator::ArbOps ops;
+    EXPECT_EQ(a.allocate(kNone, kNone, 2, g, ops), 0);
+    EXPECT_EQ(ops.local, 0u);
+    EXPECT_EQ(ops.global, 0u);
+}
+
+TEST(MirrorAllocatorTest, SingleRequestGranted)
+{
+    MirrorAllocator a(3);
+    std::uint64_t reqs[2][2] = {{0b010, 0}, {0, 0}};
+    MirrorAllocator::Grant g[2];
+    MirrorAllocator::ArbOps ops;
+    ASSERT_EQ(a.allocate(reqs, kNone, 2, g, ops), 1);
+    EXPECT_EQ(g[0].port, 0);
+    EXPECT_EQ(g[0].vc, 1);
+    EXPECT_EQ(g[0].out, 0);
+}
+
+TEST(MirrorAllocatorTest, MirrorImageGrantsBothPorts)
+{
+    MirrorAllocator a(3);
+    // Port 0 wants out 0, port 1 wants out 1: the straight matching.
+    std::uint64_t reqs[2][2] = {{0b001, 0}, {0, 0b100}};
+    MirrorAllocator::Grant g[2];
+    MirrorAllocator::ArbOps ops;
+    ASSERT_EQ(a.allocate(reqs, kNone, 2, g, ops), 2);
+    EXPECT_NE(g[0].out, g[1].out);
+    EXPECT_NE(g[0].port, g[1].port);
+}
+
+TEST(MirrorAllocatorTest, ConflictingPortsGetMirrored)
+{
+    MirrorAllocator a(3);
+    // Both ports want output 0, but both also have a flit for output
+    // 1: the mirror must find the 2-grant matching.
+    std::uint64_t reqs[2][2] = {{0b001, 0b010}, {0b001, 0b010}};
+    MirrorAllocator::Grant g[2];
+    MirrorAllocator::ArbOps ops;
+    ASSERT_EQ(a.allocate(reqs, kNone, 2, g, ops), 2);
+    EXPECT_NE(g[0].out, g[1].out);
+}
+
+TEST(MirrorAllocatorTest, ExhaustiveMaximalMatchingProperty)
+{
+    // All 16 request-shape patterns (which (port, out) pairs have at
+    // least one requester): the allocator must always grant exactly
+    // the maximum matching size.
+    for (int pattern = 0; pattern < 16; ++pattern) {
+        bool req[2][2];
+        std::uint64_t reqs[2][2];
+        for (int p = 0; p < 2; ++p) {
+            for (int o = 0; o < 2; ++o) {
+                req[p][o] = (pattern >> (p * 2 + o)) & 1;
+                reqs[p][o] = req[p][o] ? 0b101 : 0;
+            }
+        }
+        MirrorAllocator a(3);
+        MirrorAllocator::Grant g[2];
+        MirrorAllocator::ArbOps ops;
+        int n = a.allocate(reqs, kNone, 2, g, ops);
+        EXPECT_EQ(n, maxMatching(req)) << "pattern " << pattern;
+        if (n == 2) {
+            EXPECT_NE(g[0].out, g[1].out);
+            EXPECT_NE(g[0].port, g[1].port);
+        }
+    }
+}
+
+TEST(MirrorAllocatorTest, RotatesOnSymmetricTies)
+{
+    // Head-on conflict: both ports want only output 0. Exactly one
+    // grant per cycle, alternating ports over time.
+    MirrorAllocator a(3);
+    std::uint64_t reqs[2][2] = {{0b001, 0}, {0b001, 0}};
+    int wins[2] = {0, 0};
+    for (int i = 0; i < 100; ++i) {
+        MirrorAllocator::Grant g[2];
+        MirrorAllocator::ArbOps ops;
+        ASSERT_EQ(a.allocate(reqs, kNone, 2, g, ops), 1);
+        ++wins[g[0].port];
+    }
+    EXPECT_EQ(wins[0], 50);
+    EXPECT_EQ(wins[1], 50);
+}
+
+TEST(MirrorAllocatorTest, LocalArbiterRotatesAmongVcs)
+{
+    MirrorAllocator a(3);
+    std::uint64_t reqs[2][2] = {{0b111, 0}, {0, 0}};
+    int wins[3] = {};
+    for (int i = 0; i < 99; ++i) {
+        MirrorAllocator::Grant g[2];
+        MirrorAllocator::ArbOps ops;
+        ASSERT_EQ(a.allocate(reqs, kNone, 2, g, ops), 1);
+        ++wins[g[0].vc];
+    }
+    EXPECT_EQ(wins[0], 33);
+    EXPECT_EQ(wins[1], 33);
+    EXPECT_EQ(wins[2], 33);
+}
+
+TEST(MirrorAllocatorTest, SpeculativeYieldsToCommitted)
+{
+    MirrorAllocator a(3);
+    // Committed on port 0 out 0; speculative on port 1 out 0.
+    std::uint64_t reqs[2][2] = {{0b001, 0}, {0, 0}};
+    std::uint64_t spec[2][2] = {{0, 0}, {0b001, 0}};
+    MirrorAllocator::Grant g[2];
+    MirrorAllocator::ArbOps ops;
+    int n = a.allocate(reqs, spec, 2, g, ops);
+    ASSERT_EQ(n, 1);
+    EXPECT_EQ(g[0].port, 0); // the committed one
+}
+
+TEST(MirrorAllocatorTest, SpeculativeGrantedWhenUncontested)
+{
+    MirrorAllocator a(3);
+    std::uint64_t spec[2][2] = {{0b010, 0}, {0, 0}};
+    MirrorAllocator::Grant g[2];
+    MirrorAllocator::ArbOps ops;
+    ASSERT_EQ(a.allocate(kNone, spec, 2, g, ops), 1);
+    EXPECT_EQ(g[0].vc, 1);
+}
+
+TEST(MirrorAllocatorTest, DegradedModeCapsGrants)
+{
+    // SA fault: at most one grant per cycle via the borrowed VA
+    // arbiters (Figure 7); zero when they are busy.
+    MirrorAllocator a(3);
+    std::uint64_t reqs[2][2] = {{0b001, 0}, {0, 0b001}};
+    MirrorAllocator::Grant g[2];
+    MirrorAllocator::ArbOps ops;
+    EXPECT_EQ(a.allocate(reqs, kNone, 1, g, ops), 1);
+    EXPECT_EQ(a.allocate(reqs, kNone, 0, g, ops), 0);
+}
+
+TEST(MirrorAllocatorTest, CountsArbitrationOps)
+{
+    MirrorAllocator a(3);
+    std::uint64_t reqs[2][2] = {{0b011, 0b001}, {0, 0b100}};
+    MirrorAllocator::Grant g[2];
+    MirrorAllocator::ArbOps ops;
+    a.allocate(reqs, kNone, 2, g, ops);
+    EXPECT_EQ(ops.local, 3u);  // three non-empty request groups
+    EXPECT_EQ(ops.global, 1u); // one mirror decision
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,192 @@
+/** @file Integration tests for network construction and flit flow. */
+#include <gtest/gtest.h>
+
+#include "sim/network.h"
+
+namespace noc {
+namespace {
+
+SimConfig
+quietConfig(RouterArch arch, RoutingKind routing = RoutingKind::XY)
+{
+    SimConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.arch = arch;
+    cfg.routing = routing;
+    cfg.injectionRate = 0.0; // tests drive traffic by hand
+    return cfg;
+}
+
+/** Runs until the network drains or maxSteps elapse. */
+Cycle
+runUntilDrained(Network &net, Cycle from, Cycle maxSteps)
+{
+    for (Cycle t = from; t < from + maxSteps; ++t) {
+        net.step(t, false, false);
+        bool queued = false;
+        for (int i = 0; i < net.numNodes(); ++i)
+            queued = queued ||
+                     net.nic(static_cast<NodeId>(i)).queuedFlits() > 0;
+        if (!queued && net.flitsInFlight() == 0)
+            return t + 1;
+    }
+    return from + maxSteps;
+}
+
+class NetworkArchTest : public testing::TestWithParam<RouterArch>
+{
+};
+
+TEST_P(NetworkArchTest, BuildsAllNodes)
+{
+    Network net(quietConfig(GetParam()));
+    EXPECT_EQ(net.numNodes(), 16);
+    EXPECT_EQ(net.router(0).arch(), GetParam());
+    EXPECT_EQ(net.router(0).id(), 0u);
+    EXPECT_EQ(net.flitsInFlight(), 0);
+}
+
+TEST_P(NetworkArchTest, SinglePacketReachesItsDestination)
+{
+    SimConfig cfg = quietConfig(GetParam());
+    Network net(cfg);
+    std::uint64_t id = 1;
+    net.nic(0).enqueuePacket(15, 0, id, true); // corner to corner
+    runUntilDrained(net, 0, 500);
+    EXPECT_EQ(net.nic(15).deliveredPackets(), 1u);
+    EXPECT_EQ(net.nic(15).deliveredFlits(), 4u);
+}
+
+TEST_P(NetworkArchTest, AdjacentPacketUsesEarlyEjectionTiming)
+{
+    SimConfig cfg = quietConfig(GetParam());
+    Network net(cfg);
+    std::uint64_t id = 1;
+    net.nic(0).enqueuePacket(1, 0, id, true); // one hop east
+    Cycle end = runUntilDrained(net, 0, 200);
+    ASSERT_EQ(net.nic(1).deliveredPackets(), 1u);
+    double lat = net.nic(1).latency().mean();
+    // Tail: pulled at cycle 3, arrives at cycle 6. RoCo and
+    // Path-Sensitive eject on arrival (latency 6); the generic router
+    // pays switch allocation plus traversal at the destination (+2).
+    if (GetParam() == RouterArch::Generic)
+        EXPECT_DOUBLE_EQ(lat, 8.0);
+    else
+        EXPECT_DOUBLE_EQ(lat, 6.0);
+    EXPECT_LT(end, 100u);
+}
+
+TEST_P(NetworkArchTest, EveryPairDelivers)
+{
+    // Flit conservation: one packet per (src, dst) pair, everything
+    // arrives exactly once.
+    SimConfig cfg = quietConfig(GetParam());
+    Network net(cfg);
+    std::uint64_t id = 1;
+    int sent = 0;
+    for (NodeId s = 0; s < 16; ++s) {
+        for (NodeId d = 0; d < 16; ++d) {
+            if (s == d)
+                continue;
+            net.nic(s).enqueuePacket(d, 0, id, true);
+            ++sent;
+        }
+    }
+    runUntilDrained(net, 0, 5000);
+    EXPECT_EQ(net.totalDelivered(), static_cast<std::uint64_t>(sent));
+    EXPECT_EQ(net.totalDeliveredMeasured(),
+              static_cast<std::uint64_t>(sent));
+    EXPECT_EQ(net.flitsInFlight(), 0);
+}
+
+TEST_P(NetworkArchTest, ZeroLoadLatencyScalesWithHops)
+{
+    SimConfig cfg = quietConfig(GetParam());
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    Network net(cfg);
+    std::uint64_t id = 1;
+    net.nic(0).enqueuePacket(7, 0, id, true); // 7 hops east
+    runUntilDrained(net, 0, 500);
+    double lat7 = net.nic(7).latency().mean();
+
+    Network net2(cfg);
+    id = 1;
+    net2.nic(0).enqueuePacket(1, 0, id, true); // 1 hop
+    runUntilDrained(net2, 0, 500);
+    double lat1 = net2.nic(1).latency().mean();
+
+    // Six extra hops at hopDelay cycles each, uncontended.
+    EXPECT_NEAR(lat7 - lat1, 6.0 * cfg.hopDelay, 1.0);
+}
+
+TEST_P(NetworkArchTest, ActivityCountersMove)
+{
+    SimConfig cfg = quietConfig(GetParam());
+    Network net(cfg);
+    std::uint64_t id = 1;
+    net.nic(0).enqueuePacket(5, 0, id, true);
+    runUntilDrained(net, 0, 500);
+    ActivityCounters a = net.totalActivity();
+    EXPECT_GT(a.bufferWrites, 0u);
+    EXPECT_GT(a.crossbarTraversals, 0u);
+    EXPECT_GT(a.linkTraversals, 0u);
+    EXPECT_GT(a.rcComputations, 0u);
+    if (GetParam() == RouterArch::Generic)
+        EXPECT_EQ(a.earlyEjections, 0u);
+    else
+        EXPECT_EQ(a.earlyEjections, 4u); // all four flits of the packet
+    net.resetActivity();
+    EXPECT_EQ(net.totalActivity().bufferWrites, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllArchitectures, NetworkArchTest,
+                         testing::Values(RouterArch::Generic,
+                                         RouterArch::PathSensitive,
+                                         RouterArch::Roco),
+                         [](const auto &info) {
+                             return std::string(toString(info.param)) ==
+                                            "Path-Sensitive"
+                                        ? "PathSensitive"
+                                        : toString(info.param);
+                         });
+
+/** Architecture x routing sweep: random many-packet conservation. */
+class NetworkMatrixTest
+    : public testing::TestWithParam<std::tuple<RouterArch, RoutingKind>>
+{
+};
+
+TEST_P(NetworkMatrixTest, ManyRandomPacketsAllDeliver)
+{
+    auto [arch, routing] = GetParam();
+    SimConfig cfg = quietConfig(arch, routing);
+    Network net(cfg);
+    Rng rng(2024);
+    std::uint64_t id = 1;
+    int sent = 0;
+    for (int k = 0; k < 300; ++k) {
+        NodeId s = static_cast<NodeId>(rng.nextRange(16));
+        NodeId d = static_cast<NodeId>(rng.nextRange(16));
+        if (s == d)
+            continue;
+        bool yx = rng.nextBool(0.5);
+        net.nic(s).enqueuePacket(d, 0, id, true, yx);
+        ++sent;
+    }
+    runUntilDrained(net, 0, 20000);
+    EXPECT_EQ(net.totalDelivered(), static_cast<std::uint64_t>(sent));
+    EXPECT_EQ(net.flitsInFlight(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ArchRouting, NetworkMatrixTest,
+    testing::Combine(testing::Values(RouterArch::Generic,
+                                     RouterArch::PathSensitive,
+                                     RouterArch::Roco),
+                     testing::Values(RoutingKind::XY, RoutingKind::XYYX,
+                                     RoutingKind::Adaptive)));
+
+} // namespace
+} // namespace noc

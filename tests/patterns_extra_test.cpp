@@ -1,0 +1,86 @@
+/** @file Tests for the bit-permutation traffic patterns. */
+#include <gtest/gtest.h>
+
+#include "traffic/patterns.h"
+
+namespace noc {
+namespace {
+
+class BitPatternFixture : public testing::Test
+{
+  protected:
+    MeshTopology topo_{8, 8};
+    Rng rng_{1};
+};
+
+TEST_F(BitPatternFixture, BitReverseKnownMappings)
+{
+    BitReversePattern p(topo_);
+    // 64 nodes -> 6 bits. 000001 -> 100000.
+    EXPECT_EQ(p.pick(1, rng_), 32u);
+    EXPECT_EQ(p.pick(32, rng_), 1u);
+    // 000011 -> 110000.
+    EXPECT_EQ(p.pick(3, rng_), 48u);
+    // Palindromic ids map to themselves and do not inject: 0b100001.
+    EXPECT_EQ(p.pick(33, rng_), kInvalidNode);
+    EXPECT_EQ(p.pick(0, rng_), kInvalidNode);
+}
+
+TEST_F(BitPatternFixture, BitReverseIsAnInvolution)
+{
+    BitReversePattern p(topo_);
+    for (NodeId i = 0; i < 64; ++i) {
+        NodeId d = p.pick(i, rng_);
+        if (d == kInvalidNode)
+            continue;
+        EXPECT_EQ(p.pick(d, rng_), i);
+    }
+}
+
+TEST_F(BitPatternFixture, ShuffleKnownMappings)
+{
+    ShufflePattern p(topo_);
+    // rotate-left over 6 bits: 000001 -> 000010.
+    EXPECT_EQ(p.pick(1, rng_), 2u);
+    EXPECT_EQ(p.pick(2, rng_), 4u);
+    // 100000 wraps to 000001.
+    EXPECT_EQ(p.pick(32, rng_), 1u);
+    // Fixed points (all-zeros, all-ones) do not inject.
+    EXPECT_EQ(p.pick(0, rng_), kInvalidNode);
+    EXPECT_EQ(p.pick(63, rng_), kInvalidNode);
+}
+
+TEST_F(BitPatternFixture, ShuffleIsAPermutation)
+{
+    ShufflePattern p(topo_);
+    bool seen[64] = {};
+    for (NodeId i = 0; i < 64; ++i) {
+        NodeId d = p.pick(i, rng_);
+        if (d == kInvalidNode)
+            d = i; // fixed point
+        ASSERT_LT(d, 64u);
+        EXPECT_FALSE(seen[d]);
+        seen[d] = true;
+    }
+}
+
+TEST_F(BitPatternFixture, PatternsStayInsideTheMesh)
+{
+    BitReversePattern rev(topo_);
+    ShufflePattern shuf(topo_);
+    for (NodeId i = 0; i < 64; ++i) {
+        NodeId a = rev.pick(i, rng_);
+        NodeId b = shuf.pick(i, rng_);
+        EXPECT_TRUE(a == kInvalidNode || a < 64u);
+        EXPECT_TRUE(b == kInvalidNode || b < 64u);
+    }
+}
+
+TEST(BitPatternDeathTest, RequiresPowerOfTwoNodes)
+{
+    MeshTopology topo(3, 3);
+    EXPECT_DEATH(BitReversePattern p(topo), "power-of-two");
+}
+
+} // namespace
+} // namespace noc

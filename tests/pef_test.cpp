@@ -1,0 +1,52 @@
+/** @file Tests for the PEF / EDP / PDP metrics (Section 5.3). */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "metrics/pef.h"
+
+namespace noc {
+namespace {
+
+TEST(PefTest, EdpIsLatencyTimesEnergy)
+{
+    EXPECT_DOUBLE_EQ(energyDelayProduct(20.0, 0.9), 18.0);
+    EXPECT_DOUBLE_EQ(energyDelayProduct(0.0, 0.9), 0.0);
+}
+
+TEST(PefTest, FaultFreePefEqualsEdp)
+{
+    // "In a fault-free network, Packet Completion Probability = 1;
+    //  thus, PEF becomes equal to EDP."
+    EXPECT_DOUBLE_EQ(pefMetric(20.0, 0.9, 1.0),
+                     energyDelayProduct(20.0, 0.9));
+}
+
+TEST(PefTest, PefGrowsAsReliabilityDrops)
+{
+    double p1 = pefMetric(20.0, 0.9, 1.0);
+    double p2 = pefMetric(20.0, 0.9, 0.5);
+    double p3 = pefMetric(20.0, 0.9, 0.25);
+    EXPECT_DOUBLE_EQ(p2, 2.0 * p1);
+    EXPECT_DOUBLE_EQ(p3, 4.0 * p1);
+}
+
+TEST(PefTest, ZeroCompletionIsInfinite)
+{
+    EXPECT_TRUE(std::isinf(pefMetric(20.0, 0.9, 0.0)));
+}
+
+TEST(PefTest, PowerDelayProduct)
+{
+    // 0.5 W at 500 MHz, 100-cycle latency: 0.5 * 200 ns = 100 nJ.
+    EXPECT_DOUBLE_EQ(powerDelayProduct(100.0, 0.5, 500e6), 1e-7);
+}
+
+TEST(PefDeathTest, CompletionOutOfRangePanics)
+{
+    EXPECT_DEATH((void)pefMetric(1.0, 1.0, 1.5), "completion");
+    EXPECT_DEATH((void)pefMetric(1.0, 1.0, -0.1), "completion");
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,93 @@
+/** @file Unit tests for the Path-Sensitive quadrant algebra. */
+#include <gtest/gtest.h>
+
+#include "routing/quadrant.h"
+
+namespace noc {
+namespace {
+
+class QuadrantFixture : public testing::Test
+{
+  protected:
+    MeshTopology topo_{8, 8};
+    NodeId center_ = topo_.node({4, 4});
+};
+
+TEST_F(QuadrantFixture, StrictQuadrants)
+{
+    EXPECT_EQ(quadrantOf(topo_, center_, topo_.node({6, 6}), false),
+              Quadrant::NE);
+    EXPECT_EQ(quadrantOf(topo_, center_, topo_.node({2, 6}), false),
+              Quadrant::NW);
+    EXPECT_EQ(quadrantOf(topo_, center_, topo_.node({6, 2}), false),
+              Quadrant::SE);
+    EXPECT_EQ(quadrantOf(topo_, center_, topo_.node({2, 2}), false),
+              Quadrant::SW);
+}
+
+TEST_F(QuadrantFixture, OnAxisTieBreaksBetweenAdjacentQuadrants)
+{
+    NodeId east = topo_.node({7, 4});
+    Quadrant a = quadrantOf(topo_, center_, east, false);
+    Quadrant b = quadrantOf(topo_, center_, east, true);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(quadrantServes(a, Direction::East));
+    EXPECT_TRUE(quadrantServes(b, Direction::East));
+
+    NodeId north = topo_.node({4, 7});
+    a = quadrantOf(topo_, center_, north, false);
+    b = quadrantOf(topo_, center_, north, true);
+    EXPECT_NE(a, b);
+    EXPECT_TRUE(quadrantServes(a, Direction::North));
+    EXPECT_TRUE(quadrantServes(b, Direction::North));
+}
+
+TEST_F(QuadrantFixture, PortsMatchQuadrantNames)
+{
+    EXPECT_EQ(portsOf(Quadrant::NE).a, Direction::North);
+    EXPECT_EQ(portsOf(Quadrant::NE).b, Direction::East);
+    EXPECT_EQ(portsOf(Quadrant::SW).a, Direction::South);
+    EXPECT_EQ(portsOf(Quadrant::SW).b, Direction::West);
+}
+
+TEST_F(QuadrantFixture, EachOutputServedByExactlyTwoQuadrants)
+{
+    for (int d = 0; d < kNumCardinal; ++d) {
+        int servers = 0;
+        for (int q = 0; q < kNumQuadrants; ++q) {
+            if (quadrantServes(static_cast<Quadrant>(q),
+                               static_cast<Direction>(d))) {
+                ++servers;
+            }
+        }
+        EXPECT_EQ(servers, 2);
+    }
+}
+
+TEST_F(QuadrantFixture, QuadrantAlwaysServesEveryMinimalDirection)
+{
+    // The guarantee the PS router relies on: whatever quadrant a
+    // destination classifies into, all its productive directions are
+    // reachable from that path set.
+    for (NodeId dst = 0; dst < 64; ++dst) {
+        if (dst == center_)
+            continue;
+        for (bool tie : {false, true}) {
+            Quadrant q = quadrantOf(topo_, center_, dst, tie);
+            for (Direction d :
+                 topo_.productiveDirections(center_, dst)) {
+                EXPECT_TRUE(quadrantServes(q, d))
+                    << toString(q) << " vs " << toString(d);
+            }
+        }
+    }
+}
+
+TEST_F(QuadrantFixture, NamesAreStable)
+{
+    EXPECT_STREQ(toString(Quadrant::NE), "NE");
+    EXPECT_STREQ(toString(Quadrant::SW), "SW");
+}
+
+} // namespace
+} // namespace noc

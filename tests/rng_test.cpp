@@ -1,0 +1,114 @@
+/** @file Unit tests for the deterministic RNG. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace noc {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeedAndStream)
+{
+    Rng a(42, 7);
+    Rng b(42, 7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next64(), b.next64());
+}
+
+TEST(RngTest, StreamsDecorrelate)
+{
+    Rng a(42, 0);
+    Rng b(42, 1);
+    int equal = 0;
+    for (int i = 0; i < 1000; ++i)
+        equal += a.next64() == b.next64() ? 1 : 0;
+    EXPECT_LT(equal, 5);
+}
+
+TEST(RngTest, RangeStaysInBounds)
+{
+    Rng r(1);
+    for (std::uint64_t bound : {1ull, 2ull, 3ull, 63ull, 1000ull}) {
+        for (int i = 0; i < 2000; ++i)
+            EXPECT_LT(r.nextRange(bound), bound);
+    }
+}
+
+TEST(RngTest, RangeIsApproximatelyUniform)
+{
+    Rng r(1234);
+    constexpr int kBuckets = 8;
+    constexpr int kSamples = 80000;
+    int counts[kBuckets] = {};
+    for (int i = 0; i < kSamples; ++i)
+        ++counts[r.nextRange(kBuckets)];
+    double expect = static_cast<double>(kSamples) / kBuckets;
+    for (int c : counts)
+        EXPECT_NEAR(c, expect, 0.05 * expect);
+}
+
+TEST(RngTest, DoubleInUnitInterval)
+{
+    Rng r(99);
+    double sum = 0;
+    for (int i = 0; i < 50000; ++i) {
+        double x = r.nextDouble();
+        ASSERT_GE(x, 0.0);
+        ASSERT_LT(x, 1.0);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / 50000, 0.5, 0.01);
+}
+
+TEST(RngTest, BernoulliMatchesProbability)
+{
+    Rng r(5);
+    int hits = 0;
+    for (int i = 0; i < 100000; ++i)
+        hits += r.nextBool(0.3) ? 1 : 0;
+    EXPECT_NEAR(hits / 100000.0, 0.3, 0.01);
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_FALSE(r.nextBool(0.0));
+        EXPECT_TRUE(r.nextBool(1.0));
+    }
+}
+
+TEST(RngTest, ParetoMeanMatchesTheory)
+{
+    // E[X] = alpha * xm / (alpha - 1) for alpha > 1.
+    Rng r(7);
+    const double alpha = 2.5;
+    const double xm = 3.0;
+    double sum = 0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i) {
+        double x = r.nextPareto(alpha, xm);
+        ASSERT_GE(x, xm);
+        sum += x;
+    }
+    EXPECT_NEAR(sum / n, alpha * xm / (alpha - 1), 0.1);
+}
+
+TEST(RngTest, ParetoHeavyTailHasLargeSamples)
+{
+    Rng r(8);
+    double maxSeen = 0;
+    for (int i = 0; i < 100000; ++i)
+        maxSeen = std::max(maxSeen, r.nextPareto(1.25, 1.0));
+    // A 1.25-shape Pareto over 1e5 samples essentially always exceeds
+    // 100x the minimum — that tail is what makes traffic self-similar.
+    EXPECT_GT(maxSeen, 100.0);
+}
+
+TEST(RngTest, SplitMixAdvancesState)
+{
+    std::uint64_t st = 1;
+    std::uint64_t a = splitmix64(st);
+    std::uint64_t b = splitmix64(st);
+    EXPECT_NE(a, b);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * Cross-architecture behavioural tests: the comparative properties the
+ * paper claims, checked on live simulations.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace noc {
+namespace {
+
+SimResult
+runArch(RouterArch arch, RoutingKind routing, TrafficKind traffic,
+        double rate, std::uint64_t packets = 3000)
+{
+    SimConfig cfg;
+    cfg.arch = arch;
+    cfg.routing = routing;
+    cfg.traffic = traffic;
+    cfg.injectionRate = rate;
+    cfg.warmupPackets = 300;
+    cfg.measurePackets = packets;
+    cfg.maxCycles = 150000;
+    Simulator sim(cfg);
+    return sim.run();
+}
+
+TEST(ComparativeTest, RocoHasLowestLatencyAtModerateLoad)
+{
+    // Figure 8(a) at 0.15 flits/node/cycle: RoCo < PS, RoCo < generic.
+    SimResult g = runArch(RouterArch::Generic, RoutingKind::XY,
+                          TrafficKind::Uniform, 0.15);
+    SimResult ps = runArch(RouterArch::PathSensitive, RoutingKind::XY,
+                           TrafficKind::Uniform, 0.15);
+    SimResult rc = runArch(RouterArch::Roco, RoutingKind::XY,
+                           TrafficKind::Uniform, 0.15);
+    EXPECT_LT(rc.avgLatency, g.avgLatency);
+    EXPECT_LT(rc.avgLatency, ps.avgLatency);
+}
+
+TEST(ComparativeTest, RocoHasLowestContentionProbability)
+{
+    // Figure 3: RoCo < Path-Sensitive < generic at every load point.
+    for (double rate : {0.2, 0.3}) {
+        SimResult g = runArch(RouterArch::Generic, RoutingKind::XY,
+                              TrafficKind::Uniform, rate);
+        SimResult ps = runArch(RouterArch::PathSensitive,
+                               RoutingKind::XY, TrafficKind::Uniform,
+                               rate);
+        SimResult rc = runArch(RouterArch::Roco, RoutingKind::XY,
+                               TrafficKind::Uniform, rate);
+        EXPECT_LT(rc.rowContention, ps.rowContention) << rate;
+        EXPECT_LT(ps.rowContention, g.rowContention) << rate;
+        EXPECT_LT(rc.colContention, g.colContention) << rate;
+    }
+}
+
+TEST(ComparativeTest, RowContentionExceedsColumnUnderXy)
+{
+    // Figure 3(a) vs (b): X-first routing loads the row inputs harder.
+    SimResult g = runArch(RouterArch::Generic, RoutingKind::XY,
+                          TrafficKind::Uniform, 0.3);
+    EXPECT_GT(g.rowContention, g.colContention);
+}
+
+TEST(ComparativeTest, RocoUsesLeastEnergyPerPacket)
+{
+    // Figure 13 ordering at 30% injection.
+    SimResult g = runArch(RouterArch::Generic, RoutingKind::XY,
+                          TrafficKind::Uniform, 0.3);
+    SimResult ps = runArch(RouterArch::PathSensitive, RoutingKind::XY,
+                           TrafficKind::Uniform, 0.3);
+    SimResult rc = runArch(RouterArch::Roco, RoutingKind::XY,
+                           TrafficKind::Uniform, 0.3);
+    EXPECT_LT(rc.energyPerPacketNj, ps.energyPerPacketNj);
+    EXPECT_LT(ps.energyPerPacketNj, g.energyPerPacketNj);
+    // Roughly the paper's 20% / 6% savings (generous tolerance).
+    EXPECT_NEAR(rc.energyPerPacketNj / g.energyPerPacketNj, 0.80, 0.08);
+    EXPECT_NEAR(rc.energyPerPacketNj / ps.energyPerPacketNj, 0.94,
+                0.06);
+}
+
+TEST(ComparativeTest, EarlyEjectionShinesOnNearestNeighborTraffic)
+{
+    // Section 3.1: early ejection "provides a significant advantage in
+    // terms of nearest-neighbor traffic".
+    SimResult g = runArch(RouterArch::Generic, RoutingKind::XY,
+                          TrafficKind::NearestNeighbor, 0.2);
+    SimResult rc = runArch(RouterArch::Roco, RoutingKind::XY,
+                           TrafficKind::NearestNeighbor, 0.2);
+    EXPECT_LT(rc.avgLatency + 1.5, g.avgLatency);
+}
+
+TEST(ComparativeTest, TornadoFavoursTheDecoupledRouter)
+{
+    SimResult g = runArch(RouterArch::Generic, RoutingKind::XY,
+                          TrafficKind::Tornado, 0.3);
+    SimResult rc = runArch(RouterArch::Roco, RoutingKind::XY,
+                           TrafficKind::Tornado, 0.3);
+    EXPECT_LT(rc.avgLatency, g.avgLatency);
+}
+
+TEST(ComparativeTest, AdaptiveRoutingHelpsTransposeTraffic)
+{
+    // Figure 10: transpose saturates XY early; adaptive recovers some
+    // throughput for the routers that can exploit it.
+    SimResult xy = runArch(RouterArch::Generic, RoutingKind::XY,
+                           TrafficKind::Transpose, 0.25, 1500);
+    SimResult ad = runArch(RouterArch::Generic, RoutingKind::Adaptive,
+                           TrafficKind::Transpose, 0.25, 1500);
+    EXPECT_GT(ad.throughputFlits, xy.throughputFlits * 1.02);
+}
+
+TEST(ComparativeTest, MirroringKeepsRocoSwitchContentionTiny)
+{
+    SimResult rc = runArch(RouterArch::Roco, RoutingKind::XY,
+                           TrafficKind::Uniform, 0.3);
+    EXPECT_LT(rc.rowContention, 0.10);
+    EXPECT_LT(rc.colContention, 0.10);
+}
+
+TEST(ComparativeTest, SelfSimilarBurstsRaiseLatencyOverUniform)
+{
+    SimResult uni = runArch(RouterArch::Roco, RoutingKind::XY,
+                            TrafficKind::Uniform, 0.2);
+    SimResult ss = runArch(RouterArch::Roco, RoutingKind::XY,
+                           TrafficKind::SelfSimilar, 0.2);
+    EXPECT_GT(ss.avgLatency, uni.avgLatency);
+}
+
+TEST(ComparativeTest, MpegTrafficDeliversEverything)
+{
+    SimResult r = runArch(RouterArch::Roco, RoutingKind::XY,
+                          TrafficKind::Mpeg, 0.2);
+    EXPECT_DOUBLE_EQ(r.completion, 1.0);
+}
+
+} // namespace
+} // namespace noc

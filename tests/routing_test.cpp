@@ -1,0 +1,191 @@
+/** @file Unit and property tests for the routing algorithms. */
+#include <gtest/gtest.h>
+
+#include "routing/adaptive.h"
+#include "routing/routing.h"
+#include "routing/xy.h"
+#include "routing/xyyx.h"
+
+namespace noc {
+namespace {
+
+Flit
+flitTo(NodeId dst, bool yx = false)
+{
+    Flit f;
+    f.dst = dst;
+    f.yxOrder = yx;
+    return f;
+}
+
+class RoutingFixture : public testing::Test
+{
+  protected:
+    MeshTopology topo_{8, 8};
+};
+
+TEST_F(RoutingFixture, FactoryBuildsTheRightKind)
+{
+    EXPECT_EQ(makeRouting(RoutingKind::XY, topo_)->kind(),
+              RoutingKind::XY);
+    EXPECT_EQ(makeRouting(RoutingKind::XYYX, topo_)->kind(),
+              RoutingKind::XYYX);
+    EXPECT_EQ(makeRouting(RoutingKind::Adaptive, topo_)->kind(),
+              RoutingKind::Adaptive);
+}
+
+TEST_F(RoutingFixture, XyExhaustsXThenY)
+{
+    XyRouting xy(topo_);
+    NodeId from = topo_.node({2, 2});
+    EXPECT_EQ(xy.route(from, flitTo(topo_.node({5, 6})))[0],
+              Direction::East);
+    EXPECT_EQ(xy.route(from, flitTo(topo_.node({0, 6})))[0],
+              Direction::West);
+    EXPECT_EQ(xy.route(from, flitTo(topo_.node({2, 6})))[0],
+              Direction::North);
+    EXPECT_EQ(xy.route(from, flitTo(topo_.node({2, 0})))[0],
+              Direction::South);
+    EXPECT_EQ(xy.route(from, flitTo(from))[0], Direction::Local);
+}
+
+TEST_F(RoutingFixture, XyReachesEveryDestinationMinimally)
+{
+    XyRouting xy(topo_);
+    for (NodeId src = 0; src < 64; ++src) {
+        for (NodeId dst = 0; dst < 64; ++dst) {
+            if (src == dst)
+                continue;
+            NodeId cur = src;
+            int hops = 0;
+            while (cur != dst) {
+                DirectionSet s = xy.route(cur, flitTo(dst));
+                ASSERT_EQ(s.size(), 1);
+                auto next = topo_.neighbor(cur, s[0]);
+                ASSERT_TRUE(next.has_value());
+                cur = *next;
+                ASSERT_LE(++hops, 14) << "route cycles";
+            }
+            EXPECT_EQ(hops, topo_.distance(src, dst));
+        }
+    }
+}
+
+TEST_F(RoutingFixture, XyYxHonoursThePacketOrder)
+{
+    XyYxRouting r(topo_);
+    NodeId from = topo_.node({2, 2});
+    NodeId dst = topo_.node({5, 6});
+    EXPECT_EQ(r.route(from, flitTo(dst, false))[0], Direction::East);
+    EXPECT_EQ(r.route(from, flitTo(dst, true))[0], Direction::North);
+}
+
+TEST_F(RoutingFixture, XyYxBothOrdersReachMinimally)
+{
+    XyYxRouting r(topo_);
+    for (bool yx : {false, true}) {
+        for (NodeId src : {0u, 9u, 27u, 63u}) {
+            for (NodeId dst = 0; dst < 64; ++dst) {
+                if (src == dst)
+                    continue;
+                NodeId cur = src;
+                int hops = 0;
+                while (cur != dst) {
+                    Direction d = r.route(cur, flitTo(dst, yx))[0];
+                    cur = *topo_.neighbor(cur, d);
+                    ASSERT_LE(++hops, 14);
+                }
+                EXPECT_EQ(hops, topo_.distance(src, dst));
+            }
+        }
+    }
+}
+
+TEST_F(RoutingFixture, WestFirstDoesAllWestHopsFirst)
+{
+    AdaptiveRouting a(topo_);
+    NodeId from = topo_.node({5, 3});
+    // Destination to the north-west: West is the only legal move.
+    DirectionSet s = a.route(from, flitTo(topo_.node({2, 6})));
+    ASSERT_EQ(s.size(), 1);
+    EXPECT_EQ(s[0], Direction::West);
+}
+
+TEST_F(RoutingFixture, WestFirstAdaptsForEastSideDestinations)
+{
+    AdaptiveRouting a(topo_);
+    NodeId from = topo_.node({2, 2});
+    DirectionSet s = a.route(from, flitTo(topo_.node({5, 6})));
+    EXPECT_EQ(s.size(), 2);
+    EXPECT_TRUE(s.contains(Direction::East));
+    EXPECT_TRUE(s.contains(Direction::North));
+    EXPECT_FALSE(s.contains(Direction::West));
+}
+
+TEST_F(RoutingFixture, WestFirstTurnModelInvariant)
+{
+    // The deadlock-freedom property: West never appears together with
+    // any other candidate (a packet may only go West while it has not
+    // yet turned).
+    AdaptiveRouting a(topo_);
+    for (NodeId src = 0; src < 64; ++src) {
+        for (NodeId dst = 0; dst < 64; ++dst) {
+            if (src == dst)
+                continue;
+            DirectionSet s = a.route(src, flitTo(dst));
+            if (s.contains(Direction::West)) {
+                EXPECT_EQ(s.size(), 1);
+            }
+        }
+    }
+}
+
+TEST_F(RoutingFixture, AdaptiveCandidatesAreAllMinimal)
+{
+    AdaptiveRouting a(topo_);
+    for (NodeId src = 0; src < 64; ++src) {
+        for (NodeId dst = 0; dst < 64; ++dst) {
+            if (src == dst)
+                continue;
+            for (Direction d : a.route(src, flitTo(dst))) {
+                auto nb = topo_.neighbor(src, d);
+                ASSERT_TRUE(nb.has_value());
+                EXPECT_EQ(topo_.distance(*nb, dst),
+                          topo_.distance(src, dst) - 1);
+            }
+        }
+    }
+}
+
+TEST_F(RoutingFixture, EscapeDirectionIsTheXyChoice)
+{
+    AdaptiveRouting a(topo_);
+    XyRouting xy(topo_);
+    for (NodeId src : {0u, 20u, 45u}) {
+        for (NodeId dst = 0; dst < 64; ++dst) {
+            EXPECT_EQ(a.escapeDirection(src, flitTo(dst)),
+                      xy.route(src, flitTo(dst))[0]);
+        }
+    }
+}
+
+TEST(DirectionSetTest, PushAndContains)
+{
+    DirectionSet s;
+    EXPECT_TRUE(s.empty());
+    s.push(Direction::East);
+    s.push(Direction::North);
+    EXPECT_EQ(s.size(), 2);
+    EXPECT_TRUE(s.contains(Direction::East));
+    EXPECT_FALSE(s.contains(Direction::West));
+    EXPECT_EQ(s[0], Direction::East);
+    int seen = 0;
+    for (Direction d : s) {
+        (void)d;
+        ++seen;
+    }
+    EXPECT_EQ(seen, 2);
+}
+
+} // namespace
+} // namespace noc

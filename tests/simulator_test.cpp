@@ -1,0 +1,133 @@
+/** @file Tests for the simulation driver. */
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace noc {
+namespace {
+
+SimConfig
+smallRun(RouterArch arch)
+{
+    SimConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.arch = arch;
+    cfg.injectionRate = 0.1;
+    cfg.warmupPackets = 100;
+    cfg.measurePackets = 500;
+    cfg.maxCycles = 100000;
+    return cfg;
+}
+
+TEST(SimulatorTest, FaultFreeRunCompletesEverything)
+{
+    for (RouterArch arch : {RouterArch::Generic,
+                            RouterArch::PathSensitive,
+                            RouterArch::Roco}) {
+        Simulator sim(smallRun(arch));
+        SimResult r = sim.run();
+        EXPECT_FALSE(r.timedOut) << toString(arch);
+        EXPECT_DOUBLE_EQ(r.completion, 1.0) << toString(arch);
+        EXPECT_GE(r.injected, 500u) << toString(arch);
+        EXPECT_EQ(r.delivered, r.injected) << toString(arch);
+        EXPECT_GT(r.avgLatency, 5.0) << toString(arch);
+        EXPECT_LT(r.avgLatency, 60.0) << toString(arch);
+        EXPECT_GT(r.energyPerPacketNj, 0.0) << toString(arch);
+        EXPECT_GT(r.throughputFlits, 0.0) << toString(arch);
+        EXPECT_DOUBLE_EQ(r.pef, r.edp) << toString(arch); // fault-free
+    }
+}
+
+TEST(SimulatorTest, DeterministicAcrossRuns)
+{
+    SimConfig cfg = smallRun(RouterArch::Roco);
+    SimResult a = Simulator(cfg).run();
+    SimResult b = Simulator(cfg).run();
+    EXPECT_DOUBLE_EQ(a.avgLatency, b.avgLatency);
+    EXPECT_EQ(a.delivered, b.delivered);
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_DOUBLE_EQ(a.energyPerPacketNj, b.energyPerPacketNj);
+}
+
+TEST(SimulatorTest, SeedChangesTheRun)
+{
+    SimConfig cfg = smallRun(RouterArch::Roco);
+    SimResult a = Simulator(cfg).run();
+    cfg.seed = 999;
+    SimResult b = Simulator(cfg).run();
+    EXPECT_NE(a.avgLatency, b.avgLatency);
+}
+
+TEST(SimulatorTest, LatencyPercentilesAreOrdered)
+{
+    SimConfig cfg = smallRun(RouterArch::Roco);
+    cfg.injectionRate = 0.25;
+    SimResult r = Simulator(cfg).run();
+    EXPECT_GT(r.p50Latency, 0.0);
+    EXPECT_LE(r.p50Latency, r.p99Latency);
+    EXPECT_LE(r.p99Latency, r.maxLatency + 2.0); // bin width slack
+    // The median of a right-skewed latency distribution sits at or
+    // below the mean.
+    EXPECT_LE(r.p50Latency, r.avgLatency + 2.0);
+}
+
+TEST(SimulatorTest, EdpIsLatencyTimesEnergy)
+{
+    Simulator sim(smallRun(RouterArch::Generic));
+    SimResult r = sim.run();
+    EXPECT_NEAR(r.edp, r.avgLatency * r.energyPerPacketNj, 1e-9);
+}
+
+TEST(SimulatorTest, MeasuredWindowExcludesWarmup)
+{
+    SimConfig cfg = smallRun(RouterArch::Roco);
+    Simulator sim(cfg);
+    SimResult r = sim.run();
+    std::uint64_t total = sim.network().totalInjected();
+    EXPECT_GT(total, r.injected); // warm-up packets exist
+}
+
+TEST(SimulatorTest, MaxCyclesBoundsTheRun)
+{
+    SimConfig cfg = smallRun(RouterArch::Generic);
+    cfg.injectionRate = 0.9; // far past saturation
+    cfg.maxCycles = 2000;
+    cfg.measurePackets = 100000; // cannot finish
+    Simulator sim(cfg);
+    SimResult r = sim.run();
+    EXPECT_TRUE(r.timedOut);
+    EXPECT_LE(r.cycles, 2000u);
+}
+
+TEST(SimulatorTest, SelfSimilarTrafficRuns)
+{
+    SimConfig cfg = smallRun(RouterArch::Roco);
+    cfg.traffic = TrafficKind::SelfSimilar;
+    SimResult r = Simulator(cfg).run();
+    EXPECT_DOUBLE_EQ(r.completion, 1.0);
+}
+
+TEST(SimulatorTest, TransposeTrafficRuns)
+{
+    SimConfig cfg = smallRun(RouterArch::Roco);
+    cfg.traffic = TrafficKind::Transpose;
+    SimResult r = Simulator(cfg).run();
+    EXPECT_DOUBLE_EQ(r.completion, 1.0);
+}
+
+TEST(SimulatorTest, ContentionProbesPopulatedUnderLoad)
+{
+    SimConfig cfg = smallRun(RouterArch::Generic);
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    cfg.injectionRate = 0.3;
+    cfg.measurePackets = 2000;
+    SimResult r = Simulator(cfg).run();
+    EXPECT_GT(r.rowContention, 0.0);
+    EXPECT_GT(r.colContention, 0.0);
+    EXPECT_LT(r.rowContention, 1.0);
+}
+
+} // namespace
+} // namespace noc

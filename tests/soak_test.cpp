@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Soak tests: sustained high load on the full 8x8 mesh for every
+ * architecture/routing pair, guarding against deadlock and flit loss.
+ */
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+
+namespace noc {
+namespace {
+
+class SoakSweep
+    : public testing::TestWithParam<std::tuple<RouterArch, RoutingKind>>
+{
+};
+
+TEST_P(SoakSweep, HighLoadRunDrainsCompletely)
+{
+    auto [arch, routing] = GetParam();
+    SimConfig cfg;
+    cfg.arch = arch;
+    cfg.routing = routing;
+    cfg.injectionRate = 0.30;
+    cfg.warmupPackets = 500;
+    cfg.measurePackets = 6000;
+    cfg.maxCycles = 200000;
+    Simulator sim(cfg);
+    SimResult r = sim.run();
+    EXPECT_FALSE(r.timedOut) << toString(arch) << "/"
+                             << toString(routing);
+    EXPECT_DOUBLE_EQ(r.completion, 1.0)
+        << toString(arch) << "/" << toString(routing);
+}
+
+TEST_P(SoakSweep, BurstyTrafficDrainsCompletely)
+{
+    auto [arch, routing] = GetParam();
+    SimConfig cfg;
+    cfg.arch = arch;
+    cfg.routing = routing;
+    cfg.traffic = TrafficKind::SelfSimilar;
+    cfg.injectionRate = 0.25;
+    cfg.warmupPackets = 500;
+    cfg.measurePackets = 4000;
+    cfg.maxCycles = 250000;
+    Simulator sim(cfg);
+    SimResult r = sim.run();
+    EXPECT_FALSE(r.timedOut);
+    EXPECT_DOUBLE_EQ(r.completion, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, SoakSweep,
+    testing::Combine(testing::Values(RouterArch::Generic,
+                                     RouterArch::PathSensitive,
+                                     RouterArch::Roco),
+                     testing::Values(RoutingKind::XY, RoutingKind::XYYX,
+                                     RoutingKind::Adaptive)));
+
+} // namespace
+} // namespace noc

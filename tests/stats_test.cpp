@@ -1,0 +1,122 @@
+/** @file Unit tests for the statistics accumulators. */
+#include <gtest/gtest.h>
+
+#include "common/stats.h"
+
+namespace noc {
+namespace {
+
+TEST(RunningStatTest, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatTest, MeanAndVariance)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12); // unbiased
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatTest, MergeEqualsSequential)
+{
+    RunningStat a;
+    RunningStat b;
+    RunningStat all;
+    for (int i = 0; i < 100; ++i) {
+        double x = i * 0.37;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatTest, MergeWithEmpty)
+{
+    RunningStat a;
+    a.add(3.0);
+    RunningStat empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 1u);
+    empty.merge(a);
+    EXPECT_EQ(empty.count(), 1u);
+    EXPECT_DOUBLE_EQ(empty.mean(), 3.0);
+}
+
+TEST(RunningStatTest, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(RatioStatTest, Ratio)
+{
+    RatioStat r;
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.0);
+    r.hit();
+    r.miss();
+    r.miss();
+    r.miss();
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.25);
+    EXPECT_EQ(r.hits(), 1u);
+    EXPECT_EQ(r.trials(), 4u);
+    r.addHits(3, 4);
+    EXPECT_DOUBLE_EQ(r.ratio(), 0.5);
+    r.reset();
+    EXPECT_EQ(r.trials(), 0u);
+}
+
+TEST(HistogramTest, BinningAndOverflow)
+{
+    Histogram h(10.0, 5);
+    h.add(0.0);
+    h.add(9.99);
+    h.add(10.0);
+    h.add(49.9);
+    h.add(1000.0); // overflow bin
+    h.add(-3.0);   // clamps to bin 0
+    EXPECT_EQ(h.total(), 6u);
+    EXPECT_EQ(h.bin(0), 3u);
+    EXPECT_EQ(h.bin(1), 1u);
+    EXPECT_EQ(h.bin(4), 1u);
+    EXPECT_EQ(h.bin(5), 1u); // the overflow bin
+}
+
+TEST(HistogramTest, PercentileMonotone)
+{
+    Histogram h(1.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(static_cast<double>(i));
+    double p50 = h.percentile(0.5);
+    double p90 = h.percentile(0.9);
+    double p99 = h.percentile(0.99);
+    EXPECT_LT(p50, p90);
+    EXPECT_LT(p90, p99);
+    EXPECT_NEAR(p50, 50.0, 2.0);
+    EXPECT_NEAR(p99, 99.0, 2.0);
+}
+
+TEST(HistogramTest, EmptyPercentileIsZero)
+{
+    Histogram h(1.0, 10);
+    EXPECT_DOUBLE_EQ(h.percentile(0.5), 0.0);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,122 @@
+/** @file Tests for the lumped-RC thermal model. */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "power/thermal.h"
+#include "sim/network.h"
+
+namespace noc {
+namespace {
+
+TEST(ThermalModelTest, StartsAtAmbient)
+{
+    ThermalParams p;
+    ThermalModel m(16, p);
+    for (NodeId n = 0; n < 16; ++n)
+        EXPECT_DOUBLE_EQ(m.temperature(n), p.ambientC);
+    EXPECT_DOUBLE_EQ(m.meanTemperature(), p.ambientC);
+}
+
+TEST(ThermalModelTest, ConvergesToSteadyState)
+{
+    ThermalParams p;
+    ThermalModel m(1, p);
+    std::vector<double> power = {0.5}; // watts
+    // Run for many time constants.
+    double tau = p.rThetaKPerW * p.cThetaJPerK;
+    for (int i = 0; i < 100; ++i)
+        m.step(power, tau);
+    EXPECT_NEAR(m.temperature(0), m.steadyState(0.5), 0.1);
+    EXPECT_NEAR(m.steadyState(0.5), p.ambientC + p.rThetaKPerW * 0.5,
+                1e-12);
+}
+
+TEST(ThermalModelTest, CoolsBackToAmbient)
+{
+    ThermalParams p;
+    ThermalModel m(1, p);
+    double tau = p.rThetaKPerW * p.cThetaJPerK;
+    m.step({1.0}, 50 * tau); // heat up
+    ASSERT_GT(m.temperature(0), p.ambientC + 10);
+    m.step({0.0}, 50 * tau); // power off
+    EXPECT_NEAR(m.temperature(0), p.ambientC, 0.1);
+}
+
+TEST(ThermalModelTest, MonotoneInPower)
+{
+    ThermalParams p;
+    ThermalModel m(3, p);
+    double tau = p.rThetaKPerW * p.cThetaJPerK;
+    for (int i = 0; i < 50; ++i)
+        m.step({0.1, 0.3, 0.6}, tau);
+    EXPECT_LT(m.temperature(0), m.temperature(1));
+    EXPECT_LT(m.temperature(1), m.temperature(2));
+    EXPECT_EQ(m.hottestNode(), 2u);
+    EXPECT_DOUBLE_EQ(m.maxTemperature(), m.temperature(2));
+}
+
+TEST(ThermalModelTest, TransientFollowsExponential)
+{
+    ThermalParams p;
+    ThermalModel m(1, p);
+    double tau = p.rThetaKPerW * p.cThetaJPerK;
+    // After exactly one time constant, ~63.2% of the step remains.
+    m.step({1.0}, tau);
+    double expected = p.ambientC +
+                      p.rThetaKPerW * 1.0 * (1.0 - std::exp(-1.0));
+    EXPECT_NEAR(m.temperature(0), expected, 0.25);
+}
+
+TEST(ThermalTrackerTest, BusyNetworkHeatsUp)
+{
+    SimConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.arch = RouterArch::Roco;
+    cfg.injectionRate = 0.3;
+    Network net(cfg);
+    // Fast thermals so the short run reaches steady state.
+    ThermalParams p;
+    p.cThetaJPerK = 1e-7;
+    ThermalTracker tracker(net, p);
+
+    Cycle now = 0;
+    for (int w = 0; w < 20; ++w) {
+        for (int c = 0; c < 200; ++c)
+            net.step(now++, true, false);
+        tracker.sample(200);
+    }
+    EXPECT_GT(tracker.model().maxTemperature(), p.ambientC + 0.5);
+    EXPECT_GE(tracker.model().maxTemperature(),
+              tracker.model().meanTemperature());
+}
+
+TEST(ThermalTrackerTest, HotspotTrafficHeatsTheHotspotRegion)
+{
+    SimConfig cfg;
+    cfg.meshWidth = 8;
+    cfg.meshHeight = 8;
+    cfg.arch = RouterArch::Generic;
+    cfg.traffic = TrafficKind::Hotspot;
+    cfg.hotspotFraction = 0.6;
+    cfg.injectionRate = 0.25;
+    Network net(cfg);
+    ThermalParams p;
+    p.cThetaJPerK = 1e-6;
+    ThermalTracker tracker(net, p);
+
+    Cycle now = 0;
+    for (int w = 0; w < 25; ++w) {
+        for (int c = 0; c < 200; ++c)
+            net.step(now++, true, false);
+        tracker.sample(200);
+    }
+    // The hottest tile must be hotter than the corner tiles, which see
+    // the least through traffic.
+    double corner = tracker.model().temperature(0);
+    EXPECT_GT(tracker.model().maxTemperature(), corner + 0.2);
+}
+
+} // namespace
+} // namespace noc

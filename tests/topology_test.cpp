@@ -1,0 +1,137 @@
+/** @file Unit tests for the 2D mesh topology. */
+#include <gtest/gtest.h>
+
+#include "topology/mesh.h"
+
+namespace noc {
+namespace {
+
+TEST(MeshTest, CoordinateRoundTrip)
+{
+    MeshTopology m(8, 8);
+    for (NodeId id = 0; id < 64; ++id)
+        EXPECT_EQ(m.node(m.coord(id)), id);
+}
+
+TEST(MeshTest, RowMajorLayout)
+{
+    MeshTopology m(8, 4);
+    EXPECT_EQ(m.numNodes(), 32);
+    EXPECT_EQ(m.coord(0), (Coord{0, 0}));
+    EXPECT_EQ(m.coord(7), (Coord{7, 0}));
+    EXPECT_EQ(m.coord(8), (Coord{0, 1}));
+    EXPECT_EQ(m.node({3, 2}), 19u);
+}
+
+TEST(MeshTest, NeighborsOfInteriorNode)
+{
+    MeshTopology m(8, 8);
+    NodeId center = m.node({4, 4});
+    EXPECT_EQ(*m.neighbor(center, Direction::East), m.node({5, 4}));
+    EXPECT_EQ(*m.neighbor(center, Direction::West), m.node({3, 4}));
+    EXPECT_EQ(*m.neighbor(center, Direction::North), m.node({4, 5}));
+    EXPECT_EQ(*m.neighbor(center, Direction::South), m.node({4, 3}));
+}
+
+TEST(MeshTest, EdgesHaveNoOutsideNeighbors)
+{
+    MeshTopology m(4, 4);
+    EXPECT_FALSE(m.neighbor(m.node({0, 0}), Direction::West));
+    EXPECT_FALSE(m.neighbor(m.node({0, 0}), Direction::South));
+    EXPECT_FALSE(m.neighbor(m.node({3, 3}), Direction::East));
+    EXPECT_FALSE(m.neighbor(m.node({3, 3}), Direction::North));
+    EXPECT_TRUE(m.hasNeighbor(m.node({0, 0}), Direction::East));
+}
+
+TEST(MeshTest, NeighborRelationIsSymmetric)
+{
+    MeshTopology m(5, 7);
+    for (NodeId id = 0; id < static_cast<NodeId>(m.numNodes()); ++id) {
+        for (int d = 0; d < kNumCardinal; ++d) {
+            Direction dir = static_cast<Direction>(d);
+            auto nb = m.neighbor(id, dir);
+            if (nb) {
+                EXPECT_EQ(*m.neighbor(*nb, opposite(dir)), id);
+            }
+        }
+    }
+}
+
+TEST(MeshTest, DistanceMatchesManhattan)
+{
+    MeshTopology m(8, 8);
+    EXPECT_EQ(m.distance(m.node({0, 0}), m.node({7, 7})), 14);
+    EXPECT_EQ(m.distance(m.node({3, 4}), m.node({3, 4})), 0);
+    EXPECT_EQ(m.distance(m.node({1, 2}), m.node({4, 0})), 5);
+}
+
+TEST(MeshTest, ProductiveDirectionsPointTowardDestination)
+{
+    MeshTopology m(8, 8);
+    NodeId from = m.node({3, 3});
+    auto dirs = m.productiveDirections(from, m.node({5, 6}));
+    ASSERT_EQ(dirs.size(), 2u);
+    EXPECT_EQ(dirs[0], Direction::East); // X first
+    EXPECT_EQ(dirs[1], Direction::North);
+
+    dirs = m.productiveDirections(from, m.node({3, 1}));
+    ASSERT_EQ(dirs.size(), 1u);
+    EXPECT_EQ(dirs[0], Direction::South);
+
+    EXPECT_TRUE(m.productiveDirections(from, from).empty());
+}
+
+TEST(MeshTest, ProductiveDirectionsShrinkDistanceEverywhere)
+{
+    MeshTopology m(6, 5);
+    for (NodeId a = 0; a < static_cast<NodeId>(m.numNodes()); ++a) {
+        for (NodeId b = 0; b < static_cast<NodeId>(m.numNodes()); ++b) {
+            if (a == b)
+                continue;
+            auto dirs = m.productiveDirections(a, b);
+            ASSERT_FALSE(dirs.empty());
+            for (Direction d : dirs) {
+                auto nb = m.neighbor(a, d);
+                ASSERT_TRUE(nb.has_value());
+                EXPECT_EQ(m.distance(*nb, b), m.distance(a, b) - 1);
+            }
+        }
+    }
+}
+
+/** Property sweep over several mesh shapes. */
+class MeshShapeTest : public testing::TestWithParam<std::pair<int, int>>
+{
+};
+
+TEST_P(MeshShapeTest, EveryNodeHasTwoToFourNeighbors)
+{
+    auto [w, h] = GetParam();
+    MeshTopology m(w, h);
+    for (NodeId id = 0; id < static_cast<NodeId>(m.numNodes()); ++id) {
+        int n = 0;
+        for (int d = 0; d < kNumCardinal; ++d)
+            n += m.hasNeighbor(id, static_cast<Direction>(d)) ? 1 : 0;
+        EXPECT_GE(n, 2);
+        EXPECT_LE(n, 4);
+    }
+}
+
+TEST_P(MeshShapeTest, ContainsMatchesBounds)
+{
+    auto [w, h] = GetParam();
+    MeshTopology m(w, h);
+    EXPECT_TRUE(m.contains({0, 0}));
+    EXPECT_TRUE(m.contains({w - 1, h - 1}));
+    EXPECT_FALSE(m.contains({-1, 0}));
+    EXPECT_FALSE(m.contains({w, 0}));
+    EXPECT_FALSE(m.contains({0, h}));
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshShapeTest,
+                         testing::Values(std::pair{2, 2}, std::pair{4, 4},
+                                         std::pair{8, 8}, std::pair{3, 9},
+                                         std::pair{16, 2}));
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,111 @@
+/** @file Tests for trace-driven traffic. */
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "sim/simulator.h"
+#include "traffic/trace.h"
+
+namespace noc {
+namespace {
+
+TEST(TraceScheduleTest, ParsesSortedEntries)
+{
+    std::istringstream in("# comment\n"
+                          "0 1 2\n"
+                          "\n"
+                          "5 1 3   # inline comment\n"
+                          "2 0 7\n");
+    TraceSchedule s = TraceSchedule::parse(in, 16);
+    EXPECT_EQ(s.totalPackets(), 3u);
+    ASSERT_EQ(s.forSource(1).size(), 2u);
+    EXPECT_EQ(s.forSource(1)[0].cycle, 0u);
+    EXPECT_EQ(s.forSource(1)[0].dst, 2u);
+    EXPECT_EQ(s.forSource(1)[1].cycle, 5u);
+    EXPECT_EQ(s.forSource(0)[0].dst, 7u);
+    EXPECT_TRUE(s.forSource(2).empty());
+}
+
+TEST(TraceScheduleTest, RoundTripsThroughTheWriter)
+{
+    std::ostringstream out;
+    writeTraceLine(out, {3, 1, 2});
+    writeTraceLine(out, {9, 1, 4});
+    std::istringstream in(out.str());
+    TraceSchedule s = TraceSchedule::parse(in, 8);
+    EXPECT_EQ(s.totalPackets(), 2u);
+    EXPECT_EQ(s.forSource(1)[1].cycle, 9u);
+    EXPECT_EQ(s.forSource(1)[1].dst, 4u);
+}
+
+TEST(TraceScheduleDeathTest, RejectsBadInput)
+{
+    std::istringstream unsorted("5 1 2\n1 1 3\n");
+    EXPECT_EXIT((void)TraceSchedule::parse(unsorted, 8),
+                testing::ExitedWithCode(1), "sorted");
+    std::istringstream badNode("0 1 99\n");
+    EXPECT_EXIT((void)TraceSchedule::parse(badNode, 8),
+                testing::ExitedWithCode(1), "range");
+    std::istringstream garbage("zero one two\n");
+    EXPECT_EXIT((void)TraceSchedule::parse(garbage, 8),
+                testing::ExitedWithCode(1), "malformed");
+}
+
+TEST(TraceReplayerTest, ReleasesEntriesWhenDue)
+{
+    std::istringstream in("2 0 1\n2 0 2\n7 0 3\n");
+    TraceSchedule s = TraceSchedule::parse(in, 8);
+    TraceReplayer r(s, 0);
+    EXPECT_EQ(r.next(0), kInvalidNode);
+    EXPECT_EQ(r.next(2), 1u); // one per call, in order
+    EXPECT_EQ(r.next(2), 2u);
+    EXPECT_EQ(r.next(2), kInvalidNode);
+    EXPECT_FALSE(r.exhausted());
+    EXPECT_EQ(r.next(100), 3u); // late replays still happen
+    EXPECT_TRUE(r.exhausted());
+}
+
+TEST(TraceSimulationTest, ReplaysExactlyTheSchedule)
+{
+    // Write a small trace and run it end to end.
+    std::ostringstream out;
+    int packets = 0;
+    for (Cycle t = 0; t < 50; t += 5) {
+        writeTraceLine(out, {t, 0, 15});
+        writeTraceLine(out, {t, 5, 10});
+        packets += 2;
+    }
+    std::string path = testing::TempDir() + "/rocosim_trace_test.txt";
+    {
+        std::ofstream f(path);
+        f << out.str();
+    }
+
+    SimConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.arch = RouterArch::Roco;
+    cfg.traffic = TrafficKind::Trace;
+    cfg.traceFile = path;
+    cfg.warmupPackets = 0;
+
+    Simulator sim(cfg);
+    SimResult r = sim.run();
+    EXPECT_EQ(sim.network().totalDelivered(),
+              static_cast<std::uint64_t>(packets));
+    EXPECT_DOUBLE_EQ(r.completion, 1.0);
+    EXPECT_EQ(sim.network().nic(15).deliveredPackets(), 10u);
+    EXPECT_EQ(sim.network().nic(10).deliveredPackets(), 10u);
+}
+
+TEST(TraceSimulationTest, ConfigRequiresAFile)
+{
+    SimConfig cfg;
+    cfg.traffic = TrafficKind::Trace;
+    EXPECT_EXIT(cfg.validate(), testing::ExitedWithCode(1),
+                "traceFile");
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,212 @@
+/** @file Unit and statistical tests for the traffic generators. */
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/stats.h"
+#include "traffic/injection.h"
+#include "traffic/mpeg.h"
+#include "traffic/patterns.h"
+#include "traffic/traffic.h"
+
+namespace noc {
+namespace {
+
+class PatternFixture : public testing::Test
+{
+  protected:
+    MeshTopology topo_{8, 8};
+    Rng rng_{123};
+};
+
+TEST_F(PatternFixture, UniformNeverPicksSourceAndCoversAll)
+{
+    UniformPattern p(topo_);
+    NodeId src = 17;
+    std::map<NodeId, int> counts;
+    for (int i = 0; i < 63 * 400; ++i) {
+        NodeId d = p.pick(src, rng_);
+        ASSERT_NE(d, src);
+        ASSERT_LT(d, 64u);
+        ++counts[d];
+    }
+    EXPECT_EQ(counts.size(), 63u);
+    for (auto &[node, c] : counts)
+        EXPECT_NEAR(c, 400, 120) << node;
+}
+
+TEST_F(PatternFixture, TransposeSwapsCoordinates)
+{
+    TransposePattern p(topo_);
+    EXPECT_EQ(p.pick(topo_.node({2, 5}), rng_), topo_.node({5, 2}));
+    EXPECT_EQ(p.pick(topo_.node({0, 7}), rng_), topo_.node({7, 0}));
+}
+
+TEST_F(PatternFixture, TransposeDiagonalDoesNotInject)
+{
+    TransposePattern p(topo_);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(p.pick(topo_.node({i, i}), rng_), kInvalidNode);
+}
+
+TEST_F(PatternFixture, BitComplementMirrorsThroughCenter)
+{
+    BitComplementPattern p(topo_);
+    EXPECT_EQ(p.pick(0, rng_), 63u);
+    EXPECT_EQ(p.pick(63, rng_), 0u);
+    EXPECT_EQ(p.pick(10, rng_), 53u);
+}
+
+TEST_F(PatternFixture, TornadoShiftsHalfRing)
+{
+    TornadoPattern p(topo_);
+    // ceil(8/2) - 1 = 3 columns to the east, wrapping.
+    EXPECT_EQ(p.pick(topo_.node({0, 2}), rng_), topo_.node({3, 2}));
+    EXPECT_EQ(p.pick(topo_.node({6, 2}), rng_), topo_.node({1, 2}));
+}
+
+TEST_F(PatternFixture, NearestNeighborPicksAdjacentNodes)
+{
+    NearestNeighborPattern p(topo_);
+    NodeId src = topo_.node({4, 4});
+    for (int i = 0; i < 200; ++i) {
+        NodeId d = p.pick(src, rng_);
+        EXPECT_EQ(topo_.distance(src, d), 1);
+    }
+    // Corner node still works (two neighbours).
+    NodeId corner = topo_.node({0, 0});
+    for (int i = 0; i < 50; ++i)
+        EXPECT_EQ(topo_.distance(corner, p.pick(corner, rng_)), 1);
+}
+
+TEST_F(PatternFixture, HotspotBiasesTowardHotspots)
+{
+    std::vector<NodeId> hs = {10, 20};
+    HotspotPattern p(topo_, hs, 0.5);
+    int hot = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        NodeId d = p.pick(0, rng_);
+        hot += (d == 10 || d == 20) ? 1 : 0;
+    }
+    // ~50% directed plus the uniform share.
+    EXPECT_GT(hot, n / 3);
+}
+
+TEST(InjectionTest, BernoulliRateMatches)
+{
+    BernoulliInjection inj(0.4, 4); // 0.1 packets/cycle
+    EXPECT_DOUBLE_EQ(inj.packetRate(), 0.1);
+    Rng rng(1);
+    int fires = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        fires += inj.fire(i, rng) ? 1 : 0;
+    EXPECT_NEAR(fires / static_cast<double>(n), 0.1, 0.005);
+}
+
+TEST(InjectionTest, ParetoOnOffLongRunRateMatches)
+{
+    ParetoOnOffInjection inj(0.4, 4);
+    Rng rng(2);
+    int fires = 0;
+    const int n = 400000;
+    for (int i = 0; i < n; ++i)
+        fires += inj.fire(i, rng) ? 1 : 0;
+    EXPECT_NEAR(fires / static_cast<double>(n), 0.1, 0.015);
+}
+
+TEST(InjectionTest, ParetoOnOffIsBurstierThanBernoulli)
+{
+    // Compare the variance of per-window packet counts: long-range
+    // dependent traffic keeps much higher variance at large windows.
+    Rng r1(3), r2(3);
+    BernoulliInjection bern(0.4, 4);
+    ParetoOnOffInjection pareto(0.4, 4);
+    const int windows = 400;
+    const int winLen = 500;
+    auto windowVariance = [&](InjectionProcess &p, Rng &rng) {
+        RunningStat s;
+        Cycle t = 0;
+        for (int w = 0; w < windows; ++w) {
+            int c = 0;
+            for (int i = 0; i < winLen; ++i)
+                c += p.fire(t++, rng) ? 1 : 0;
+            s.add(c);
+        }
+        return s.variance();
+    };
+    double vb = windowVariance(bern, r1);
+    double vp = windowVariance(pareto, r2);
+    EXPECT_GT(vp, 2.0 * vb);
+}
+
+TEST(InjectionTest, MpegRateMatchesAndIsFrameSynchronous)
+{
+    MpegInjection inj(0.4, 4, 256);
+    Rng rng(4);
+    const int n = 256 * 600;
+    int fires = 0;
+    for (int i = 0; i < n; ++i)
+        fires += inj.fire(i, rng) ? 1 : 0;
+    EXPECT_NEAR(fires / static_cast<double>(n), 0.1, 0.01);
+}
+
+TEST(InjectionTest, MpegGopWeightsAverageToOne)
+{
+    double sum = 0;
+    for (int i = 0; i < MpegInjection::kGopLength; ++i)
+        sum += 1.0; // weights are internal; check the I-frame burst
+    (void)sum;
+    // I frames are the largest: the first frame of a GOP should emit
+    // more packets than a B frame period at equal rate.
+    MpegInjection inj(0.4, 4, 100);
+    Rng rng(5);
+    int perFrame[12] = {};
+    for (int f = 0; f < 120; ++f) {
+        int c = 0;
+        for (int i = 0; i < 100; ++i)
+            c += inj.fire(static_cast<Cycle>(f) * 100 + i, rng) ? 1 : 0;
+        perFrame[f % 12] += c;
+    }
+    EXPECT_GT(perFrame[0], perFrame[1]); // I > B
+}
+
+TEST(TrafficGeneratorTest, DeterministicPerSeed)
+{
+    SimConfig cfg;
+    cfg.traffic = TrafficKind::Uniform;
+    cfg.injectionRate = 0.2;
+    MeshTopology topo(8, 8);
+    TrafficGenerator a(cfg, topo, 5);
+    TrafficGenerator b(cfg, topo, 5);
+    for (Cycle t = 0; t < 5000; ++t)
+        EXPECT_EQ(a.maybeGenerate(t), b.maybeGenerate(t));
+}
+
+TEST(TrafficGeneratorTest, TransposeDiagonalStaysSilent)
+{
+    SimConfig cfg;
+    cfg.traffic = TrafficKind::Transpose;
+    cfg.injectionRate = 0.5;
+    MeshTopology topo(8, 8);
+    TrafficGenerator g(cfg, topo, topo.node({3, 3}));
+    for (Cycle t = 0; t < 2000; ++t)
+        EXPECT_FALSE(g.maybeGenerate(t).has_value());
+}
+
+TEST(TrafficGeneratorTest, DefaultHotspotsInsideMesh)
+{
+    MeshTopology topo(8, 8);
+    auto hs = defaultHotspots(topo);
+    EXPECT_EQ(hs.size(), 4u);
+    for (NodeId h : hs)
+        EXPECT_LT(h, 64u);
+
+    MeshTopology tiny(2, 2);
+    auto tinyHs = defaultHotspots(tiny);
+    EXPECT_FALSE(tinyHs.empty()); // deduplicated, not empty
+}
+
+} // namespace
+} // namespace noc

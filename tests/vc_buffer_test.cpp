@@ -1,0 +1,66 @@
+/** @file Unit tests for the VC buffer. */
+#include <gtest/gtest.h>
+
+#include "router/vc_buffer.h"
+
+namespace noc {
+namespace {
+
+Flit
+makeFlit(std::uint64_t id, std::uint16_t seq)
+{
+    Flit f;
+    f.packetId = id;
+    f.flitSeq = seq;
+    return f;
+}
+
+TEST(VcBufferTest, StartsEmpty)
+{
+    VcBuffer b(4);
+    EXPECT_TRUE(b.empty());
+    EXPECT_FALSE(b.full());
+    EXPECT_EQ(b.occupancy(), 0);
+    EXPECT_EQ(b.depth(), 4);
+}
+
+TEST(VcBufferTest, FifoOrder)
+{
+    VcBuffer b(4);
+    for (std::uint16_t i = 0; i < 4; ++i)
+        b.push(makeFlit(1, i));
+    EXPECT_TRUE(b.full());
+    for (std::uint16_t i = 0; i < 4; ++i) {
+        EXPECT_EQ(b.front().flitSeq, i);
+        EXPECT_EQ(b.pop().flitSeq, i);
+    }
+    EXPECT_TRUE(b.empty());
+}
+
+TEST(VcBufferTest, InterleavedPushPop)
+{
+    VcBuffer b(2);
+    b.push(makeFlit(1, 0));
+    b.push(makeFlit(1, 1));
+    EXPECT_EQ(b.pop().flitSeq, 0);
+    b.push(makeFlit(1, 2));
+    EXPECT_EQ(b.pop().flitSeq, 1);
+    EXPECT_EQ(b.pop().flitSeq, 2);
+}
+
+TEST(VcBufferDeathTest, OverflowPanics)
+{
+    VcBuffer b(1);
+    b.push(makeFlit(1, 0));
+    EXPECT_DEATH(b.push(makeFlit(1, 1)), "overflow");
+}
+
+TEST(VcBufferDeathTest, UnderflowPanics)
+{
+    VcBuffer b(1);
+    EXPECT_DEATH(b.pop(), "empty");
+    EXPECT_DEATH((void)b.front(), "empty");
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Validates the RoCo VC organisation against the paper's Table 1 and
+ * the guided-flit-queuing classification rules.
+ */
+#include <gtest/gtest.h>
+
+#include "router/roco/vc_config.h"
+
+namespace noc {
+namespace {
+
+using enum VcClass;
+
+TEST(Table1Test, AdaptiveRow)
+{
+    RocoVcConfig c = RocoVcConfig::forRouting(RoutingKind::Adaptive);
+    // Row-Module: Port 1 {dx, tyx, Injxy}, Port 2 {dx, dx, tyx}.
+    EXPECT_EQ(c.at(Module::Row, 0, 0), Dx);
+    EXPECT_EQ(c.at(Module::Row, 0, 1), Tyx);
+    EXPECT_EQ(c.at(Module::Row, 0, 2), InjXy);
+    EXPECT_EQ(c.at(Module::Row, 1, 0), Dx);
+    EXPECT_EQ(c.at(Module::Row, 1, 1), Dx);
+    EXPECT_EQ(c.at(Module::Row, 1, 2), Tyx);
+    // Column-Module: Port 1 {dy, txy, Injyx}, Port 2 {dy, txy, txy}.
+    EXPECT_EQ(c.at(Module::Column, 0, 0), Dy);
+    EXPECT_EQ(c.at(Module::Column, 0, 1), Txy);
+    EXPECT_EQ(c.at(Module::Column, 0, 2), InjYx);
+    EXPECT_EQ(c.at(Module::Column, 1, 0), Dy);
+    EXPECT_EQ(c.at(Module::Column, 1, 1), Txy);
+    EXPECT_EQ(c.at(Module::Column, 1, 2), Txy);
+}
+
+TEST(Table1Test, XyYxRow)
+{
+    RocoVcConfig c = RocoVcConfig::forRouting(RoutingKind::XYYX);
+    EXPECT_EQ(c.countClass(Module::Row, 0, Dx), 1);
+    EXPECT_EQ(c.countClass(Module::Row, 0, Tyx), 1);
+    EXPECT_EQ(c.countClass(Module::Row, 0, InjXy), 1);
+    EXPECT_EQ(c.countClass(Module::Row, 1, Dx), 2);
+    EXPECT_EQ(c.countClass(Module::Row, 1, Tyx), 1);
+    EXPECT_EQ(c.countClass(Module::Column, 0, Dy), 1);
+    EXPECT_EQ(c.countClass(Module::Column, 0, Txy), 1);
+    EXPECT_EQ(c.countClass(Module::Column, 0, InjYx), 1);
+    EXPECT_EQ(c.countClass(Module::Column, 1, Dy), 2);
+    EXPECT_EQ(c.countClass(Module::Column, 1, Txy), 1);
+}
+
+TEST(Table1Test, XyRow)
+{
+    RocoVcConfig c = RocoVcConfig::forRouting(RoutingKind::XY);
+    // XY never turns Y->X: no tyx anywhere; both row ports get the
+    // heavily used Injxy.
+    for (int p = 0; p < kPortsPerModule; ++p) {
+        EXPECT_EQ(c.countClass(Module::Row, p, Dx), 2);
+        EXPECT_EQ(c.countClass(Module::Row, p, InjXy), 1);
+        EXPECT_EQ(c.countClass(Module::Row, p, Tyx), 0);
+        EXPECT_EQ(c.countClass(Module::Column, p, Tyx), 0);
+    }
+    EXPECT_EQ(c.countClass(Module::Column, 0, Dy), 1);
+    EXPECT_EQ(c.countClass(Module::Column, 0, Txy), 1);
+    EXPECT_EQ(c.countClass(Module::Column, 0, InjYx), 1);
+    EXPECT_EQ(c.countClass(Module::Column, 1, Dy), 2);
+    EXPECT_EQ(c.countClass(Module::Column, 1, Txy), 1);
+}
+
+TEST(Table1Test, TwelveVcsInFourPathSetsAlways)
+{
+    for (RoutingKind k :
+         {RoutingKind::XY, RoutingKind::XYYX, RoutingKind::Adaptive}) {
+        RocoVcConfig c = RocoVcConfig::forRouting(k);
+        int total = 0;
+        for (int m = 0; m < 2; ++m) {
+            for (int p = 0; p < kPortsPerModule; ++p) {
+                for (VcClass cls : {Dx, Dy, Txy, Tyx, InjXy, InjYx}) {
+                    total +=
+                        c.countClass(static_cast<Module>(m), p, cls);
+                }
+            }
+        }
+        EXPECT_EQ(total, 12) << toString(k);
+    }
+}
+
+TEST(Table1Test, ModulesHoldOnlyTheirDimensionClasses)
+{
+    // Row module never holds dy/txy/Injyx; column never dx/tyx/Injxy.
+    for (RoutingKind k :
+         {RoutingKind::XY, RoutingKind::XYYX, RoutingKind::Adaptive}) {
+        RocoVcConfig c = RocoVcConfig::forRouting(k);
+        for (int p = 0; p < kPortsPerModule; ++p) {
+            EXPECT_EQ(c.countClass(Module::Row, p, Dy), 0);
+            EXPECT_EQ(c.countClass(Module::Row, p, Txy), 0);
+            EXPECT_EQ(c.countClass(Module::Row, p, InjYx), 0);
+            EXPECT_EQ(c.countClass(Module::Column, p, Dx), 0);
+            EXPECT_EQ(c.countClass(Module::Column, p, Tyx), 0);
+            EXPECT_EQ(c.countClass(Module::Column, p, InjXy), 0);
+        }
+    }
+}
+
+TEST(ClassifyTest, ContinuingVsTurning)
+{
+    EXPECT_EQ(classifyFlit(Direction::West, Direction::East), Dx);
+    EXPECT_EQ(classifyFlit(Direction::East, Direction::West), Dx);
+    EXPECT_EQ(classifyFlit(Direction::West, Direction::North), Txy);
+    EXPECT_EQ(classifyFlit(Direction::East, Direction::South), Txy);
+    EXPECT_EQ(classifyFlit(Direction::South, Direction::North), Dy);
+    EXPECT_EQ(classifyFlit(Direction::North, Direction::South), Dy);
+    EXPECT_EQ(classifyFlit(Direction::South, Direction::East), Tyx);
+    EXPECT_EQ(classifyFlit(Direction::North, Direction::West), Tyx);
+}
+
+TEST(ClassifyTest, InjectionByFirstDimension)
+{
+    EXPECT_EQ(classifyFlit(Direction::Local, Direction::East), InjXy);
+    EXPECT_EQ(classifyFlit(Direction::Local, Direction::West), InjXy);
+    EXPECT_EQ(classifyFlit(Direction::Local, Direction::North), InjYx);
+    EXPECT_EQ(classifyFlit(Direction::Local, Direction::South), InjYx);
+}
+
+TEST(ClassifyTest, ModulePlacementFollowsOutputDimension)
+{
+    EXPECT_EQ(moduleForOutput(Direction::East), Module::Row);
+    EXPECT_EQ(moduleForOutput(Direction::North), Module::Column);
+}
+
+TEST(PortSideTest, ArrivalSidesMapToPorts)
+{
+    EXPECT_EQ(portSideFor(Module::Row, Direction::West), 0);
+    EXPECT_EQ(portSideFor(Module::Row, Direction::South), 0);
+    EXPECT_EQ(portSideFor(Module::Row, Direction::East), 1);
+    EXPECT_EQ(portSideFor(Module::Row, Direction::North), 1);
+    EXPECT_EQ(portSideFor(Module::Column, Direction::South), 0);
+    EXPECT_EQ(portSideFor(Module::Column, Direction::West), 0);
+    EXPECT_EQ(portSideFor(Module::Column, Direction::North), 1);
+    EXPECT_EQ(portSideFor(Module::Column, Direction::East), 1);
+    EXPECT_EQ(portSideFor(Module::Row, Direction::Local), 0);
+}
+
+TEST(PortSideTest, OwnerWiringIsConsistentWithPortSides)
+{
+    // Every transit class's owning link must demux into the port that
+    // portSideFor() assigns to that link — the single-write-port
+    // invariant the credit protocol depends on.
+    struct Case {
+        Module m;
+        int port;
+        VcClass cls;
+    };
+    const Case cases[] = {
+        {Module::Row, 0, Dx},    {Module::Row, 1, Dx},
+        {Module::Row, 0, Tyx},   {Module::Row, 1, Tyx},
+        {Module::Column, 0, Dy}, {Module::Column, 1, Dy},
+        {Module::Column, 0, Txy}, {Module::Column, 1, Txy},
+    };
+    for (const Case &c : cases) {
+        Direction owner = ownerDirection(c.m, c.port, c.cls);
+        EXPECT_EQ(portSideFor(c.m, owner), c.port)
+            << toString(c.m) << " port " << c.port << " "
+            << toString(c.cls);
+    }
+    EXPECT_EQ(ownerDirection(Module::Row, 0, InjXy), Direction::Local);
+    EXPECT_EQ(ownerDirection(Module::Column, 0, InjYx), Direction::Local);
+}
+
+TEST(ClassifyDeathTest, LocalOutputIsNeverBuffered)
+{
+    EXPECT_DEATH(classifyFlit(Direction::West, Direction::Local),
+                 "early-ejected");
+}
+
+} // namespace
+} // namespace noc

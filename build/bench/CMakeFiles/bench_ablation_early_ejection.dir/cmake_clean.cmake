@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_early_ejection.dir/bench_ablation_early_ejection.cpp.o"
+  "CMakeFiles/bench_ablation_early_ejection.dir/bench_ablation_early_ejection.cpp.o.d"
+  "bench_ablation_early_ejection"
+  "bench_ablation_early_ejection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_early_ejection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

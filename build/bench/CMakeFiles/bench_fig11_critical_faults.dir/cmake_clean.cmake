@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_critical_faults.dir/bench_fig11_critical_faults.cpp.o"
+  "CMakeFiles/bench_fig11_critical_faults.dir/bench_fig11_critical_faults.cpp.o.d"
+  "bench_fig11_critical_faults"
+  "bench_fig11_critical_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_critical_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

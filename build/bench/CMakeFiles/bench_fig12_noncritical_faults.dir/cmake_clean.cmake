@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_noncritical_faults.dir/bench_fig12_noncritical_faults.cpp.o"
+  "CMakeFiles/bench_fig12_noncritical_faults.dir/bench_fig12_noncritical_faults.cpp.o.d"
+  "bench_fig12_noncritical_faults"
+  "bench_fig12_noncritical_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_noncritical_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

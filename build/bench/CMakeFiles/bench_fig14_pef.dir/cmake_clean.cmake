@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_pef.dir/bench_fig14_pef.cpp.o"
+  "CMakeFiles/bench_fig14_pef.dir/bench_fig14_pef.cpp.o.d"
+  "bench_fig14_pef"
+  "bench_fig14_pef.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_pef.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_va_complexity.dir/bench_fig2_va_complexity.cpp.o"
+  "CMakeFiles/bench_fig2_va_complexity.dir/bench_fig2_va_complexity.cpp.o.d"
+  "bench_fig2_va_complexity"
+  "bench_fig2_va_complexity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_va_complexity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

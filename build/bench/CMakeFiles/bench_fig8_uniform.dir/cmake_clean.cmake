@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_uniform.dir/bench_fig8_uniform.cpp.o"
+  "CMakeFiles/bench_fig8_uniform.dir/bench_fig8_uniform.cpp.o.d"
+  "bench_fig8_uniform"
+  "bench_fig8_uniform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_uniform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_selfsimilar.dir/bench_fig9_selfsimilar.cpp.o"
+  "CMakeFiles/bench_fig9_selfsimilar.dir/bench_fig9_selfsimilar.cpp.o.d"
+  "bench_fig9_selfsimilar"
+  "bench_fig9_selfsimilar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_selfsimilar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

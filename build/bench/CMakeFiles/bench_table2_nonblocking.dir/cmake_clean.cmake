@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_nonblocking.dir/bench_table2_nonblocking.cpp.o"
+  "CMakeFiles/bench_table2_nonblocking.dir/bench_table2_nonblocking.cpp.o.d"
+  "bench_table2_nonblocking"
+  "bench_table2_nonblocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_nonblocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

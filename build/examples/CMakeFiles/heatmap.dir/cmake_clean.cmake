@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heatmap.dir/heatmap.cpp.o"
+  "CMakeFiles/heatmap.dir/heatmap.cpp.o.d"
+  "heatmap"
+  "heatmap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heatmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

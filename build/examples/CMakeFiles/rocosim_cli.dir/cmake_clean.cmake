@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rocosim_cli.dir/rocosim_cli.cpp.o"
+  "CMakeFiles/rocosim_cli.dir/rocosim_cli.cpp.o.d"
+  "rocosim_cli"
+  "rocosim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rocosim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

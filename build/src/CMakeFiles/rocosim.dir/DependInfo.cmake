@@ -1,0 +1,52 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/config.cpp" "src/CMakeFiles/rocosim.dir/common/config.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/common/config.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/rocosim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/rocosim.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/common/stats.cpp.o.d"
+  "/root/repo/src/common/types.cpp" "src/CMakeFiles/rocosim.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/common/types.cpp.o.d"
+  "/root/repo/src/fault/fault.cpp" "src/CMakeFiles/rocosim.dir/fault/fault.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/fault/fault.cpp.o.d"
+  "/root/repo/src/fault/fault_injector.cpp" "src/CMakeFiles/rocosim.dir/fault/fault_injector.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/fault/fault_injector.cpp.o.d"
+  "/root/repo/src/metrics/arbiter_complexity.cpp" "src/CMakeFiles/rocosim.dir/metrics/arbiter_complexity.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/metrics/arbiter_complexity.cpp.o.d"
+  "/root/repo/src/metrics/matching.cpp" "src/CMakeFiles/rocosim.dir/metrics/matching.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/metrics/matching.cpp.o.d"
+  "/root/repo/src/metrics/pef.cpp" "src/CMakeFiles/rocosim.dir/metrics/pef.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/metrics/pef.cpp.o.d"
+  "/root/repo/src/power/energy_model.cpp" "src/CMakeFiles/rocosim.dir/power/energy_model.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/power/energy_model.cpp.o.d"
+  "/root/repo/src/power/energy_params.cpp" "src/CMakeFiles/rocosim.dir/power/energy_params.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/power/energy_params.cpp.o.d"
+  "/root/repo/src/power/thermal.cpp" "src/CMakeFiles/rocosim.dir/power/thermal.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/power/thermal.cpp.o.d"
+  "/root/repo/src/router/arbiter.cpp" "src/CMakeFiles/rocosim.dir/router/arbiter.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/router/arbiter.cpp.o.d"
+  "/root/repo/src/router/generic/generic_router.cpp" "src/CMakeFiles/rocosim.dir/router/generic/generic_router.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/router/generic/generic_router.cpp.o.d"
+  "/root/repo/src/router/pathsensitive/ps_router.cpp" "src/CMakeFiles/rocosim.dir/router/pathsensitive/ps_router.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/router/pathsensitive/ps_router.cpp.o.d"
+  "/root/repo/src/router/roco/mirror_allocator.cpp" "src/CMakeFiles/rocosim.dir/router/roco/mirror_allocator.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/router/roco/mirror_allocator.cpp.o.d"
+  "/root/repo/src/router/roco/roco_router.cpp" "src/CMakeFiles/rocosim.dir/router/roco/roco_router.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/router/roco/roco_router.cpp.o.d"
+  "/root/repo/src/router/roco/vc_config.cpp" "src/CMakeFiles/rocosim.dir/router/roco/vc_config.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/router/roco/vc_config.cpp.o.d"
+  "/root/repo/src/router/router.cpp" "src/CMakeFiles/rocosim.dir/router/router.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/router/router.cpp.o.d"
+  "/root/repo/src/routing/adaptive.cpp" "src/CMakeFiles/rocosim.dir/routing/adaptive.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/routing/adaptive.cpp.o.d"
+  "/root/repo/src/routing/quadrant.cpp" "src/CMakeFiles/rocosim.dir/routing/quadrant.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/routing/quadrant.cpp.o.d"
+  "/root/repo/src/routing/routing.cpp" "src/CMakeFiles/rocosim.dir/routing/routing.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/routing/routing.cpp.o.d"
+  "/root/repo/src/routing/xy.cpp" "src/CMakeFiles/rocosim.dir/routing/xy.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/routing/xy.cpp.o.d"
+  "/root/repo/src/routing/xyyx.cpp" "src/CMakeFiles/rocosim.dir/routing/xyyx.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/routing/xyyx.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/rocosim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/nic.cpp" "src/CMakeFiles/rocosim.dir/sim/nic.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/sim/nic.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/rocosim.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/topology/channel.cpp" "src/CMakeFiles/rocosim.dir/topology/channel.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/topology/channel.cpp.o.d"
+  "/root/repo/src/topology/mesh.cpp" "src/CMakeFiles/rocosim.dir/topology/mesh.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/topology/mesh.cpp.o.d"
+  "/root/repo/src/traffic/injection.cpp" "src/CMakeFiles/rocosim.dir/traffic/injection.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/traffic/injection.cpp.o.d"
+  "/root/repo/src/traffic/mpeg.cpp" "src/CMakeFiles/rocosim.dir/traffic/mpeg.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/traffic/mpeg.cpp.o.d"
+  "/root/repo/src/traffic/patterns.cpp" "src/CMakeFiles/rocosim.dir/traffic/patterns.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/traffic/patterns.cpp.o.d"
+  "/root/repo/src/traffic/trace.cpp" "src/CMakeFiles/rocosim.dir/traffic/trace.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/traffic/trace.cpp.o.d"
+  "/root/repo/src/traffic/traffic.cpp" "src/CMakeFiles/rocosim.dir/traffic/traffic.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/traffic/traffic.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

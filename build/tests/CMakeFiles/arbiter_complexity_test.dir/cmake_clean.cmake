@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/arbiter_complexity_test.dir/arbiter_complexity_test.cpp.o"
+  "CMakeFiles/arbiter_complexity_test.dir/arbiter_complexity_test.cpp.o.d"
+  "arbiter_complexity_test"
+  "arbiter_complexity_test.pdb"
+  "arbiter_complexity_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/arbiter_complexity_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

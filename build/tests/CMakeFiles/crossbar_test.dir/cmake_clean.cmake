@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crossbar_test.dir/crossbar_test.cpp.o"
+  "CMakeFiles/crossbar_test.dir/crossbar_test.cpp.o.d"
+  "crossbar_test"
+  "crossbar_test.pdb"
+  "crossbar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crossbar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drop_semantics_test.dir/drop_semantics_test.cpp.o"
+  "CMakeFiles/drop_semantics_test.dir/drop_semantics_test.cpp.o.d"
+  "drop_semantics_test"
+  "drop_semantics_test.pdb"
+  "drop_semantics_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drop_semantics_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mirror_allocator_test.dir/mirror_allocator_test.cpp.o"
+  "CMakeFiles/mirror_allocator_test.dir/mirror_allocator_test.cpp.o.d"
+  "mirror_allocator_test"
+  "mirror_allocator_test.pdb"
+  "mirror_allocator_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mirror_allocator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/patterns_extra_test.dir/patterns_extra_test.cpp.o"
+  "CMakeFiles/patterns_extra_test.dir/patterns_extra_test.cpp.o.d"
+  "patterns_extra_test"
+  "patterns_extra_test.pdb"
+  "patterns_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/patterns_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pef_test.dir/pef_test.cpp.o"
+  "CMakeFiles/pef_test.dir/pef_test.cpp.o.d"
+  "pef_test"
+  "pef_test.pdb"
+  "pef_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pef_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

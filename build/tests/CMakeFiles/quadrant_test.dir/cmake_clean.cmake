@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/quadrant_test.dir/quadrant_test.cpp.o"
+  "CMakeFiles/quadrant_test.dir/quadrant_test.cpp.o.d"
+  "quadrant_test"
+  "quadrant_test.pdb"
+  "quadrant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/quadrant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

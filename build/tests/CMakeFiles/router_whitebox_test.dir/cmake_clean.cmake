@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/router_whitebox_test.dir/router_whitebox_test.cpp.o"
+  "CMakeFiles/router_whitebox_test.dir/router_whitebox_test.cpp.o.d"
+  "router_whitebox_test"
+  "router_whitebox_test.pdb"
+  "router_whitebox_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/router_whitebox_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vc_buffer_test.dir/vc_buffer_test.cpp.o"
+  "CMakeFiles/vc_buffer_test.dir/vc_buffer_test.cpp.o.d"
+  "vc_buffer_test"
+  "vc_buffer_test.pdb"
+  "vc_buffer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vc_buffer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -13,6 +13,8 @@ main()
     using namespace noc;
     using namespace noc::bench;
 
+    printSeed();
+
     std::puts("Ablation: VC buffer depth vs latency (uniform, XY, "
               "30% injection)");
     std::printf("%-8s %10s %12s %10s\n", "depth", "Generic", "PathSens",

@@ -18,6 +18,8 @@ main()
     using namespace noc;
     using namespace noc::bench;
 
+    printSeed();
+
     std::puts("Ablation: early-ejection contribution via ejection-heavy"
               " traffic (XY routing)");
     std::printf("%-18s %10s %10s %14s\n", "traffic", "Generic", "RoCo",

@@ -13,6 +13,8 @@ main()
     using namespace noc;
     using namespace noc::bench;
 
+    printSeed();
+
     std::puts("Ablation: flits per packet (uniform, XY, 0.25 "
               "flits/node/cycle offered)");
     std::printf("%-8s | %10s %12s %10s | %12s %12s\n", "flits",

@@ -12,6 +12,8 @@ main()
     using namespace noc;
     using namespace noc::bench;
 
+    printSeed();
+
     std::puts("Ablation: mesh size scaling (uniform, XY, 0.2 "
               "flits/node/cycle)");
     std::printf("%-8s | %10s %12s %10s | %10s %10s\n", "mesh",

@@ -13,6 +13,8 @@ main()
     using namespace noc;
     using namespace noc::bench;
 
+    printSeed();
+
     std::puts("Extension: steady-state tile temperatures, hotspot "
               "traffic, 25% injection, XY");
     std::printf("%-16s %10s %10s %14s\n", "router", "max C", "mean C",

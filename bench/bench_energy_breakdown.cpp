@@ -14,6 +14,8 @@ main()
     using namespace noc;
     using namespace noc::bench;
 
+    printSeed();
+
     std::puts("Energy breakdown per packet (nJ), uniform, XY, 30% "
               "injection");
     std::printf("%-16s %8s %9s %9s %8s %7s %9s %8s\n", "router",

@@ -3,6 +3,11 @@
  * Shared driver for the Figure 11/12 packet-completion sweeps: one
  * fault class, 1/2/4 random faults, all routings and architectures,
  * averaged over several fault placements.
+ *
+ * Fault placements are pre-generated into labelled FaultSets (one
+ * grid-axis value per placement) so every (routing, arch, placement)
+ * combination becomes an independent sweep point; the table averages
+ * the placements per cell after the pool has run them all.
  */
 #ifndef ROCOSIM_BENCH_BENCH_FAULT_SWEEP_H_
 #define ROCOSIM_BENCH_BENCH_FAULT_SWEEP_H_
@@ -12,33 +17,55 @@
 
 namespace noc::bench {
 
+/** "crit-2f-s11"-style label for a random placement. */
+inline std::string
+faultSetLabel(const char *prefix, int nf, std::uint64_t seed)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%s-%df-s%" PRIu64, prefix, nf, seed);
+    return buf;
+}
+
 inline int
-faultSweep(FaultClass cls, const char *figure, const char *caption)
+faultSweep(FaultClass cls, const char *figure, const char *caption,
+           const char *specName)
 {
     const int faultCounts[] = {1, 2, 4};
     const std::uint64_t seeds[] = {11, 22, 33};
+    constexpr std::size_t kSeeds = std::size(seeds);
     MeshTopology topo(8, 8);
+
+    exp::SweepSpec spec = makeSpec(specName);
+    spec.base.injectionRate = 0.3;
+    spec.archs = {std::begin(kArchs), std::end(kArchs)};
+    spec.routings = {std::begin(kRoutings), std::end(kRoutings)};
+    const char *prefix =
+        cls == FaultClass::RouterCentricCritical ? "crit" : "noncrit";
+    for (int nf : faultCounts) {
+        for (std::uint64_t seed : seeds) {
+            spec.faultSets.push_back(
+                {faultSetLabel(prefix, nf, seed),
+                 placeRandomFaults(topo, cls, nf, 3, seed)});
+        }
+    }
+    exp::SweepResults res = runSweep(spec);
 
     std::printf("%s: packet completion probability, 30%% injection, "
                 "%s faults\n", figure, caption);
-    for (RoutingKind routing : kRoutings) {
-        std::printf("\n-- %s routing --\n", toString(routing));
+    for (std::size_t ro = 0; ro < spec.routings.size(); ++ro) {
+        std::printf("\n-- %s routing --\n", toString(spec.routings[ro]));
         std::printf("%-8s %10s %12s %10s\n", "#faults", "Generic",
                     "PathSens", "RoCo");
         hr();
-        for (int nf : faultCounts) {
-            std::printf("%-8d", nf);
-            for (RouterArch a : kArchs) {
+        for (std::size_t nfi = 0; nfi < std::size(faultCounts); ++nfi) {
+            std::printf("%-8d", faultCounts[nfi]);
+            for (std::size_t ar = 0; ar < spec.archs.size(); ++ar) {
                 double sum = 0;
-                for (std::uint64_t seed : seeds) {
-                    auto faults =
-                        placeRandomFaults(topo, cls, nf, 3, seed);
-                    sum += run(a, routing, TrafficKind::Uniform, 0.3,
-                               faults)
+                for (std::size_t s = 0; s < kSeeds; ++s) {
+                    sum += res.at(spec, ro, 0, 0, nfi * kSeeds + s, ar)
                                .completion;
                 }
-                std::printf(" %10.3f",
-                            sum / static_cast<double>(std::size(seeds)));
+                std::printf(" %10.3f", sum / static_cast<double>(kSeeds));
             }
             std::puts("");
         }

@@ -5,5 +5,5 @@ int
 main()
 {
     return noc::bench::latencySweep(noc::TrafficKind::Transpose,
-                                    "Figure 10");
+                                    "Figure 10", "fig10_transpose");
 }

@@ -12,5 +12,6 @@ main()
 {
     return noc::bench::faultSweep(
         noc::FaultClass::RouterCentricCritical, "Figure 11",
-        "router-centric / critical-pathway");
+        "router-centric / critical-pathway",
+        "fig11_critical_faults");
 }

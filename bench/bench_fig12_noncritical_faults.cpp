@@ -12,5 +12,6 @@ main()
 {
     return noc::bench::faultSweep(
         noc::FaultClass::MessageCentricNonCritical, "Figure 12",
-        "message-centric / non-critical");
+        "message-centric / non-critical",
+        "fig12_noncritical_faults");
 }

@@ -12,22 +12,24 @@ main()
     using namespace noc;
     using namespace noc::bench;
 
-    const TrafficKind kinds[] = {TrafficKind::Uniform,
-                                 TrafficKind::SelfSimilar,
-                                 TrafficKind::Transpose};
+    exp::SweepSpec spec = makeSpec("fig13_energy");
+    spec.base.injectionRate = 0.3;
+    spec.archs = {std::begin(kArchs), std::end(kArchs)};
+    spec.traffics = {TrafficKind::Uniform, TrafficKind::SelfSimilar,
+                     TrafficKind::Transpose};
+    exp::SweepResults res = runSweep(spec);
 
     std::puts("Figure 13: energy per packet (nJ), 30% injection, XY "
               "routing");
     std::printf("%-14s %10s %12s %10s %18s\n", "traffic", "Generic",
                 "PathSens", "RoCo", "RoCo vs Gen/PS");
     hr();
-    for (TrafficKind t : kinds) {
+    for (std::size_t tr = 0; tr < spec.traffics.size(); ++tr) {
         double e[3];
-        int i = 0;
-        for (RouterArch a : kArchs)
-            e[i++] = run(a, RoutingKind::XY, t, 0.3).energyPerPacketNj;
+        for (std::size_t ar = 0; ar < spec.archs.size(); ++ar)
+            e[ar] = res.at(spec, 0, tr, 0, 0, ar).energyPerPacketNj;
         std::printf("%-14s %10.3f %12.3f %10.3f    -%4.1f%% / -%4.1f%%\n",
-                    toString(t), e[0], e[1], e[2],
+                    toString(spec.traffics[tr]), e[0], e[1], e[2],
                     100.0 * (1.0 - e[2] / e[0]),
                     100.0 * (1.0 - e[2] / e[1]));
     }

@@ -4,21 +4,24 @@
  * (PEF = EDP / completion probability) and the average latency of the
  * survivors, vs the number of injected faults — (a) critical-region
  * faults, (b) non-critical-region faults.
+ *
+ * Both panels share one sweep: the fault-set axis enumerates
+ * (class, count, placement) so all 54 points run on the pool at once.
  */
-#include "bench_util.h"
-#include "fault/fault_injector.h"
+#include "bench_fault_sweep.h"
 
 namespace {
 
-void
-panel(noc::FaultClass cls, const char *title)
-{
-    using namespace noc;
-    using namespace noc::bench;
+constexpr int kFaultCounts[] = {1, 2, 4};
+constexpr std::uint64_t kSeeds[] = {11, 22, 33};
+constexpr std::size_t kNumCounts = std::size(kFaultCounts);
+constexpr std::size_t kNumSeeds = std::size(kSeeds);
 
-    const int faultCounts[] = {1, 2, 4};
-    const std::uint64_t seeds[] = {11, 22, 33};
-    MeshTopology topo(8, 8);
+void
+panel(const noc::exp::SweepSpec &spec, const noc::exp::SweepResults &res,
+      std::size_t clsIdx, const char *title)
+{
+    using namespace noc::bench;
 
     std::printf("\n%s\n", title);
     std::printf("%-8s | %30s | %27s\n", "",
@@ -27,23 +30,20 @@ panel(noc::FaultClass cls, const char *title)
                 "Generic", "PathSens", "RoCo", "Generic", "PathSens",
                 "RoCo");
     hr();
-    for (int nf : faultCounts) {
+    for (std::size_t nfi = 0; nfi < kNumCounts; ++nfi) {
         double pef[3] = {};
         double lat[3] = {};
-        int i = 0;
-        for (RouterArch a : kArchs) {
-            for (std::uint64_t seed : seeds) {
-                auto faults = placeRandomFaults(topo, cls, nf, 3, seed);
-                SimResult r =
-                    run(a, RoutingKind::XY, TrafficKind::Uniform, 0.3,
-                        faults);
-                pef[i] += r.pef / std::size(seeds);
-                lat[i] += r.avgLatency / std::size(seeds);
+        for (std::size_t ar = 0; ar < spec.archs.size(); ++ar) {
+            for (std::size_t s = 0; s < kNumSeeds; ++s) {
+                std::size_t fs = (clsIdx * kNumCounts + nfi) * kNumSeeds + s;
+                const noc::SimResult &r = res.at(spec, 0, 0, 0, fs, ar);
+                pef[ar] += r.pef / kNumSeeds;
+                lat[ar] += r.avgLatency / kNumSeeds;
             }
-            ++i;
         }
         std::printf("%-8d | %8.1f %12.1f %8.1f | %8.1f %9.1f %8.1f\n",
-                    nf, pef[0], pef[1], pef[2], lat[0], lat[1], lat[2]);
+                    kFaultCounts[nfi], pef[0], pef[1], pef[2], lat[0],
+                    lat[1], lat[2]);
     }
 }
 
@@ -52,12 +52,33 @@ panel(noc::FaultClass cls, const char *title)
 int
 main()
 {
+    using namespace noc;
+    using namespace noc::bench;
+
+    MeshTopology topo(8, 8);
+    exp::SweepSpec spec = makeSpec("fig14_pef");
+    spec.base.injectionRate = 0.3;
+    spec.archs = {std::begin(kArchs), std::end(kArchs)};
+    const struct {
+        FaultClass cls;
+        const char *prefix;
+    } classes[] = {{FaultClass::RouterCentricCritical, "crit"},
+                   {FaultClass::MessageCentricNonCritical, "noncrit"}};
+    for (const auto &c : classes) {
+        for (int nf : kFaultCounts) {
+            for (std::uint64_t seed : kSeeds) {
+                spec.faultSets.push_back(
+                    {faultSetLabel(c.prefix, nf, seed),
+                     placeRandomFaults(topo, c.cls, nf, 3, seed)});
+            }
+        }
+    }
+    exp::SweepResults res = runSweep(spec);
+
     std::puts("Figure 14: Performance-Energy-Fault (PEF) product, 30% "
               "injection, XY routing");
-    panel(noc::FaultClass::RouterCentricCritical,
-          "(a) critical-region faults");
-    panel(noc::FaultClass::MessageCentricNonCritical,
-          "(b) non-critical-region faults");
+    panel(spec, res, 0, "(a) critical-region faults");
+    panel(spec, res, 1, "(b) non-critical-region faults");
     std::puts("\nPaper: RoCo ~50% better PEF than the generic router "
               "and ~35% better than Path-Sensitive.");
     return 0;

@@ -17,7 +17,11 @@ main()
     using namespace noc;
     using namespace noc::bench;
 
-    const double rates[] = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    exp::SweepSpec spec = makeSpec("fig3_contention");
+    spec.archs = {std::begin(kArchs), std::end(kArchs)};
+    spec.routings = {RoutingKind::XY, RoutingKind::Adaptive};
+    spec.rates = {0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6};
+    exp::SweepResults res = runSweep(spec);
 
     std::puts("Figure 3(a,b): contention at row/column input, XY "
               "routing, uniform traffic");
@@ -26,19 +30,16 @@ main()
     std::printf("%-6s | %8s %9s %8s | %8s %9s %8s\n", "rate", "Generic",
                 "PathSens", "RoCo", "Generic", "PathSens", "RoCo");
     hr();
-    for (double rate : rates) {
+    for (std::size_t ra = 0; ra < spec.rates.size(); ++ra) {
         double row[3], col[3];
-        int i = 0;
-        for (RouterArch a : kArchs) {
-            SimResult r =
-                run(a, RoutingKind::XY, TrafficKind::Uniform, rate);
-            row[i] = r.rowContention;
-            col[i] = r.colContention;
-            ++i;
+        for (std::size_t ar = 0; ar < spec.archs.size(); ++ar) {
+            const SimResult &r = res.at(spec, 0, 0, ra, 0, ar);
+            row[ar] = r.rowContention;
+            col[ar] = r.colContention;
         }
         std::printf("%-6.2f | %8.3f %9.3f %8.3f | %8.3f %9.3f %8.3f\n",
-                    rate, row[0], row[1], row[2], col[0], col[1],
-                    col[2]);
+                    spec.rates[ra], row[0], row[1], row[2], col[0],
+                    col[1], col[2]);
     }
 
     std::puts("\nFigure 3(c): contention with adaptive routing "
@@ -46,14 +47,12 @@ main()
     std::printf("%-6s %8s %9s %8s\n", "rate", "Generic", "PathSens",
                 "RoCo");
     hr();
-    for (double rate : rates) {
-        std::printf("%-6.2f", rate);
-        for (RouterArch a : kArchs) {
-            SimResult r = run(a, RoutingKind::Adaptive,
-                              TrafficKind::Uniform, rate);
-            double combined =
-                (r.rowContention + r.colContention) / 2.0;
-            std::printf(" %8.3f", combined);
+    for (std::size_t ra = 0; ra < spec.rates.size(); ++ra) {
+        std::printf("%-6.2f", spec.rates[ra]);
+        for (std::size_t ar = 0; ar < spec.archs.size(); ++ar) {
+            const SimResult &r = res.at(spec, 1, 0, ra, 0, ar);
+            std::printf(" %8.3f",
+                        (r.rowContention + r.colContention) / 2.0);
         }
         std::puts("");
     }

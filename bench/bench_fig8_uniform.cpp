@@ -5,5 +5,5 @@ int
 main()
 {
     return noc::bench::latencySweep(noc::TrafficKind::Uniform,
-                                    "Figure 8");
+                                    "Figure 8", "fig8_uniform");
 }

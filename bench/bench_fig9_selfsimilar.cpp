@@ -5,5 +5,5 @@ int
 main()
 {
     return noc::bench::latencySweep(noc::TrafficKind::SelfSimilar,
-                                    "Figure 9");
+                                    "Figure 9", "fig9_selfsimilar");
 }

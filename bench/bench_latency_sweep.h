@@ -2,6 +2,10 @@
  * @file
  * Shared driver for the Figure 8/9/10 latency-vs-injection-rate
  * sweeps: one traffic pattern, all routings, all architectures.
+ *
+ * The whole grid (3 routings x 8 rates x 3 archs = 72 points) is one
+ * SweepSpec fanned across the thread pool; the tables are then printed
+ * from the collected results in the figures' order.
  */
 #ifndef ROCOSIM_BENCH_BENCH_LATENCY_SWEEP_H_
 #define ROCOSIM_BENCH_BENCH_LATENCY_SWEEP_H_
@@ -11,23 +15,28 @@
 namespace noc::bench {
 
 inline int
-latencySweep(TrafficKind traffic, const char *figure)
+latencySweep(TrafficKind traffic, const char *figure, const char *specName)
 {
-    const double rates[] = {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4};
+    exp::SweepSpec spec = makeSpec(specName);
+    spec.base.traffic = traffic;
+    spec.archs = {std::begin(kArchs), std::end(kArchs)};
+    spec.routings = {std::begin(kRoutings), std::end(kRoutings)};
+    spec.rates = {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4};
+    exp::SweepResults res = runSweep(spec);
 
     std::printf("%s: average latency (cycles) vs injection rate, 8x8 "
                 "mesh, %s traffic\n", figure, toString(traffic));
-    for (RoutingKind routing : kRoutings) {
-        std::printf("\n-- %s routing --\n", toString(routing));
+    for (std::size_t ro = 0; ro < spec.routings.size(); ++ro) {
+        std::printf("\n-- %s routing --\n", toString(spec.routings[ro]));
         std::printf("%-6s %10s %12s %10s   (throughput f/n/c)\n",
                     "rate", "Generic", "PathSens", "RoCo");
         hr();
-        for (double rate : rates) {
-            std::printf("%-6.2f", rate);
+        for (std::size_t ra = 0; ra < spec.rates.size(); ++ra) {
+            std::printf("%-6.2f", spec.rates[ra]);
             char thr[64];
             int off = 0;
-            for (RouterArch a : kArchs) {
-                SimResult r = run(a, routing, traffic, rate);
+            for (std::size_t ar = 0; ar < spec.archs.size(); ++ar) {
+                const SimResult &r = res.at(spec, ro, 0, ra, 0, ar);
                 std::printf(" %9.2f%c", r.avgLatency,
                             r.timedOut ? '*' : ' ');
                 off += std::snprintf(thr + off, sizeof thr - off,

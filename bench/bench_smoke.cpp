@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Smoke test for the parallel sweep machinery, small enough to run
+ * under ThreadSanitizer in CI (registered as the `bench_smoke` ctest).
+ *
+ * Forces a multi-thread pool regardless of host core count so the
+ * runner's sharing (atomic work counter, per-slot result writes) is
+ * actually exercised, then cross-checks the pool's results against a
+ * serial run. Exits non-zero on any mismatch.
+ */
+#include <cstdio>
+
+#include "bench_util.h"
+
+int
+main()
+{
+    using namespace noc;
+    using namespace noc::bench;
+
+    exp::SweepSpec spec = makeSpec("smoke");
+    spec.base.meshWidth = 4;
+    spec.base.meshHeight = 4;
+    spec.base.warmupPackets = 20;
+    spec.base.measurePackets = 150;
+    spec.base.maxCycles = 20000;
+    spec.archs = {std::begin(kArchs), std::end(kArchs)};
+    spec.rates = {0.1, 0.2};
+
+    exp::SweepResults serial = exp::SweepRunner(1).run(spec);
+    exp::SweepResults pooled = exp::SweepRunner(4).run(spec);
+
+    int bad = 0;
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        const SimResult &a = serial.results[i].result;
+        const SimResult &b = pooled.results[i].result;
+        if (a.avgLatency != b.avgLatency || a.cycles != b.cycles ||
+            a.delivered != b.delivered ||
+            a.energyPerPacketNj != b.energyPerPacketNj) {
+            std::fprintf(stderr, "point %zu diverged across pools\n", i);
+            ++bad;
+        }
+    }
+    std::printf("bench_smoke: %zu points, %d threads, %s\n",
+                pooled.results.size(), pooled.threads,
+                bad ? "MISMATCH" : "serial == pooled");
+    return bad ? 1 : 0;
+}

@@ -6,14 +6,23 @@
  * is scaled down so the whole suite runs in minutes on a laptop; the
  * comparisons are stable at this scale. Override with:
  *   NOC_BENCH_WARMUP=<packets>  NOC_BENCH_PACKETS=<packets>
+ *   NOC_BENCH_SEED=<seed>       NOC_BENCH_THREADS=<pool size>
+ *   NOC_BENCH_JSON=0            NOC_BENCH_JSON_DIR=<dir>
+ *
+ * Grid benches declare a SweepSpec and fan it across a thread pool
+ * (exp/sweep.h); the per-point results are identical to a serial run,
+ * so the printed tables are thread-count independent.
  */
 #ifndef ROCOSIM_BENCH_BENCH_UTIL_H_
 #define ROCOSIM_BENCH_BENCH_UTIL_H_
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
 
+#include "exp/json_out.h"
+#include "exp/sweep.h"
 #include "sim/simulator.h"
 
 namespace noc::bench {
@@ -23,6 +32,13 @@ envOr(const char *name, std::uint64_t fallback)
 {
     const char *v = std::getenv(name);
     return v ? std::strtoull(v, nullptr, 10) : fallback;
+}
+
+/** Base RNG seed for every bench run (NOC_BENCH_SEED to override). */
+inline std::uint64_t
+benchSeed()
+{
+    return envOr("NOC_BENCH_SEED", 0xC0FFEEull);
 }
 
 /** The evaluation configuration of Section 5.4, scaled. */
@@ -35,6 +51,7 @@ paperConfig(RouterArch arch, RoutingKind routing, TrafficKind traffic,
     cfg.routing = routing;
     cfg.traffic = traffic;
     cfg.injectionRate = rate;
+    cfg.seed = benchSeed();
     cfg.warmupPackets = envOr("NOC_BENCH_WARMUP", 800);
     cfg.measurePackets = envOr("NOC_BENCH_PACKETS", 6000);
     cfg.maxCycles = 150000;
@@ -47,6 +64,41 @@ run(RouterArch arch, RoutingKind routing, TrafficKind traffic,
 {
     Simulator sim(paperConfig(arch, routing, traffic, rate), faults);
     return sim.run();
+}
+
+/** Seed line for serial (non-sweep) benches. */
+inline void
+printSeed()
+{
+    std::printf("seed: %" PRIu64 "\n", benchSeed());
+}
+
+/** A sweep spec named @p name with the paper base config. */
+inline exp::SweepSpec
+makeSpec(const char *name)
+{
+    exp::SweepSpec spec;
+    spec.name = name;
+    spec.base = paperConfig(RouterArch::Roco, RoutingKind::XY,
+                            TrafficKind::Uniform, 0.1);
+    return spec;
+}
+
+/**
+ * Runs @p spec on the shared pool, writes BENCH_<name>.json, and
+ * prints the seed/threads header every bench output carries.
+ */
+inline exp::SweepResults
+runSweep(const exp::SweepSpec &spec)
+{
+    exp::SweepRunner runner;
+    exp::SweepResults res = runner.run(spec);
+    exp::writeSweepJson(spec, res);
+    std::printf("seed: %" PRIu64 "   threads: %d   points: %zu   "
+                "wall: %.1f s\n",
+                spec.base.seed, res.threads, res.points.size(),
+                res.totalWallMs / 1000.0);
+    return res;
 }
 
 constexpr RouterArch kArchs[] = {RouterArch::Generic,

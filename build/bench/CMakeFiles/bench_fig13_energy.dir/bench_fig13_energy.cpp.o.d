@@ -1,6 +1,7 @@
 bench/CMakeFiles/bench_fig13_energy.dir/bench_fig13_energy.cpp.o: \
  /root/repo/bench/bench_fig13_energy.cpp /usr/include/stdc-predef.h \
- /root/repo/bench/bench_util.h /usr/include/c++/12/cstdio \
+ /root/repo/bench/bench_util.h /usr/include/c++/12/cinttypes \
+ /usr/include/c++/12/cstdint \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++config.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/os_defines.h \
  /usr/include/features.h /usr/include/features-time64.h \
@@ -11,13 +12,18 @@ bench/CMakeFiles/bench_fig13_energy.dir/bench_fig13_energy.cpp.o: \
  /usr/include/x86_64-linux-gnu/gnu/stubs.h \
  /usr/include/x86_64-linux-gnu/gnu/stubs-64.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/cpu_defines.h \
- /usr/include/c++/12/pstl/pstl_config.h /usr/include/stdio.h \
+ /usr/include/c++/12/pstl/pstl_config.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
  /usr/include/x86_64-linux-gnu/bits/libc-header-start.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
  /usr/include/x86_64-linux-gnu/bits/types.h \
  /usr/include/x86_64-linux-gnu/bits/typesizes.h \
  /usr/include/x86_64-linux-gnu/bits/time64.h \
+ /usr/include/x86_64-linux-gnu/bits/wchar.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-intn.h \
+ /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /usr/include/inttypes.h /usr/include/c++/12/cstdio /usr/include/stdio.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stddef.h \
+ /usr/lib/gcc/x86_64-linux-gnu/12/include/stdarg.h \
  /usr/include/x86_64-linux-gnu/bits/types/__fpos_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__mbstate_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/__fpos64_t.h \
@@ -37,8 +43,7 @@ bench/CMakeFiles/bench_fig13_energy.dir/bench_fig13_energy.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/types/clock_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/clockid_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/time_t.h \
- /usr/include/x86_64-linux-gnu/bits/types/timer_t.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-intn.h /usr/include/endian.h \
+ /usr/include/x86_64-linux-gnu/bits/types/timer_t.h /usr/include/endian.h \
  /usr/include/x86_64-linux-gnu/bits/endian.h \
  /usr/include/x86_64-linux-gnu/bits/endianness.h \
  /usr/include/x86_64-linux-gnu/bits/byteswap.h \
@@ -62,8 +67,7 @@ bench/CMakeFiles/bench_fig13_energy.dir/bench_fig13_energy.cpp.o: \
  /usr/include/c++/12/bits/memoryfwd.h \
  /usr/include/c++/12/bits/char_traits.h \
  /usr/include/c++/12/bits/postypes.h /usr/include/c++/12/cwchar \
- /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/wchar.h \
- /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
+ /usr/include/wchar.h /usr/include/x86_64-linux-gnu/bits/types/wint_t.h \
  /usr/include/x86_64-linux-gnu/bits/types/mbstate_t.h \
  /usr/include/c++/12/type_traits /usr/include/c++/12/compare \
  /usr/include/c++/12/concepts /usr/include/c++/12/bits/stl_construct.h \
@@ -75,9 +79,7 @@ bench/CMakeFiles/bench_fig13_energy.dir/bench_fig13_energy.cpp.o: \
  /usr/include/c++/12/bits/ranges_cmp.h \
  /usr/include/c++/12/bits/stl_iterator_base_funcs.h \
  /usr/include/c++/12/bits/concept_check.h \
- /usr/include/c++/12/debug/assertions.h /usr/include/c++/12/cstdint \
- /usr/lib/gcc/x86_64-linux-gnu/12/include/stdint.h /usr/include/stdint.h \
- /usr/include/x86_64-linux-gnu/bits/stdint-uintn.h \
+ /usr/include/c++/12/debug/assertions.h \
  /usr/include/c++/12/bits/allocator.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++allocator.h \
  /usr/include/c++/12/bits/new_allocator.h \
@@ -117,16 +119,17 @@ bench/CMakeFiles/bench_fig13_energy.dir/bench_fig13_energy.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/sim/simulator.h \
+ /usr/include/c++/12/bits/basic_string.tcc /root/repo/src/exp/json_out.h \
+ /root/repo/src/exp/sweep.h /usr/include/c++/12/cstddef \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/config.h \
- /root/repo/src/common/types.h /root/repo/src/common/stats.h \
- /usr/include/c++/12/limits /root/repo/src/fault/fault.h \
- /root/repo/src/power/energy_model.h /root/repo/src/power/energy_params.h \
- /root/repo/src/sim/network.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /root/repo/src/common/types.h /root/repo/src/fault/fault.h \
+ /root/repo/src/sim/simulator.h /root/repo/src/common/stats.h \
+ /usr/include/c++/12/limits /root/repo/src/power/energy_model.h \
+ /root/repo/src/power/energy_params.h /root/repo/src/sim/network.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/uses_allocator.h \

@@ -12,6 +12,8 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/rng.cpp" "src/CMakeFiles/rocosim.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/common/rng.cpp.o.d"
   "/root/repo/src/common/stats.cpp" "src/CMakeFiles/rocosim.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/common/stats.cpp.o.d"
   "/root/repo/src/common/types.cpp" "src/CMakeFiles/rocosim.dir/common/types.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/common/types.cpp.o.d"
+  "/root/repo/src/exp/json_out.cpp" "src/CMakeFiles/rocosim.dir/exp/json_out.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/exp/json_out.cpp.o.d"
+  "/root/repo/src/exp/sweep.cpp" "src/CMakeFiles/rocosim.dir/exp/sweep.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/exp/sweep.cpp.o.d"
   "/root/repo/src/fault/fault.cpp" "src/CMakeFiles/rocosim.dir/fault/fault.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/fault/fault.cpp.o.d"
   "/root/repo/src/fault/fault_injector.cpp" "src/CMakeFiles/rocosim.dir/fault/fault_injector.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/fault/fault_injector.cpp.o.d"
   "/root/repo/src/metrics/arbiter_complexity.cpp" "src/CMakeFiles/rocosim.dir/metrics/arbiter_complexity.cpp.o" "gcc" "src/CMakeFiles/rocosim.dir/metrics/arbiter_complexity.cpp.o.d"

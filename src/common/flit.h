@@ -72,6 +72,25 @@ struct Flit {
     std::uint8_t hops = 0; ///< routers traversed so far (stats only)
 };
 
+/**
+ * Network-wide flit lifecycle counters, maintained incrementally by the
+ * NICs (creation, delivery) and the routers (fault drops).
+ *
+ * Every flit is counted created exactly once when it enters a source
+ * queue and retired exactly once when it is delivered to a NIC or
+ * discarded at a fault, so `created == retired` is equivalent to "no
+ * flit anywhere in the system" — the drain condition the simulator
+ * previously established with a full network walk every cycle.
+ */
+struct FlitLedger {
+    std::uint64_t created = 0; ///< flits enqueued at source NICs
+    std::uint64_t retired = 0; ///< flits delivered or discarded
+    Cycle lastDelivery = 0;    ///< most recent NIC delivery cycle
+
+    /** True when no flit is queued, buffered or on a link. */
+    bool quiescent() const { return created == retired; }
+};
+
 } // namespace noc
 
 #endif // ROCOSIM_COMMON_FLIT_H_

@@ -1,0 +1,182 @@
+#include "exp/json_out.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace noc::exp {
+namespace {
+
+/** Shortest representation that round-trips a double (%.17g is exact). */
+void
+appendNum(std::string &out, double v)
+{
+    char buf[40];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    // Prefer a shorter form when it round-trips to the same value.
+    for (int prec = 1; prec < 17; ++prec) {
+        char shorter[40];
+        std::snprintf(shorter, sizeof(shorter), "%.*g", prec, v);
+        if (std::strtod(shorter, nullptr) == v) {
+            out += shorter;
+            return;
+        }
+    }
+    out += buf;
+}
+
+void
+appendNum(std::string &out, std::uint64_t v)
+{
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out += buf;
+}
+
+/** The fault labels / names we emit contain no characters needing escapes,
+ *  but guard anyway so a future label can't corrupt the file. */
+void
+appendStr(std::string &out, const std::string &s)
+{
+    out += '"';
+    for (char c : s) {
+        if (c == '"' || c == '\\') {
+            out += '\\';
+            out += c;
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x",
+                          static_cast<unsigned>(c));
+            out += buf;
+        } else {
+            out += c;
+        }
+    }
+    out += '"';
+}
+
+void
+appendField(std::string &out, const char *key, double v, bool last = false)
+{
+    out += '"';
+    out += key;
+    out += "\": ";
+    appendNum(out, v);
+    if (!last)
+        out += ", ";
+}
+
+void
+appendField(std::string &out, const char *key, std::uint64_t v,
+            bool last = false)
+{
+    out += '"';
+    out += key;
+    out += "\": ";
+    appendNum(out, v);
+    if (!last)
+        out += ", ";
+}
+
+void
+appendResult(std::string &out, const SimResult &r)
+{
+    out += "{";
+    appendField(out, "avgLatency", r.avgLatency);
+    appendField(out, "latencyStddev", r.latencyStddev);
+    appendField(out, "maxLatency", r.maxLatency);
+    appendField(out, "p50Latency", r.p50Latency);
+    appendField(out, "p99Latency", r.p99Latency);
+    appendField(out, "throughputFlits", r.throughputFlits);
+    appendField(out, "injected", r.injected);
+    appendField(out, "delivered", r.delivered);
+    appendField(out, "completion", r.completion);
+    out += "\"energy\": {";
+    appendField(out, "bufferPj", r.energy.bufferPj);
+    appendField(out, "crossbarPj", r.energy.crossbarPj);
+    appendField(out, "arbiterPj", r.energy.arbiterPj);
+    appendField(out, "routingPj", r.energy.routingPj);
+    appendField(out, "linkPj", r.energy.linkPj);
+    appendField(out, "leakagePj", r.energy.leakagePj, true);
+    out += "}, ";
+    appendField(out, "energyPerPacketNj", r.energyPerPacketNj);
+    appendField(out, "edp", r.edp);
+    appendField(out, "pef", r.pef);
+    appendField(out, "cycles", static_cast<std::uint64_t>(r.cycles));
+    out += "\"timedOut\": ";
+    out += r.timedOut ? "true" : "false";
+    out += ", ";
+    appendField(out, "rowContention", r.rowContention);
+    appendField(out, "colContention", r.colContention, true);
+    out += "}";
+}
+
+} // namespace
+
+std::string
+sweepJson(const SweepSpec &spec, const SweepResults &res)
+{
+    std::string out;
+    out.reserve(1024 + res.points.size() * 640);
+    out += "{\n  \"schema\": 1,\n  \"bench\": ";
+    appendStr(out, spec.name);
+    out += ",\n  \"threads\": ";
+    appendNum(out, static_cast<std::uint64_t>(res.threads));
+    out += ",\n  \"baseSeed\": ";
+    appendNum(out, spec.base.seed);
+    out += ",\n  \"totalWallMs\": ";
+    appendNum(out, res.totalWallMs);
+    out += ",\n  \"points\": [\n";
+    for (std::size_t i = 0; i < res.points.size(); ++i) {
+        const SweepPoint &p = res.points[i];
+        const PointResult &r = res.results[i];
+        out += "    {";
+        appendField(out, "index", static_cast<std::uint64_t>(p.index));
+        out += "\"arch\": ";
+        appendStr(out, toString(p.cfg.arch));
+        out += ", \"routing\": ";
+        appendStr(out, toString(p.cfg.routing));
+        out += ", \"traffic\": ";
+        appendStr(out, toString(p.cfg.traffic));
+        out += ", ";
+        appendField(out, "rate", p.cfg.injectionRate);
+        out += "\"faults\": ";
+        appendStr(out, p.faultLabel);
+        out += ", ";
+        appendField(out, "seed", r.seed);
+        appendField(out, "wallMs", r.wallMs);
+        out += "\"result\": ";
+        appendResult(out, r.result);
+        out += "}";
+        if (i + 1 < res.points.size())
+            out += ",";
+        out += "\n";
+    }
+    out += "  ]\n}\n";
+    return out;
+}
+
+std::string
+writeSweepJson(const SweepSpec &spec, const SweepResults &res)
+{
+    if (const char *v = std::getenv("NOC_BENCH_JSON")) {
+        if (std::strcmp(v, "0") == 0)
+            return "";
+    }
+    const char *dir = std::getenv("NOC_BENCH_JSON_DIR");
+    std::string path = dir && *dir ? std::string(dir) + "/" : std::string();
+    path += "BENCH_" + spec.name + ".json";
+
+    std::string body = sweepJson(spec, res);
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+        return "";
+    }
+    std::fwrite(body.data(), 1, body.size(), f);
+    std::fclose(f);
+    return path;
+}
+
+} // namespace noc::exp

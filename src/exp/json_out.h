@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Machine-readable sweep output.
+ *
+ * Each bench emits BENCH_<name>.json next to its text tables so plots
+ * and regression tooling can consume results without screen-scraping.
+ * The serialiser is a deliberately tiny hand-rolled emitter — the
+ * schema is flat and fixed, and the container ships no JSON library.
+ */
+#ifndef ROCOSIM_EXP_JSON_OUT_H_
+#define ROCOSIM_EXP_JSON_OUT_H_
+
+#include <string>
+
+#include "exp/sweep.h"
+
+namespace noc::exp {
+
+/**
+ * Serialises a finished sweep. Schema (version 1):
+ * @code
+ * {
+ *   "schema": 1,
+ *   "bench": "<spec.name>",
+ *   "threads": N,
+ *   "baseSeed": S,
+ *   "totalWallMs": T,
+ *   "points": [
+ *     { "index": i, "arch": "...", "routing": "...", "traffic": "...",
+ *       "rate": r, "faults": "<label>", "seed": s, "wallMs": w,
+ *       "result": { ...every SimResult field, energy nested... } },
+ *     ...
+ *   ]
+ * }
+ * @endcode
+ */
+std::string sweepJson(const SweepSpec &spec, const SweepResults &res);
+
+/**
+ * Writes sweepJson() to BENCH_<spec.name>.json.
+ *
+ * Honors NOC_BENCH_JSON=0 (skip entirely) and NOC_BENCH_JSON_DIR
+ * (target directory, default "."). Returns the path written, or ""
+ * when skipped / on I/O failure (failure also logs a warning — benches
+ * should not die over a read-only working directory).
+ */
+std::string writeSweepJson(const SweepSpec &spec, const SweepResults &res);
+
+} // namespace noc::exp
+
+#endif // ROCOSIM_EXP_JSON_OUT_H_

@@ -1,0 +1,158 @@
+#include "exp/sweep.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <thread>
+
+#include "common/log.h"
+
+namespace noc::exp {
+
+std::size_t
+SweepSpec::pointCount() const
+{
+    return routingCount() * trafficCount() * rateCount() * faultSetCount() *
+           archCount();
+}
+
+std::size_t
+SweepSpec::flatIndex(std::size_t routing, std::size_t traffic,
+                     std::size_t rate, std::size_t faultSet,
+                     std::size_t arch) const
+{
+    NOC_ASSERT(routing < routingCount() && traffic < trafficCount() &&
+                   rate < rateCount() && faultSet < faultSetCount() &&
+                   arch < archCount(),
+               "sweep grid index out of range");
+    return (((routing * trafficCount() + traffic) * rateCount() + rate) *
+                faultSetCount() +
+            faultSet) *
+               archCount() +
+           arch;
+}
+
+std::vector<SweepPoint>
+expand(const SweepSpec &spec)
+{
+    std::vector<SweepPoint> points;
+    points.reserve(spec.pointCount());
+    for (std::size_t ro = 0; ro < spec.routingCount(); ++ro) {
+        for (std::size_t tr = 0; tr < spec.trafficCount(); ++tr) {
+            for (std::size_t ra = 0; ra < spec.rateCount(); ++ra) {
+                for (std::size_t fs = 0; fs < spec.faultSetCount(); ++fs) {
+                    for (std::size_t ar = 0; ar < spec.archCount(); ++ar) {
+                        SweepPoint p;
+                        p.index = points.size();
+                        NOC_ASSERT(p.index == spec.flatIndex(ro, tr, ra, fs,
+                                                             ar),
+                                   "expand order disagrees with flatIndex");
+                        p.cfg = spec.base;
+                        if (!spec.archs.empty())
+                            p.cfg.arch = spec.archs[ar];
+                        if (!spec.routings.empty())
+                            p.cfg.routing = spec.routings[ro];
+                        if (!spec.traffics.empty())
+                            p.cfg.traffic = spec.traffics[tr];
+                        if (!spec.rates.empty())
+                            p.cfg.injectionRate = spec.rates[ra];
+                        if (!spec.faultSets.empty()) {
+                            p.faults = spec.faultSets[fs].faults;
+                            p.faultLabel = spec.faultSets[fs].label;
+                        }
+                        p.archIdx = ar;
+                        p.routingIdx = ro;
+                        p.trafficIdx = tr;
+                        p.rateIdx = ra;
+                        p.faultSetIdx = fs;
+                        points.push_back(std::move(p));
+                    }
+                }
+            }
+        }
+    }
+    return points;
+}
+
+int
+SweepRunner::defaultThreads()
+{
+    if (const char *v = std::getenv("NOC_BENCH_THREADS")) {
+        long n = std::strtol(v, nullptr, 10);
+        if (n >= 1)
+            return static_cast<int>(n);
+    }
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? static_cast<int>(hw) : 1;
+}
+
+SweepRunner::SweepRunner(int threads)
+    : threads_(threads > 0 ? threads : defaultThreads())
+{
+}
+
+namespace {
+
+double
+msSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** Runs one point; the only code the pool threads execute. */
+void
+runPoint(const SweepPoint &p, PointResult &out)
+{
+    auto t0 = std::chrono::steady_clock::now();
+    Simulator sim(p.cfg, p.faults);
+    out.index = p.index;
+    out.seed = p.cfg.seed;
+    out.result = sim.run();
+    out.wallMs = msSince(t0);
+}
+
+} // namespace
+
+SweepResults
+SweepRunner::run(const SweepSpec &spec) const
+{
+    auto t0 = std::chrono::steady_clock::now();
+    SweepResults res;
+    res.points = expand(spec);
+    res.results.resize(res.points.size());
+    res.threads = threads_;
+
+    // Work-stealing over a shared counter: each thread claims the next
+    // unclaimed point and writes only its own result slot, so the
+    // collected vector needs no locks and is already in point order.
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= res.points.size())
+                return;
+            runPoint(res.points[i], res.results[i]);
+        }
+    };
+
+    int pool = threads_;
+    if (pool > static_cast<int>(res.points.size()))
+        pool = static_cast<int>(res.points.size());
+    if (pool <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> threads;
+        threads.reserve(static_cast<std::size_t>(pool));
+        for (int t = 0; t < pool; ++t)
+            threads.emplace_back(worker);
+        for (std::thread &t : threads)
+            t.join();
+    }
+
+    res.totalWallMs = msSince(t0);
+    return res;
+}
+
+} // namespace noc::exp

@@ -27,6 +27,9 @@ GenericRouter::GenericRouter(NodeId id, const SimConfig &cfg,
     for (auto &o : localOut_)
         o.credits = kInfiniteCredits;
 
+    vaReqs_.reserve(static_cast<size_t>(kNumPorts) * numVcs_);
+    vaMasks_.assign(static_cast<size_t>(kNumPorts) * numVcs_, 0);
+
     // One VA arbiter per output VC slot (5 ports x v), each choosing
     // among the 5v input VCs.
     vaArb_.reserve(static_cast<size_t>(kNumPorts) * numVcs_);
@@ -112,6 +115,8 @@ GenericRouter::drainDropped(Cycle now)
 {
     // One flit per VC per cycle drains a discarded packet, freeing its
     // buffer slots (and upstream credits) like a normal traversal.
+    if (dropPending_ == 0)
+        return;
     for (int p = 0; p < kNumPorts; ++p) {
         for (int v = 0; v < numVcs_; ++v) {
             InputVc &ivc = vc(p, v);
@@ -124,12 +129,15 @@ GenericRouter::drainDropped(Cycle now)
                 continue;
             }
             Flit f = ivc.buf.pop();
+            retireFlit();
             if (p != static_cast<int>(Direction::Local)) {
                 sendCredit(static_cast<Direction>(p),
                            static_cast<std::uint8_t>(v), now);
             }
-            if (isTail(f.type))
+            if (isTail(f.type)) {
                 ivc.ctl.pop_front();
+                --dropPending_;
+            }
         }
     }
 }
@@ -174,12 +182,14 @@ GenericRouter::pullInjection(Cycle)
     // Discard packets that can never leave the source (fault-blocked).
     if (front.packetId == droppingPacket_) {
         Flit f = nic_->popPending();
+        retireFlit();
         if (isTail(f.type))
             droppingPacket_ = 0;
         return;
     }
     if (isHead(front.type) && permanentlyBlocked(front)) {
         Flit f = nic_->popPending();
+        retireFlit();
         if (!isTail(f.type))
             droppingPacket_ = f.packetId;
         return;
@@ -272,15 +282,12 @@ GenericRouter::allocateVcs(Cycle now)
 {
     // Input-first separable VA: every waiting head picks one candidate
     // output VC, then each contested output VC arbitrates (Figure 2a).
-    struct Request {
-        int inIdx;
-        Direction dir;
-        int slot;
-    };
-    std::vector<Request> reqs;
-    // Request mask per output VC: key = dir * numVcs_ + slot.
-    std::vector<std::uint64_t> masks(
-        static_cast<size_t>(kNumPorts) * numVcs_, 0);
+    // Request mask per output VC: key = dir * numVcs_ + slot. Both
+    // scratch buffers are members (vaMasks_ re-zeroes itself: every
+    // set key is cleared when its arbitration below fires).
+    std::vector<VaRequest> &reqs = vaReqs_;
+    std::vector<std::uint64_t> &masks = vaMasks_;
+    reqs.clear();
 
     for (int i = 0; i < kNumPorts * numVcs_; ++i) {
         InputVc &ivc = in_[static_cast<size_t>(i)];
@@ -289,6 +296,7 @@ GenericRouter::allocateVcs(Cycle now)
         const Flit &head = ivc.buf.front();
         if (permanentlyBlocked(head)) {
             ivc.ctl.front().stage = PacketCtl::Stage::Drop;
+            ++dropPending_;
             continue;
         }
         Direction dir;
@@ -302,7 +310,7 @@ GenericRouter::allocateVcs(Cycle now)
         reqs.push_back({i, dir, slot});
     }
 
-    for (const Request &r : reqs) {
+    for (const VaRequest &r : reqs) {
         size_t key =
             static_cast<size_t>(static_cast<int>(r.dir)) * numVcs_ +
             r.slot;

@@ -104,6 +104,28 @@ class GenericRouter : public Router
     FlitChannel ejectPipe_;
 
     std::uint64_t droppingPacket_ = 0; ///< source packet being discarded
+    /**
+     * Packets in Drop stage across all input VCs. drainDropped() scans
+     * every VC; fault-free runs (the common case) skip it entirely.
+     */
+    int dropPending_ = 0;
+
+    /** One input VC's request in a VA round (scratch, see vaReqs_). */
+    struct VaRequest {
+        int inIdx;
+        Direction dir;
+        int slot;
+    };
+    /**
+     * Per-cycle VA scratch buffers, hoisted out of allocateVcs(): the
+     * allocation round runs every cycle on every router, so rebuilding
+     * these vectors on the stack dominated the heap traffic of a run.
+     * vaMasks_ is all-zero between rounds (each key set during request
+     * collection is cleared when its arbitration fires).
+     */
+    std::vector<VaRequest> vaReqs_;
+    std::vector<std::uint64_t> vaMasks_; ///< [dir * numVcs_ + slot]
+
     std::vector<RoundRobinArbiter> vaArb_;   ///< per output VC slot
     std::vector<RoundRobinArbiter> saPort_;  ///< stage 1, per input port
     std::vector<RoundRobinArbiter> saOut_;   ///< stage 2, per output port

@@ -25,6 +25,11 @@ PathSensitiveRouter::PathSensitiveRouter(NodeId id, const SimConfig &cfg,
         saSet_.emplace_back(numVcs_);
     for (int i = 0; i < kNumCardinal; ++i)
         saOut_.emplace_back(kNumQuadrants);
+
+    vaReqs_.reserve(in_.capacity());
+    vaMasks_.assign(static_cast<size_t>(kNumCardinal) * kNumQuadrants *
+                        numVcs_,
+                    0);
 }
 
 int
@@ -83,6 +88,8 @@ PathSensitiveRouter::step(Cycle now)
 void
 PathSensitiveRouter::drainDropped(Cycle now)
 {
+    if (dropPending_ == 0)
+        return;
     for (int i = 0; i < static_cast<int>(in_.size()); ++i) {
         InputVc &ivc = in_[static_cast<size_t>(i)];
         if (ivc.ctl.empty() ||
@@ -94,6 +101,7 @@ PathSensitiveRouter::drainDropped(Cycle now)
             continue;
         }
         Flit f = ivc.buf.pop();
+        retireFlit();
         if (ivc.ctl.front().srcDir != Direction::Local) {
             sendCredit(ivc.ctl.front().srcDir,
                        static_cast<std::uint8_t>(i), now);
@@ -104,6 +112,7 @@ PathSensitiveRouter::drainDropped(Cycle now)
                 ivc.reservedPacket = 0;
             }
             ivc.ctl.pop_front();
+            --dropPending_;
         }
     }
 }
@@ -127,6 +136,7 @@ PathSensitiveRouter::bufferFlit(int q, int v, const Flit &f,
         ++act_.rcComputations;
         if (ctl.nextLa == Direction::Invalid || destinationDead(f)) {
             ctl.stage = PacketCtl::Stage::Drop; // discard at the fault
+            ++dropPending_;
         } else if (ctl.nextLa == Direction::Local) {
             ctl.outSlot = kEjectSlot; // early ejection downstream
             ctl.stage = PacketCtl::Stage::Active;
@@ -201,6 +211,7 @@ PathSensitiveRouter::pullInjection(Cycle)
 
     if (front.packetId == droppingPacket_) {
         Flit drop = nic_->popPending();
+        retireFlit();
         if (isTail(drop.type))
             droppingPacket_ = 0;
         return;
@@ -219,6 +230,7 @@ PathSensitiveRouter::pullInjection(Cycle)
         }
         if (blocked) {
             Flit drop = nic_->popPending();
+            retireFlit();
             if (!isTail(drop.type))
                 droppingPacket_ = drop.packetId;
             return;
@@ -317,14 +329,11 @@ PathSensitiveRouter::downstreamSlots(Direction outDir,
 void
 PathSensitiveRouter::allocateVcs(Cycle now)
 {
-    struct Request {
-        int inIdx;
-        Direction dir;
-        int slot;
-    };
-    std::vector<Request> reqs;
-    std::vector<std::uint64_t> masks(
-        static_cast<size_t>(kNumCardinal) * kNumQuadrants * numVcs_, 0);
+    // Scratch buffers are members to keep this every-cycle path
+    // allocation free (vaMasks_ re-zeroes itself as arbitrations fire).
+    std::vector<VaRequest> &reqs = vaReqs_;
+    std::vector<std::uint64_t> &masks = vaMasks_;
+    reqs.clear();
 
     for (int i = 0; i < static_cast<int>(in_.size()); ++i) {
         InputVc &ivc = in_[static_cast<size_t>(i)];
@@ -340,6 +349,7 @@ PathSensitiveRouter::allocateVcs(Cycle now)
         if (elig == 0) {
             // Only a dead downstream node empties the pool: discard.
             ctl.stage = PacketCtl::Stage::Drop;
+            ++dropPending_;
             continue;
         }
         int best = -1;
@@ -368,7 +378,7 @@ PathSensitiveRouter::allocateVcs(Cycle now)
         reqs.push_back({i, ctl.outDir, best});
     }
 
-    for (const Request &r : reqs) {
+    for (const VaRequest &r : reqs) {
         size_t key = static_cast<size_t>(static_cast<int>(r.dir)) *
                          kNumQuadrants * numVcs_ +
                      r.slot;

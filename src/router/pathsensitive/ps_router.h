@@ -113,6 +113,26 @@ class PathSensitiveRouter : public Router
     std::vector<RoundRobinArbiter> saSet_; ///< stage 1, per path set
     std::vector<RoundRobinArbiter> saOut_; ///< stage 2, per output
     std::uint64_t droppingPacket_ = 0; ///< source packet being discarded
+    /**
+     * Packets in Drop stage across all input VCs. drainDropped() scans
+     * every VC; fault-free runs (the common case) skip it entirely.
+     */
+    int dropPending_ = 0;
+
+    /** One input VC's request in a VA round (scratch, see vaReqs_). */
+    struct VaRequest {
+        int inIdx;
+        Direction dir;
+        int slot;
+    };
+    /**
+     * Per-cycle VA scratch buffers, hoisted out of allocateVcs() so the
+     * every-cycle allocation round performs no heap allocation.
+     * vaMasks_ is all-zero between rounds (every set key is cleared
+     * when its arbitration fires).
+     */
+    std::vector<VaRequest> vaReqs_;
+    std::vector<std::uint64_t> vaMasks_; ///< [dir * 4v + slot]
 };
 
 } // namespace noc

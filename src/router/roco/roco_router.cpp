@@ -26,6 +26,11 @@ RocoRouter::RocoRouter(NodeId id, const SimConfig &cfg,
                    kPortsPerModule * numVcs_);
     for (int i = 0; i < kNumCardinal * 2 * kPortsPerModule * numVcs_; ++i)
         vaArb_.emplace_back(2 * kPortsPerModule * numVcs_);
+
+    vaReqs_.reserve(in_.capacity());
+    vaMasks_.assign(static_cast<size_t>(kNumCardinal) * 2 *
+                        kPortsPerModule * numVcs_,
+                    0);
 }
 
 int
@@ -126,6 +131,8 @@ RocoRouter::injectionBlocked(const Flit &head) const
 void
 RocoRouter::drainDropped(Cycle now)
 {
+    if (dropPending_ == 0)
+        return;
     for (int i = 0; i < static_cast<int>(in_.size()); ++i) {
         InputVc &ivc = in_[static_cast<size_t>(i)];
         if (ivc.ctl.empty() ||
@@ -137,6 +144,7 @@ RocoRouter::drainDropped(Cycle now)
             continue;
         }
         Flit f = ivc.buf.pop();
+        retireFlit();
         if (ivc.ctl.front().srcDir != Direction::Local) {
             sendCredit(ivc.ctl.front().srcDir,
                        static_cast<std::uint8_t>(i), now);
@@ -147,6 +155,7 @@ RocoRouter::drainDropped(Cycle now)
                 ivc.reservedPacket = 0;
             }
             ivc.ctl.pop_front();
+            --dropPending_;
         }
     }
 }
@@ -175,6 +184,7 @@ RocoRouter::bufferFlit(Module m, int port, int v, const Flit &f,
         if (ctl.nextLa == Direction::Invalid || destinationDead(f)) {
             // Every minimal next hop is behind a hard fault: discard.
             ctl.stage = PacketCtl::Stage::Drop;
+            ++dropPending_;
         } else if (ctl.nextLa == Direction::Local) {
             // Ejection at the next router happens before its modules;
             // no downstream VC is ever allocated (early ejection).
@@ -268,6 +278,7 @@ RocoRouter::pullInjection(Cycle now)
 
     if (front.packetId == droppingPacket_) {
         Flit drop = nic_->popPending();
+        retireFlit();
         if (isTail(drop.type))
             droppingPacket_ = 0;
         return;
@@ -276,6 +287,7 @@ RocoRouter::pullInjection(Cycle now)
     if (isHead(front.type)) {
         if (destinationDead(front) || injectionBlocked(front)) {
             Flit drop = nic_->popPending();
+            retireFlit();
             if (!isTail(drop.type))
                 droppingPacket_ = drop.packetId;
             return;
@@ -390,17 +402,13 @@ RocoRouter::allocateVcs(Cycle now)
 {
     // Separable VA over the module's smaller arbiters (Figure 2b):
     // each waiting head picks its best eligible downstream slot, then
-    // each contested (output, slot) pair arbitrates.
-    struct Request {
-        int inIdx;
-        Direction dir;
-        int slot;
-        Direction nextLa;
-    };
-    std::vector<Request> reqs;
+    // each contested (output, slot) pair arbitrates. The scratch
+    // buffers are members to keep this every-cycle path allocation
+    // free (vaMasks_ re-zeroes itself as arbitrations fire).
+    std::vector<VaRequest> &reqs = vaReqs_;
+    std::vector<std::uint64_t> &masks = vaMasks_;
+    reqs.clear();
     const int slotsPerDirAll = 2 * kPortsPerModule * numVcs_;
-    std::vector<std::uint64_t> masks(
-        static_cast<size_t>(kNumCardinal) * slotsPerDirAll, 0);
 
     const bool adaptive = routing_.kind() == RoutingKind::Adaptive;
 
@@ -428,6 +436,7 @@ RocoRouter::allocateVcs(Cycle now)
             laCands.push(ctl.nextLa);
         if (laCands.empty()) {
             ctl.stage = PacketCtl::Stage::Drop;
+            ++dropPending_;
             continue;
         }
 
@@ -465,8 +474,10 @@ RocoRouter::allocateVcs(Cycle now)
             std::uint64_t statically = 0;
             for (Direction la : laCands)
                 statically |= eligibleSlots(ctl.outDir, la, head);
-            if (statically == 0)
+            if (statically == 0) {
                 ctl.stage = PacketCtl::Stage::Drop;
+                ++dropPending_;
+            }
             continue;
         }
         masks[static_cast<size_t>(static_cast<int>(ctl.outDir)) *
@@ -483,7 +494,7 @@ RocoRouter::allocateVcs(Cycle now)
     for (int ri = 0; ri < static_cast<int>(reqs.size()); ++ri)
         reqOf[reqs[static_cast<size_t>(ri)].inIdx] = ri;
 
-    for (const Request &r0 : reqs) {
+    for (const VaRequest &r0 : reqs) {
         size_t key = static_cast<size_t>(static_cast<int>(r0.dir)) *
                          slotsPerDirAll +
                      r0.slot;
@@ -494,7 +505,7 @@ RocoRouter::allocateVcs(Cycle now)
         NOC_ASSERT(winner >= 0 && reqOf[winner] >= 0,
                    "VA arbiter returned no winner");
         masks[key] = 0;
-        const Request &r = reqs[static_cast<size_t>(reqOf[winner])];
+        const VaRequest &r = reqs[static_cast<size_t>(reqOf[winner])];
 
         InputVc &ivc = in_[static_cast<size_t>(winner)];
         PacketCtl &ctl = ivc.ctl.front();

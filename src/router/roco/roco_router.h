@@ -134,6 +134,27 @@ class RocoRouter : public Router
     std::vector<RoundRobinArbiter> vaArb_; ///< [dir * 4v + slot]
     bool vaBusy_[2] = {false, false}; ///< VA arbiters used this cycle
     std::uint64_t droppingPacket_ = 0; ///< source packet being discarded
+    /**
+     * Packets in Drop stage across all input VCs. drainDropped() scans
+     * every VC; fault-free runs (the common case) skip it entirely.
+     */
+    int dropPending_ = 0;
+
+    /** One input VC's request in a VA round (scratch, see vaReqs_). */
+    struct VaRequest {
+        int inIdx;
+        Direction dir;
+        int slot;
+        Direction nextLa;
+    };
+    /**
+     * Per-cycle VA scratch buffers, hoisted out of allocateVcs() so the
+     * every-cycle allocation round performs no heap allocation.
+     * vaMasks_ is all-zero between rounds (every set key is cleared
+     * when its arbitration fires).
+     */
+    std::vector<VaRequest> vaReqs_;
+    std::vector<std::uint64_t> vaMasks_; ///< [dir * 4v + slot]
 };
 
 } // namespace noc

@@ -116,6 +116,8 @@ class Router
     void connectPort(Direction d, const PortIo &io);
     /** Attaches the processing element. */
     void setNic(NicIf *nic) { nic_ = nic; }
+    /** Attaches the network-wide flit lifecycle counters (may be null). */
+    void setLedger(FlitLedger *ledger) { ledger_ = ledger; }
     /** Registers the adjacent router behind port @p d (handshake wires). */
     void setNeighbor(Direction d, Router *r);
 
@@ -245,6 +247,18 @@ class Router
     /** True when the packet's destination node is off-line. */
     bool destinationDead(const Flit &f) const;
 
+    /**
+     * Counts a flit that leaves the network without being delivered
+     * (fault drop at the source queue or in an input VC), keeping the
+     * network's drain ledger exact.
+     */
+    void
+    retireFlit()
+    {
+        if (ledger_)
+            ++ledger_->retired;
+    }
+
     /** Adjacent router behind @p d, or nullptr at a mesh edge. */
     Router *neighbor(Direction d) const
     {
@@ -256,6 +270,7 @@ class Router
     const RoutingAlgorithm &routing_;
     const FaultMap *faults_;  ///< may be null (fault-free run)
     NicIf *nic_ = nullptr;
+    FlitLedger *ledger_ = nullptr; ///< may be null (standalone tests)
     ActivityCounters act_;
     Rng rng_; ///< deterministic tie-breaking
 

@@ -57,8 +57,19 @@ class Network
     bool traceExhausted() const;
 
     /** Flits anywhere in the network (buffers + links), excluding
-     *  source queues; zero means fully drained. */
+     *  source queues; zero means fully drained. Full network walk —
+     *  use quiescent() for the O(1) drain check. */
     int flitsInFlight() const;
+
+    /**
+     * O(1) drain check: true when every flit ever created has been
+     * delivered or discarded (no flit in a source queue, router buffer
+     * or link). Maintained incrementally by the NICs and routers.
+     */
+    bool quiescent() const { return ledger_.quiescent(); }
+
+    /** The incremental flit lifecycle counters behind quiescent(). */
+    const FlitLedger &ledger() const { return ledger_; }
 
     /** Sums of per-node statistics. */
     std::uint64_t totalInjected() const;
@@ -88,6 +99,7 @@ class Network
     std::vector<std::unique_ptr<Nic>> nics_;
     std::unique_ptr<TraceSchedule> trace_;
     std::uint64_t nextPacketId_ = 1;
+    FlitLedger ledger_;
 };
 
 /** Instantiates the router microarchitecture selected by @p cfg. */

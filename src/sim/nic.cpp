@@ -74,6 +74,8 @@ Nic::enqueuePacket(NodeId dst, Cycle now, std::uint64_t &nextPacketId,
     ++injected_;
     if (measured)
         ++injectedMeasured_;
+    if (ledger_)
+        ledger_->created += static_cast<std::uint64_t>(len);
     return pid;
 }
 
@@ -99,6 +101,10 @@ Nic::deliverFlit(const Flit &f, Cycle now)
     NOC_ASSERT(f.dst == id_, "flit delivered to the wrong NIC");
     ++deliveredFlits_;
     lastDelivery_ = now;
+    if (ledger_) {
+        ++ledger_->retired;
+        ledger_->lastDelivery = now;
+    }
 
     Arrival &a = arrivals_[f.packetId];
     a.measured = a.measured || f.measured;

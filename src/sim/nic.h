@@ -38,6 +38,9 @@ class Nic : public NicIf
     void generate(Cycle now, std::uint64_t &nextPacketId, bool measured,
                   bool generationEnabled);
 
+    /** Attaches the network-wide flit lifecycle counters (may be null). */
+    void setLedger(FlitLedger *ledger) { ledger_ = ledger; }
+
     /** Replays @p schedule entries for this node instead of the
      *  synthetic source (Trace traffic). */
     void attachTrace(const TraceSchedule &schedule);
@@ -78,6 +81,7 @@ class Nic : public NicIf
     TrafficGenerator traffic_;
     Rng rng_; ///< per-packet choices (XY-YX order)
     std::unique_ptr<TraceReplayer> trace_;
+    FlitLedger *ledger_ = nullptr;
     std::deque<Flit> sourceQueue_;
 
     /** Reassembly progress of packets ejecting here. */

@@ -1,0 +1,210 @@
+/**
+ * @file
+ * exp/sweep.h: grid expansion, flat indexing, parallel determinism,
+ * JSON emission, and the FlitLedger drain-detection invariant.
+ */
+#include <cstdlib>
+
+#include <gtest/gtest.h>
+
+#include "exp/json_out.h"
+#include "exp/sweep.h"
+#include "fault/fault_injector.h"
+#include "topology/mesh.h"
+
+namespace noc::exp {
+namespace {
+
+SimConfig
+tinyConfig()
+{
+    SimConfig cfg;
+    cfg.meshWidth = 4;
+    cfg.meshHeight = 4;
+    cfg.warmupPackets = 30;
+    cfg.measurePackets = 200;
+    cfg.maxCycles = 50000;
+    cfg.injectionRate = 0.15;
+    return cfg;
+}
+
+TEST(SweepSpecTest, EmptyAxesDefaultToBase)
+{
+    SweepSpec spec;
+    spec.base = tinyConfig();
+    EXPECT_EQ(spec.pointCount(), 1u);
+
+    auto points = expand(spec);
+    ASSERT_EQ(points.size(), 1u);
+    EXPECT_EQ(points[0].index, 0u);
+    EXPECT_EQ(points[0].cfg.arch, spec.base.arch);
+    EXPECT_EQ(points[0].cfg.routing, spec.base.routing);
+    EXPECT_EQ(points[0].cfg.injectionRate, spec.base.injectionRate);
+    EXPECT_TRUE(points[0].faults.empty());
+    EXPECT_EQ(points[0].faultLabel, "");
+}
+
+TEST(SweepSpecTest, GridExpansionOrderAndFlatIndex)
+{
+    SweepSpec spec;
+    spec.base = tinyConfig();
+    spec.archs = {RouterArch::Generic, RouterArch::Roco};
+    spec.routings = {RoutingKind::XY, RoutingKind::XYYX,
+                     RoutingKind::Adaptive};
+    spec.rates = {0.1, 0.2};
+    spec.faultSets.push_back({"none", {}});
+    spec.faultSets.push_back(
+        {"one", {FaultSpec{5, FaultComponent::Crossbar, Module::Row, 0, 0}}});
+
+    // 3 routings x 1 traffic x 2 rates x 2 fault sets x 2 archs.
+    EXPECT_EQ(spec.pointCount(), 24u);
+    auto points = expand(spec);
+    ASSERT_EQ(points.size(), 24u);
+
+    // Architectures are innermost: consecutive points differ in arch
+    // only; routing is outermost.
+    EXPECT_EQ(points[0].cfg.arch, RouterArch::Generic);
+    EXPECT_EQ(points[1].cfg.arch, RouterArch::Roco);
+    EXPECT_EQ(points[0].cfg.routing, points[1].cfg.routing);
+    EXPECT_EQ(points[0].cfg.routing, RoutingKind::XY);
+    EXPECT_EQ(points.back().cfg.routing, RoutingKind::Adaptive);
+    EXPECT_EQ(points.back().cfg.arch, RouterArch::Roco);
+    EXPECT_EQ(points.back().faultLabel, "one");
+
+    // flatIndex round-trips the stored axis positions for every point.
+    for (const SweepPoint &p : points) {
+        EXPECT_EQ(p.index,
+                  spec.flatIndex(p.routingIdx, p.trafficIdx, p.rateIdx,
+                                 p.faultSetIdx, p.archIdx));
+        if (!spec.faultSets[p.faultSetIdx].faults.empty()) {
+            EXPECT_EQ(p.faults.size(), 1u);
+        }
+    }
+
+    // Axis values land where flatIndex says they do.
+    std::size_t idx = spec.flatIndex(2, 0, 1, 1, 0);
+    EXPECT_EQ(points[idx].cfg.routing, RoutingKind::Adaptive);
+    EXPECT_EQ(points[idx].cfg.injectionRate, 0.2);
+    EXPECT_EQ(points[idx].faultLabel, "one");
+    EXPECT_EQ(points[idx].cfg.arch, RouterArch::Generic);
+}
+
+bool
+sameResult(const SimResult &a, const SimResult &b)
+{
+    return a.avgLatency == b.avgLatency &&
+           a.latencyStddev == b.latencyStddev &&
+           a.maxLatency == b.maxLatency && a.p50Latency == b.p50Latency &&
+           a.p99Latency == b.p99Latency &&
+           a.throughputFlits == b.throughputFlits &&
+           a.injected == b.injected && a.delivered == b.delivered &&
+           a.completion == b.completion &&
+           a.energy.totalPj() == b.energy.totalPj() &&
+           a.energyPerPacketNj == b.energyPerPacketNj && a.edp == b.edp &&
+           a.pef == b.pef && a.cycles == b.cycles &&
+           a.timedOut == b.timedOut &&
+           a.rowContention == b.rowContention &&
+           a.colContention == b.colContention;
+}
+
+TEST(SweepRunnerTest, ParallelMatchesSerialBitExact)
+{
+    MeshTopology topo(4, 4);
+    SweepSpec spec;
+    spec.name = "determinism";
+    spec.base = tinyConfig();
+    spec.archs = {RouterArch::Generic, RouterArch::PathSensitive,
+                  RouterArch::Roco};
+    spec.routings = {RoutingKind::XY, RoutingKind::Adaptive};
+    spec.rates = {0.1, 0.3};
+    spec.faultSets.push_back({"none", {}});
+    spec.faultSets.push_back(
+        {"crit",
+         placeRandomFaults(topo, FaultClass::RouterCentricCritical, 1, 3,
+                           7)});
+
+    SweepResults serial = SweepRunner(1).run(spec);
+    SweepResults pooled = SweepRunner(8).run(spec);
+    EXPECT_EQ(serial.threads, 1);
+    EXPECT_EQ(pooled.threads, 8);
+    ASSERT_EQ(serial.results.size(), spec.pointCount());
+    ASSERT_EQ(pooled.results.size(), serial.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        EXPECT_EQ(serial.results[i].index, i);
+        EXPECT_EQ(pooled.results[i].index, i);
+        EXPECT_EQ(serial.results[i].seed, pooled.results[i].seed);
+        EXPECT_TRUE(
+            sameResult(serial.results[i].result, pooled.results[i].result))
+            << "point " << i << " diverged across thread counts";
+    }
+}
+
+TEST(SweepRunnerTest, ThreadsEnvOverride)
+{
+    ASSERT_EQ(setenv("NOC_BENCH_THREADS", "3", 1), 0);
+    EXPECT_EQ(SweepRunner().threads(), 3);
+    ASSERT_EQ(unsetenv("NOC_BENCH_THREADS"), 0);
+    EXPECT_GE(SweepRunner().threads(), 1);
+    EXPECT_EQ(SweepRunner(5).threads(), 5);
+}
+
+TEST(SweepRunnerTest, LedgerStaysConsistentAfterRuns)
+{
+    // Fault-free and faulty runs both leave created == retired +
+    // whatever is still stuck in the network (faulty runs may strand
+    // flits at dead nodes; the ledger must never over-retire).
+    MeshTopology topo(4, 4);
+    for (RouterArch arch :
+         {RouterArch::Generic, RouterArch::PathSensitive, RouterArch::Roco}) {
+        SimConfig cfg = tinyConfig();
+        cfg.arch = arch;
+
+        Simulator clean(cfg);
+        clean.run();
+        EXPECT_TRUE(clean.network().quiescent())
+            << "fault-free run did not drain (" << toString(arch) << ")";
+        EXPECT_EQ(clean.network().flitsInFlight(), 0);
+
+        auto faults = placeRandomFaults(
+            topo, FaultClass::RouterCentricCritical, 2, 3, 42);
+        Simulator faulty(cfg, faults);
+        faulty.run();
+        const FlitLedger &led = faulty.network().ledger();
+        EXPECT_LE(led.retired, led.created);
+        EXPECT_EQ(faulty.network().quiescent(),
+                  faulty.network().flitsInFlight() == 0 &&
+                      led.created == led.retired);
+    }
+}
+
+TEST(JsonOutTest, SerialisesEveryPoint)
+{
+    SweepSpec spec;
+    spec.name = "json_smoke";
+    spec.base = tinyConfig();
+    spec.archs = {RouterArch::Roco};
+    spec.rates = {0.1, 0.2};
+    SweepResults res = SweepRunner(2).run(spec);
+
+    std::string json = sweepJson(spec, res);
+    EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"bench\": \"json_smoke\""), std::string::npos);
+    EXPECT_NE(json.find("\"arch\": \"RoCo\""), std::string::npos);
+    EXPECT_NE(json.find("\"rate\": 0.2"), std::string::npos);
+    EXPECT_NE(json.find("\"avgLatency\""), std::string::npos);
+    // Two points -> two result records.
+    std::size_t n = 0;
+    for (std::size_t at = json.find("\"result\""); at != std::string::npos;
+         at = json.find("\"result\"", at + 1))
+        ++n;
+    EXPECT_EQ(n, 2u);
+
+    // Quotes and control characters in labels are escaped.
+    SweepSpec esc = spec;
+    esc.name = "a\"b\\c\n";
+    std::string escJson = sweepJson(esc, res);
+    EXPECT_NE(escJson.find("\"a\\\"b\\\\c\\u000a\""), std::string::npos);
+}
+
+} // namespace
+} // namespace noc::exp

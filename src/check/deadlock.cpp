@@ -1,0 +1,486 @@
+#include "check/deadlock.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <mutex>
+#include <set>
+
+#include "check/cdg.h"
+#include "common/flit.h"
+#include "common/log.h"
+#include "routing/quadrant.h"
+#include "routing/routing.h"
+
+namespace noc::check {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Slot numbering and labelling per architecture.  Slot ids are local to a
+// node; CDG vertex ids are node * slotsPerNode + slot.
+// ---------------------------------------------------------------------------
+
+constexpr int kRocoSlots = 2 * kPortsPerModule * kVcsPerSet; // 12
+
+int
+rocoSlot(Module m, int port, int vc)
+{
+    return (static_cast<int>(m) * kPortsPerModule + port) * kVcsPerSet + vc;
+}
+
+std::string
+rocoSlotName(const RocoVcConfig &table, int slot)
+{
+    Module m = static_cast<Module>(slot / (kPortsPerModule * kVcsPerSet));
+    int port = (slot / kVcsPerSet) % kPortsPerModule;
+    int vc = slot % kVcsPerSet;
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%s p%d v%d [%s]", toString(m), port, vc,
+                  toString(table.at(m, port, vc)));
+    return buf;
+}
+
+std::string
+genericSlotName(int vcsPerPort, int slot)
+{
+    Direction port = static_cast<Direction>(slot / vcsPerPort);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "in-%s v%d", toString(port),
+                  slot % vcsPerPort);
+    return buf;
+}
+
+std::string
+psSlotName(int vcsPerPort, int slot)
+{
+    Quadrant q = static_cast<Quadrant>(slot / vcsPerPort);
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%s v%d", toString(q), slot % vcsPerPort);
+    return buf;
+}
+
+/**
+ * The slots a flit arriving on @p arrival and leaving on @p outHere may
+ * occupy at a RoCo router — the prover-side mirror of
+ * RocoRouter::eligibleSlots(), parameterised by the audit knobs.
+ */
+std::uint64_t
+rocoSlotMask(const RocoCheckOptions &o, RoutingKind kind, Direction arrival,
+             Direction outHere, bool yxOrder)
+{
+    NOC_ASSERT(isCardinal(outHere), "RoCo flits buffer toward a cardinal");
+    std::uint64_t mask = 0;
+    Module m = moduleForOutput(outHere);
+    if (arrival == Direction::Local) {
+        VcClass want = m == Module::Row ? VcClass::InjXy : VcClass::InjYx;
+        for (int p = 0; p < kPortsPerModule; ++p)
+            for (int v = 0; v < kVcsPerSet; ++v)
+                if (o.table.at(m, p, v) == want)
+                    mask |= 1ull << rocoSlot(m, p, v);
+        return mask;
+    }
+    int p = portSideFor(m, arrival);
+    VcClass cls = classifyFlit(arrival, outHere);
+    bool turn = cls == VcClass::Txy || cls == VcClass::Tyx;
+    int count = o.table.countClass(m, p, cls);
+    bool partition = kind == RoutingKind::XYYX && o.orderPartition &&
+                     (cls == VcClass::Dx || cls == VcClass::Dy) && count >= 2;
+    // Mirror of eligibleSlots(): the dimension order that owns fewer
+    // packets of this class gets the last slot, the other the rest.
+    bool minority = cls == VcClass::Dx ? yxOrder : !yxOrder;
+    int ordinal = 0;
+    for (int v = 0; v < kVcsPerSet; ++v) {
+        VcClass have = o.table.at(m, p, v);
+        if (have == cls) {
+            int ord = ordinal++;
+            if (partition && minority != (ord == count - 1))
+                continue;
+            mask |= 1ull << rocoSlot(m, p, v);
+        } else if (o.mergeTurnClasses && turn &&
+                   (have == VcClass::Dx || have == VcClass::Dy)) {
+            // Audit knob: turn flits admitted into the dimension slots
+            // of their target port as one unrestricted shared class.
+            mask |= 1ull << rocoSlot(m, p, v);
+        }
+    }
+    return mask;
+}
+
+/** Generic-router slots a flit may occupy on input port @p port. */
+std::uint64_t
+genericSlotMask(RoutingKind kind, int port, int vcsPerPort, bool yxOrder)
+{
+    std::uint64_t all = ((1ull << vcsPerPort) - 1) << (port * vcsPerPort);
+    if (port == static_cast<int>(Direction::Local))
+        return all; // injection claims any idle Local VC
+    if (kind != RoutingKind::XYYX)
+        return all;
+    // slotAllowed(): YX packets own the last VC, XY packets the rest.
+    std::uint64_t last = 1ull << (port * vcsPerPort + vcsPerPort - 1);
+    return yxOrder ? last : all & ~last;
+}
+
+/** All slots of one Path-Sensitive quadrant pool. */
+std::uint64_t
+psPoolMask(Quadrant q, int vcsPerPort)
+{
+    return ((1ull << vcsPerPort) - 1)
+           << (static_cast<int>(q) * vcsPerPort);
+}
+
+/**
+ * Escape-tier canonical pool: strict-quadrant destinations keep their
+ * quadrant; on-axis destinations go North/East -> NE, South/West -> SW,
+ * which makes NE and SW absorbing and the escape graph acyclic.
+ */
+Quadrant
+canonicalQuadrant(const MeshTopology &topo, NodeId cur, NodeId dst)
+{
+    Quadrant q0 = quadrantOf(topo, cur, dst, false);
+    Quadrant q1 = quadrantOf(topo, cur, dst, true);
+    if (q0 == q1)
+        return q0;
+    Coord c = topo.coord(cur);
+    Coord d = topo.coord(dst);
+    if (c.x == d.x)
+        return d.y > c.y ? Quadrant::NE : Quadrant::SW;
+    NOC_ASSERT(c.y == d.y, "quadrant tie off-axis");
+    return d.x > c.x ? Quadrant::NE : Quadrant::SW;
+}
+
+/** Cross product of two slot masks, as CDG edges. */
+void
+addMaskEdges(Cdg &g, int baseU, std::uint64_t u, int baseV, std::uint64_t v)
+{
+    for (std::uint64_t ub = u; ub;) {
+        int i = __builtin_ctzll(ub);
+        ub &= ub - 1;
+        for (std::uint64_t vb = v; vb;) {
+            int j = __builtin_ctzll(vb);
+            vb &= vb - 1;
+            g.addEdge(baseU + i, baseV + j);
+        }
+    }
+}
+
+/** Packet flavours to enumerate: XY-YX packets pick an order at inject. */
+int
+flavorsOf(RoutingKind kind)
+{
+    return kind == RoutingKind::XYYX ? 2 : 1;
+}
+
+/**
+ * Shared per-pair reachability walk.  States are (node, arrival port);
+ * @p visit receives each reachable state plus the routing candidates
+ * there and decides what edges to record.  Walk state never includes
+ * the destination: per-arch callers decide whether edges terminate
+ * there (generic router) or the flit early-ejects (RoCo / PS).
+ */
+template <typename Visit>
+void
+walkPairs(const MeshTopology &topo, RoutingKind kind, Visit &&visit)
+{
+    auto routing = makeRouting(kind, topo);
+    int nodes = topo.numNodes();
+    std::vector<int> stamp(static_cast<std::size_t>(nodes) * kNumPorts, -1);
+    std::vector<std::pair<NodeId, Direction>> work;
+    int epoch = 0;
+
+    for (NodeId src = 0; src < static_cast<NodeId>(nodes); ++src) {
+        for (NodeId dst = 0; dst < static_cast<NodeId>(nodes); ++dst) {
+            if (src == dst)
+                continue;
+            for (int fl = 0; fl < flavorsOf(kind); ++fl) {
+                Flit f;
+                f.src = src;
+                f.dst = dst;
+                f.yxOrder = fl == 1;
+                ++epoch;
+                work.clear();
+                work.emplace_back(src, Direction::Local);
+                stamp[src * kNumPorts +
+                      static_cast<int>(Direction::Local)] = epoch;
+                while (!work.empty()) {
+                    auto [n, arrival] = work.back();
+                    work.pop_back();
+                    DirectionSet cand = routing->route(n, f);
+                    for (Direction out : cand) {
+                        NOC_ASSERT(isCardinal(out),
+                                   "routing yielded Local before dst");
+                        auto nn = topo.neighbor(n, out);
+                        NOC_ASSERT(nn.has_value(),
+                                   "minimal route crossed the mesh edge");
+                        visit(n, arrival, out, *nn, f);
+                        if (*nn == dst)
+                            continue;
+                        std::size_t s =
+                            *nn * kNumPorts +
+                            static_cast<int>(opposite(out));
+                        if (stamp[s] != epoch) {
+                            stamp[s] = epoch;
+                            work.emplace_back(*nn, opposite(out));
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+ProofResult
+finish(ProofResult r, const Cdg &g, const MeshTopology &topo,
+       int slotsPerNode, const std::function<std::string(int)> &slotName)
+{
+    r.vertices = static_cast<std::size_t>(g.numVertices());
+    r.edges = g.numEdges();
+    std::vector<int> cyc = g.findCycle();
+    r.deadlockFree = cyc.empty();
+    for (int v : cyc) {
+        CycleNode cn;
+        cn.node = static_cast<NodeId>(v / slotsPerNode);
+        cn.at = topo.coord(cn.node);
+        cn.slot = slotName(v % slotsPerNode);
+        r.cycle.push_back(std::move(cn));
+    }
+    return r;
+}
+
+} // namespace
+
+std::string
+CycleNode::label() const
+{
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "n%02u (%d,%d) %s",
+                  static_cast<unsigned>(node), at.x, at.y, slot.c_str());
+    return buf;
+}
+
+std::string
+ProofResult::summary() const
+{
+    char buf[192];
+    if (deadlockFree && !viaEscape) {
+        std::snprintf(buf, sizeof buf,
+                      "%s x %s: deadlock-free (strict CDG acyclic, "
+                      "%zu vertices, %zu edges)",
+                      toString(arch), toString(routing), vertices, edges);
+    } else if (deadlockFree) {
+        std::snprintf(buf, sizeof buf,
+                      "%s x %s: deadlock-free via escape path sets "
+                      "(strict CDG cyclic, %zu vertices, %zu edges)",
+                      toString(arch), toString(routing), vertices, edges);
+    } else {
+        std::snprintf(buf, sizeof buf,
+                      "%s x %s: DEADLOCK POSSIBLE — %zu-slot dependency "
+                      "cycle in the CDG",
+                      toString(arch), toString(routing), cycle.size());
+    }
+    return buf;
+}
+
+std::string
+ProofResult::renderCycle() const
+{
+    if (cycle.empty())
+        return {};
+    std::string out = "counterexample dependency cycle (";
+    out += std::to_string(cycle.size());
+    out += cycle.size() == 1 ? " slot, self-dependency):\n"
+                             : " slots):\n";
+    for (std::size_t i = 0; i < cycle.size(); ++i) {
+        out += i == 0 ? "     " : "  -> ";
+        out += cycle[i].label();
+        out += '\n';
+    }
+    out += "  -> back to ";
+    out += cycle.front().label();
+    out += '\n';
+    return out;
+}
+
+RocoCheckOptions
+RocoCheckOptions::shipped(RoutingKind kind)
+{
+    return {RocoVcConfig::forRouting(kind), true, false};
+}
+
+ProofResult
+proveRoco(const MeshTopology &topo, RoutingKind kind,
+          const RocoCheckOptions &opts)
+{
+    Cdg graph(topo.numNodes() * kRocoSlots);
+    auto routing = makeRouting(kind, topo);
+    walkPairs(topo, kind,
+              [&](NodeId n, Direction arrival, Direction out, NodeId nn,
+                  const Flit &f) {
+                  if (nn == f.dst)
+                      return; // early ejection: no downstream VC is held
+                  std::uint64_t u =
+                      rocoSlotMask(opts, kind, arrival, out, f.yxOrder);
+                  if (!u)
+                      return;
+                  // The head requests a slot for every look-ahead
+                  // candidate it can commit at the next router.
+                  DirectionSet la = routing->route(nn, f);
+                  for (Direction d2 : la) {
+                      std::uint64_t v = rocoSlotMask(opts, kind,
+                                                     opposite(out), d2,
+                                                     f.yxOrder);
+                      addMaskEdges(graph, n * kRocoSlots, u,
+                                   nn * kRocoSlots, v);
+                  }
+              });
+    ProofResult r;
+    r.arch = RouterArch::Roco;
+    r.routing = kind;
+    return finish(std::move(r), graph, topo, kRocoSlots,
+                  [&](int s) { return rocoSlotName(opts.table, s); });
+}
+
+ProofResult
+proveGeneric(const MeshTopology &topo, RoutingKind kind, int vcsPerPort)
+{
+    NOC_ASSERT(vcsPerPort >= 1 && vcsPerPort * kNumPorts <= 64,
+               "generic VC count out of prover range");
+    int slots = kNumPorts * vcsPerPort;
+    Cdg graph(topo.numNodes() * slots);
+    walkPairs(topo, kind,
+              [&](NodeId n, Direction arrival, Direction out, NodeId nn,
+                  const Flit &f) {
+                  // Generic flits buffer at the destination before the
+                  // Local output drains them, so edges into dst exist;
+                  // dst slots have no out-edges (infinite Local sink).
+                  std::uint64_t u = genericSlotMask(
+                      kind, static_cast<int>(arrival), vcsPerPort,
+                      f.yxOrder);
+                  std::uint64_t v = genericSlotMask(
+                      kind, static_cast<int>(opposite(out)), vcsPerPort,
+                      f.yxOrder);
+                  addMaskEdges(graph, n * slots, u, nn * slots, v);
+              });
+    ProofResult r;
+    r.arch = RouterArch::Generic;
+    r.routing = kind;
+    return finish(std::move(r), graph, topo, slots,
+                  [=](int s) { return genericSlotName(vcsPerPort, s); });
+}
+
+ProofResult
+provePathSensitive(const MeshTopology &topo, RoutingKind kind,
+                   int vcsPerPort)
+{
+    NOC_ASSERT(vcsPerPort >= 1 && vcsPerPort * kNumQuadrants <= 64,
+               "PS VC count out of prover range");
+    int slots = kNumQuadrants * vcsPerPort;
+    Cdg strict(topo.numNodes() * slots);
+    Cdg escape(topo.numNodes() * slots);
+    walkPairs(topo, kind,
+              [&](NodeId n, Direction arrival, Direction out, NodeId nn,
+                  const Flit &f) {
+                  (void)arrival; // pools are arrival-independent
+                  if (nn == f.dst)
+                      return; // early ejection
+                  Quadrant q0 = quadrantOf(topo, n, f.dst, false);
+                  Quadrant q1 = quadrantOf(topo, n, f.dst, true);
+                  Quadrant d0 = quadrantOf(topo, nn, f.dst, false);
+                  Quadrant d1 = quadrantOf(topo, nn, f.dst, true);
+                  // A packet requests every slot of both downstream
+                  // pools (downstreamSlots()); the escape tier narrows
+                  // the request to the canonical pool, which is always
+                  // a subset of what the router actually waits on.
+                  std::uint64_t vStrict = psPoolMask(d0, vcsPerPort) |
+                                          psPoolMask(d1, vcsPerPort);
+                  std::uint64_t vEscape = psPoolMask(
+                      canonicalQuadrant(topo, nn, f.dst), vcsPerPort);
+                  const Quadrant pools[2] = {q0, q1};
+                  int numPools = q0 == q1 ? 1 : 2;
+                  for (int i = 0; i < numPools; ++i) {
+                      Quadrant q = pools[i];
+                      if (!quadrantServes(q, out))
+                          continue;
+                      std::uint64_t u = psPoolMask(q, vcsPerPort);
+                      addMaskEdges(strict, n * slots, u, nn * slots,
+                                   vStrict);
+                      addMaskEdges(escape, n * slots, u, nn * slots,
+                                   vEscape);
+                  }
+              });
+    ProofResult r;
+    r.arch = RouterArch::PathSensitive;
+    r.routing = kind;
+    r = finish(std::move(r), strict, topo, slots,
+               [=](int s) { return psSlotName(vcsPerPort, s); });
+    if (r.deadlockFree)
+        return r;
+    // Strict CDG is cyclic (the on-axis pool tie chains four straight
+    // packets NE->SE->SW->NW); check the escape sub-relation.
+    if (escape.findCycle().empty()) {
+        r.deadlockFree = true;
+        r.viaEscape = true;
+    }
+    return r;
+}
+
+ProofResult
+prove(const SimConfig &cfg)
+{
+    // Dependencies are local and translation-invariant, so any cycle in
+    // a large mesh already appears in a 12x12 window; cap the surrogate
+    // to keep the proof fast for huge sweeps.
+    constexpr int kMaxProofDim = 12;
+    MeshTopology topo(std::min(cfg.meshWidth, kMaxProofDim),
+                      std::min(cfg.meshHeight, kMaxProofDim));
+    switch (cfg.arch) {
+      case RouterArch::Roco:
+        return proveRoco(topo, cfg.routing,
+                         RocoCheckOptions::shipped(cfg.routing));
+      case RouterArch::Generic:
+        return proveGeneric(topo, cfg.routing, cfg.vcsPerPort);
+      case RouterArch::PathSensitive:
+        return provePathSensitive(topo, cfg.routing, cfg.vcsPerPort);
+    }
+    fatal("unknown router architecture in deadlock prover");
+}
+
+bool
+upfrontChecksEnabled()
+{
+    const char *v = std::getenv("NOC_SKIP_CHECK");
+    if (v == nullptr || v[0] == '\0' || std::strcmp(v, "0") == 0)
+        return true;
+    return false;
+}
+
+void
+validateConfigOrDie(const SimConfig &cfg)
+{
+    if (!upfrontChecksEnabled())
+        return;
+
+    static std::mutex mu;
+    static std::set<std::uint64_t> proven;
+    std::uint64_t key =
+        (static_cast<std::uint64_t>(cfg.arch) << 56) |
+        (static_cast<std::uint64_t>(cfg.routing) << 48) |
+        (static_cast<std::uint64_t>(std::min(cfg.meshWidth, 12)) << 32) |
+        (static_cast<std::uint64_t>(std::min(cfg.meshHeight, 12)) << 16) |
+        static_cast<std::uint64_t>(cfg.vcsPerPort);
+
+    std::lock_guard<std::mutex> lock(mu);
+    if (proven.contains(key))
+        return;
+    ProofResult r = prove(cfg);
+    if (!r.deadlockFree) {
+        std::fprintf(stderr, "%s\n%s", r.summary().c_str(),
+                     r.renderCycle().c_str());
+        fatal("configuration admits deadlock "
+              "(set NOC_SKIP_CHECK=1 to run anyway)");
+    }
+    proven.insert(key);
+}
+
+} // namespace noc::check

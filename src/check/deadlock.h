@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Deadlock-freedom prover: builds the extended channel dependency
+ * graph (CDG) of a (mesh, routing algorithm, VC organisation) triple
+ * and proves it acyclic, or produces a human-readable counterexample
+ * cycle.
+ *
+ * The vertices are every input-VC slot of every router; an edge u -> v
+ * means "a packet can hold u while waiting for v".  The enumeration
+ * walks every (source, destination) pair through the real routing
+ * functions (makeRouting) and mirrors each router's slot-eligibility
+ * rules exactly: RoCo's guided-queuing classes dx/dy/txy/tyx with the
+ * XY-YX order partition and injection classes (Table 1), the generic
+ * router's per-port VCs with the XY-YX slot partition, and the
+ * Path-Sensitive router's pooled quadrant path sets.
+ *
+ * Two proof tiers:
+ *  1. Strict CDG acyclic (Dally & Seitz) — sufficient on its own.
+ *  2. When the strict CDG is cyclic, an escape-subfunction check
+ *     (Duato): routers here wait on a *set* of slots and proceed when
+ *     any frees, so deadlock freedom holds if some per-state slot
+ *     subset forms an acyclic sub-CDG that every occupied slot can
+ *     reach.  The Path-Sensitive router needs this tier: its on-axis
+ *     destinations are served by either adjacent quadrant pool, and
+ *     the tie produces a strict-CDG cycle of four straight-line
+ *     packets (NE->SE->SW->NW) under every routing algorithm; the
+ *     canonical assignment axis-N/axis-E -> NE, axis-S/axis-W -> SW
+ *     makes NE and SW absorbing and the escape graph acyclic.
+ */
+#ifndef ROCOSIM_CHECK_DEADLOCK_H_
+#define ROCOSIM_CHECK_DEADLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "common/types.h"
+#include "router/roco/vc_config.h"
+#include "topology/mesh.h"
+
+namespace noc::check {
+
+/** One vertex of a counterexample cycle, rendered for humans. */
+struct CycleNode {
+    NodeId node = 0;
+    Coord at;         ///< mesh coordinate of the router
+    std::string slot; ///< e.g. "Row p0 v1 [txy]", "in-W v2", "NE v0"
+
+    std::string label() const;
+};
+
+/** Outcome of one deadlock-freedom proof. */
+struct ProofResult {
+    RouterArch arch{};
+    RoutingKind routing{};
+    bool deadlockFree = false;
+    /**
+     * True when the strict CDG was cyclic but the escape-subfunction
+     * tier proved freedom; `cycle` then still holds the strict-CDG
+     * cycle for reference.
+     */
+    bool viaEscape = false;
+    std::size_t vertices = 0;
+    std::size_t edges = 0;
+    /** Counterexample cycle (closing edge back to front() implicit). */
+    std::vector<CycleNode> cycle;
+
+    /** One-line verdict, e.g. for the noc_check audit table. */
+    std::string summary() const;
+    /** Multi-line rendering of `cycle`; empty string when acyclic. */
+    std::string renderCycle() const;
+};
+
+/**
+ * Knobs for auditing RoCo VC tables beyond the shipped Table 1 rows —
+ * used to demonstrate that the prover rejects mis-balanced layouts.
+ */
+struct RocoCheckOptions {
+    RocoVcConfig table{};
+    /**
+     * Apply the XY-YX order partition on two-slot dx/dy classes (the
+     * role of Table 1's extra VCs).  Disabling it under XY-YX lets
+     * both dimension orders share every dx/dy slot — the textbook
+     * XY+YX buffer cycle.
+     */
+    bool orderPartition = true;
+    /**
+     * Admit turn-class flits (txy/tyx) into the dx/dy slots of their
+     * target port — "one unrestricted shared class" instead of
+     * order-exclusive turn path sets.
+     */
+    bool mergeTurnClasses = false;
+
+    /** The shipped Table 1 configuration for @p kind. */
+    static RocoCheckOptions shipped(RoutingKind kind);
+};
+
+ProofResult proveRoco(const MeshTopology &topo, RoutingKind kind,
+                      const RocoCheckOptions &opts);
+ProofResult proveGeneric(const MeshTopology &topo, RoutingKind kind,
+                         int vcsPerPort);
+ProofResult provePathSensitive(const MeshTopology &topo,
+                               RoutingKind kind, int vcsPerPort);
+
+/**
+ * Proves the (arch, routing, mesh, VC) combination of @p cfg with the
+ * shipped VC organisation.  Meshes larger than 12x12 are proved on a
+ * 12x12 surrogate: the dependency rules are translation-invariant and
+ * purely local, so every cycle shape present in a larger mesh already
+ * appears there.
+ */
+ProofResult prove(const SimConfig &cfg);
+
+/** False when the NOC_SKIP_CHECK environment variable is truthy. */
+bool upfrontChecksEnabled();
+
+/**
+ * Simulator / SweepRunner entry point: proves @p cfg deadlock-free
+ * before any cycle is simulated, memoized per distinct
+ * (arch, routing, mesh, vcs) key so sweeps pay for each combination
+ * once.  On failure the counterexample cycle is printed to stderr and
+ * the process exits via fatal().  Honors NOC_SKIP_CHECK.
+ */
+void validateConfigOrDie(const SimConfig &cfg);
+
+} // namespace noc::check
+
+#endif // ROCOSIM_CHECK_DEADLOCK_H_

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Runtime protocol invariant checker.
+ *
+ * Four families of invariants guard the simulator's flow-control
+ * protocol while it runs (independent of NDEBUG):
+ *
+ *   CreditConservation - for every (link, VC slot): upstream credits +
+ *                        flits on the wire + credits on the wire +
+ *                        downstream occupancy == buffer depth.
+ *   WormholeOrder      - each input VC sees HEAD, BODY*, TAIL with
+ *                        contiguous sequence numbers per packet.
+ *   PathSetDiscipline  - a flit sorted into a RoCo row path set never
+ *                        requests a column output (and vice versa).
+ *   FaultConsistency   - per-node fault state obeys the Table 3
+ *                        recycling rules (RoCo degrades per component;
+ *                        unified designs only ever go whole-node dead).
+ *
+ * Cost model: compiled in when the NOC_INVARIANTS CMake option is ON
+ * (the default; it defines NOC_INVARIANT_CHECKS=1).  When compiled
+ * out, every hook collapses to nothing.  When compiled in, checks are
+ * additionally gated at runtime: setting the NOC_INVARIANT environment
+ * variable to 0 (or calling setInvariantsEnabled(false)) disables them.
+ *
+ * Each violation reports the cycle, router, port and VC; the default
+ * handler prints the report and aborts, tests install a recorder.
+ */
+#ifndef ROCOSIM_CHECK_INVARIANT_H_
+#define ROCOSIM_CHECK_INVARIANT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/flit.h"
+#include "common/types.h"
+
+#if defined(NOC_INVARIANT_CHECKS) && NOC_INVARIANT_CHECKS
+#define NOC_INVARIANTS_BUILT 1
+#else
+#define NOC_INVARIANTS_BUILT 0
+#endif
+
+namespace noc::check {
+
+/** The invariant families described in the file comment. */
+enum class InvariantKind : std::uint8_t {
+    CreditConservation = 0,
+    WormholeOrder = 1,
+    PathSetDiscipline = 2,
+    FaultConsistency = 3,
+};
+
+const char *toString(InvariantKind k);
+
+/** One detected protocol violation. */
+struct Violation {
+    InvariantKind kind{};
+    Cycle cycle = 0;
+    NodeId router = 0;
+    Direction port = Direction::Invalid;
+    int vc = -1; ///< -1 when no single VC is implicated
+    std::string detail;
+
+    /** Full human-readable report (kind, cycle, router, port, VC). */
+    std::string describe() const;
+};
+
+/**
+ * Runtime gate. First call reads the NOC_INVARIANT environment
+ * variable ("0" disables, anything else or unset enables); afterwards
+ * the cached value is returned until setInvariantsEnabled overrides it.
+ */
+bool invariantsEnabled();
+void setInvariantsEnabled(bool on);
+
+/** Sink for violations; tests install one to assert on firings. */
+class ViolationRecorder
+{
+  public:
+    virtual ~ViolationRecorder() = default;
+    virtual void onViolation(const Violation &v) = 0;
+};
+
+/**
+ * Installs @p recorder (nullptr restores the default print-and-abort
+ * handler) and returns the previously installed one.
+ */
+ViolationRecorder *setViolationRecorder(ViolationRecorder *recorder);
+
+/** Routes @p v to the installed recorder (default: print and abort). */
+void reportViolation(Violation v);
+
+/**
+ * Per-input-VC wormhole order tracker: verifies HEAD -> BODY* -> TAIL
+ * with contiguous flitSeq per packet.  Routers call onFlit() for every
+ * flit written into the VC; a violation re-synchronises the tracker to
+ * the offending flit so one fault does not cascade.
+ */
+class WormholeOrderTracker
+{
+  public:
+#if NOC_INVARIANTS_BUILT
+    void onFlit(const Flit &f, Cycle now, NodeId router, Direction port,
+                int vc);
+#else
+    void
+    onFlit(const Flit &, Cycle, NodeId, Direction, int)
+    {
+    }
+#endif
+
+  private:
+    bool open_ = false;            ///< inside a packet (head seen, no tail)
+    std::uint64_t packetId_ = 0;
+    std::uint16_t nextSeq_ = 0;
+};
+
+} // namespace noc::check
+
+/**
+ * Checks @p cond when invariants are compiled in and enabled;
+ * @p detailExpr (any expression convertible to std::string) is only
+ * evaluated on the failure path.
+ */
+#define NOC_INVARIANT(cond, kindV, cycleV, routerV, portV, vcV, detailExpr) \
+    do {                                                                    \
+        if (NOC_INVARIANTS_BUILT && ::noc::check::invariantsEnabled() &&    \
+            !(cond)) {                                                      \
+            ::noc::check::reportViolation(::noc::check::Violation{          \
+                (kindV), (cycleV), (routerV), (portV), (vcV),               \
+                (detailExpr)});                                             \
+        }                                                                   \
+    } while (0)
+
+#endif // ROCOSIM_CHECK_INVARIANT_H_

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <thread>
 
+#include "check/deadlock.h"
 #include "common/log.h"
 
 namespace noc::exp {
@@ -123,6 +124,13 @@ SweepRunner::run(const SweepSpec &spec) const
     res.points = expand(spec);
     res.results.resize(res.points.size());
     res.threads = threads_;
+
+    // Prove every distinct (arch, routing, mesh, VC) combination
+    // deadlock-free before the pool burns hours simulating an unsound
+    // design; validateConfigOrDie memoizes, so a sweep over R routings
+    // and A architectures pays for R x A proofs, not one per point.
+    for (const SweepPoint &p : res.points)
+        check::validateConfigOrDie(p.cfg);
 
     // Work-stealing over a shared counter: each thread claims the next
     // unclaimed point and writes only its own result slot, so the

@@ -21,6 +21,7 @@ GenericRouter::GenericRouter(NodeId id, const SimConfig &cfg,
     in_.reserve(static_cast<size_t>(kNumPorts) * numVcs_);
     for (int i = 0; i < kNumPorts * numVcs_; ++i)
         in_.emplace_back(depth_);
+    order_.resize(in_.size());
 
     initOutputVcs(numVcs_, depth_);
     localOut_.assign(static_cast<size_t>(numVcs_), OutputVc{});
@@ -52,6 +53,15 @@ GenericRouter::bufferedFlits() const
         n += v.buf.occupancy();
     n += static_cast<int>(ejectPipe_.inFlight());
     return n;
+}
+
+int
+GenericRouter::inputVcOccupancy(Direction fromDir, int slotId) const
+{
+    NOC_ASSERT(slotId >= 0 && slotId < numVcs_, "input VC slot range");
+    // Classic per-link VC state: slot ids on the wire are per-port VC
+    // indices, so occupancy attribution is direct.
+    return vc(static_cast<int>(fromDir), slotId).buf.occupancy();
 }
 
 OutputVc &
@@ -143,10 +153,12 @@ GenericRouter::drainDropped(Cycle now)
 }
 
 void
-GenericRouter::acceptFlit(int portIdx, const Flit &f)
+GenericRouter::acceptFlit(int portIdx, const Flit &f, Cycle now)
 {
     InputVc &v = vc(portIdx, f.vc);
     ++act_.bufferWrites;
+    order_[static_cast<size_t>(portIdx * numVcs_ + f.vc)].onFlit(
+        f, now, id(), static_cast<Direction>(portIdx), f.vc);
     if (isHead(f.type)) {
         PacketCtl ctl;
         ctl.owner = f.packetId;
@@ -167,12 +179,12 @@ GenericRouter::receiveFlits(Cycle now)
         if (!p.flitIn)
             continue;
         if (auto f = p.flitIn->receive(now))
-            acceptFlit(d, *f);
+            acceptFlit(d, *f, now);
     }
 }
 
 void
-GenericRouter::pullInjection(Cycle)
+GenericRouter::pullInjection(Cycle now)
 {
     if (!nic_ || !nic_->hasPending())
         return;
@@ -217,7 +229,7 @@ GenericRouter::pullInjection(Cycle)
 
     Flit f = nic_->popPending();
     f.vc = static_cast<std::uint8_t>(target);
-    acceptFlit(local, f);
+    acceptFlit(local, f, now);
 }
 
 bool

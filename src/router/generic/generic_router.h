@@ -22,6 +22,7 @@
 #include <deque>
 #include <vector>
 
+#include "check/invariant.h"
 #include "router/arbiter.h"
 #include "router/crossbar.h"
 #include "router/router.h"
@@ -40,6 +41,8 @@ class GenericRouter : public Router
 
     /** Occupancy across all input VCs (tests / drain detection). */
     int bufferedFlits() const override;
+
+    int inputVcOccupancy(Direction fromDir, int slotId) const override;
 
   private:
     struct InputVc {
@@ -69,7 +72,7 @@ class GenericRouter : public Router
     void receiveFlits(Cycle now);
     void pullInjection(Cycle now);
     /** Buffer-write bookkeeping shared by link arrivals and injection. */
-    void acceptFlit(int port, const Flit &f);
+    void acceptFlit(int port, const Flit &f, Cycle now);
     void allocateVcs(Cycle now);
     void allocateSwitch(Cycle now);
     /** Drains discarded (fault-blocked) packets, one flit per cycle. */
@@ -94,6 +97,8 @@ class GenericRouter : public Router
     int numVcs_;
     int depth_;
     std::vector<InputVc> in_;          ///< [port * numVcs_ + vc]
+    /** Wormhole-order invariant trackers, one per input VC. */
+    std::vector<check::WormholeOrderTracker> order_;
     std::vector<OutputVc> localOut_;   ///< PE-side output VCs (inf credits)
     Crossbar xbar_;
     /**

@@ -15,6 +15,7 @@ PathSensitiveRouter::PathSensitiveRouter(NodeId id, const SimConfig &cfg,
     in_.reserve(static_cast<size_t>(kNumQuadrants) * numVcs_);
     for (int i = 0; i < kNumQuadrants * numVcs_; ++i)
         in_.emplace_back(depth_);
+    order_.resize(in_.size());
 
     initOutputVcs(kNumQuadrants * numVcs_, depth_);
     vaArb_.reserve(static_cast<size_t>(kNumCardinal) * kNumQuadrants *
@@ -48,6 +49,17 @@ PathSensitiveRouter::quadrantOccupancy(Quadrant q) const
     for (int v = 0; v < numVcs_; ++v)
         n += in_[static_cast<int>(q) * numVcs_ + v].buf.occupancy();
     return n;
+}
+
+int
+PathSensitiveRouter::inputVcOccupancy(Direction fromDir, int slotId) const
+{
+    NOC_ASSERT(slotId >= 0 && slotId < static_cast<int>(in_.size()),
+               "input VC slot range");
+    // Quadrant pools are shared between upstream links; attribute the
+    // occupancy to the link whose packet currently holds the buffer.
+    const InputVc &ivc = in_[static_cast<size_t>(slotId)];
+    return ivc.occupantLink == fromDir ? ivc.buf.occupancy() : 0;
 }
 
 Direction
@@ -119,10 +131,12 @@ PathSensitiveRouter::drainDropped(Cycle now)
 
 void
 PathSensitiveRouter::bufferFlit(int q, int v, const Flit &f,
-                                Direction srcDir)
+                                Direction srcDir, Cycle now)
 {
     InputVc &ivc = vc(q, v);
     ++act_.bufferWrites;
+    order_[static_cast<size_t>(q * numVcs_ + v)].onFlit(f, now, id(),
+                                                        srcDir, v);
     if (isHead(f.type)) {
         PacketCtl ctl;
         ctl.owner = f.packetId;
@@ -198,12 +212,12 @@ PathSensitiveRouter::receiveFlits(Cycle now)
         }
         int q = f->vc / numVcs_;
         int v = f->vc % numVcs_;
-        bufferFlit(q, v, *f, dir);
+        bufferFlit(q, v, *f, dir, now);
     }
 }
 
 void
-PathSensitiveRouter::pullInjection(Cycle)
+PathSensitiveRouter::pullInjection(Cycle now)
 {
     if (!nic_ || !nic_->hasPending())
         return;
@@ -300,7 +314,8 @@ PathSensitiveRouter::pullInjection(Cycle)
     if (in_[static_cast<size_t>(target)].buf.full())
         return;
     nic_->popPending();
-    bufferFlit(target / numVcs_, target % numVcs_, f, Direction::Local);
+    bufferFlit(target / numVcs_, target % numVcs_, f, Direction::Local,
+               now);
 }
 
 std::uint64_t

@@ -23,6 +23,7 @@
 #include <deque>
 #include <vector>
 
+#include "check/invariant.h"
 #include "router/arbiter.h"
 #include "router/crossbar.h"
 #include "router/router.h"
@@ -60,6 +61,8 @@ class PathSensitiveRouter : public Router
 
     /** Flits buffered in one quadrant path set (tests). */
     int quadrantOccupancy(Quadrant q) const;
+
+    int inputVcOccupancy(Direction fromDir, int slotId) const override;
     /** The decomposed crossbar (tests: traversal attribution). */
     const Crossbar &crossbar() const { return xbar_; }
 
@@ -90,7 +93,8 @@ class PathSensitiveRouter : public Router
 
     void receiveFlits(Cycle now);
     void pullInjection(Cycle now);
-    void bufferFlit(int q, int v, const Flit &f, Direction srcDir);
+    void bufferFlit(int q, int v, const Flit &f, Direction srcDir,
+                    Cycle now);
     void allocateVcs(Cycle now);
     void allocateSwitch(Cycle now);
     /** Drains discarded (fault-blocked) packets, one flit per cycle. */
@@ -108,6 +112,8 @@ class PathSensitiveRouter : public Router
     int numVcs_;
     int depth_;
     std::vector<InputVc> in_; ///< [quadrant * numVcs_ + vc]
+    /** Wormhole-order invariant trackers, one per input VC. */
+    std::vector<check::WormholeOrderTracker> order_;
     Crossbar xbar_;
     std::vector<RoundRobinArbiter> vaArb_; ///< [dir * 4v + slot]
     std::vector<RoundRobinArbiter> saSet_; ///< stage 1, per path set

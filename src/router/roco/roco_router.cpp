@@ -18,6 +18,7 @@ RocoRouter::RocoRouter(NodeId id, const SimConfig &cfg,
     in_.reserve(static_cast<size_t>(2) * kPortsPerModule * numVcs_);
     for (int i = 0; i < 2 * kPortsPerModule * numVcs_; ++i)
         in_.emplace_back(depth_);
+    order_.resize(in_.size());
 
     // Output slot namespace mirrors the downstream input VC pool:
     // (module * ports + port) * v + vc, i.e. 12 slots per direction.
@@ -51,6 +52,18 @@ RocoRouter::moduleOccupancy(Module m) const
             n += in_[vcIndex(m, p, v)].buf.occupancy();
     }
     return n;
+}
+
+int
+RocoRouter::inputVcOccupancy(Direction fromDir, int slotId) const
+{
+    NOC_ASSERT(slotId >= 0 &&
+                   slotId < static_cast<int>(in_.size()),
+               "input VC slot range");
+    // Several upstream links feed one path-set slot; attribute the
+    // occupancy to the link whose packet currently holds the buffer.
+    const InputVc &ivc = in_[static_cast<size_t>(slotId)];
+    return ivc.occupantLink == fromDir ? ivc.buf.occupancy() : 0;
 }
 
 int
@@ -166,6 +179,7 @@ RocoRouter::bufferFlit(Module m, int port, int v, const Flit &f,
 {
     InputVc &ivc = vc(m, port, v);
     ++act_.bufferWrites;
+    order_[vcIndex(m, port, v)].onFlit(f, now, id(), srcDir, v);
     if (isHead(f.type)) {
         PacketCtl ctl;
         ctl.owner = f.packetId;
@@ -173,6 +187,15 @@ RocoRouter::bufferFlit(Module m, int port, int v, const Flit &f,
         ctl.outDir = f.lookahead;
         NOC_ASSERT(isCardinal(ctl.outDir),
                    "buffered flit must have a cardinal output");
+        // Path-set discipline: a flit steered into the row module must
+        // request a row output and vice versa (guided flit queuing).
+        NOC_INVARIANT(
+            !isCardinal(ctl.outDir) || moduleOf(ctl.outDir) == m,
+            check::InvariantKind::PathSetDiscipline, now, id(), srcDir, v,
+            std::string("flit of packet ") + std::to_string(f.packetId) +
+                " buffered in the " +
+                (m == Module::Row ? "row" : "column") +
+                " module requests output " + toString(ctl.outDir));
         NOC_ASSERT(moduleOf(ctl.outDir) == m,
                    "guided queuing placed a flit in the wrong module");
         // Look-ahead routing for the next hop happens as the head is

@@ -27,6 +27,7 @@
 #include <deque>
 #include <vector>
 
+#include "check/invariant.h"
 #include "router/crossbar.h"
 #include "router/roco/mirror_allocator.h"
 #include "router/roco/vc_config.h"
@@ -64,6 +65,8 @@ class RocoRouter : public Router
 
     /** Sentinel output slot: flit ejects at the next router, no VC. */
     static constexpr int kEjectSlot = -2;
+
+    int inputVcOccupancy(Direction fromDir, int slotId) const override;
 
   private:
     struct InputVc {
@@ -129,6 +132,8 @@ class RocoRouter : public Router
     int depth_;
     RocoVcConfig vcCfg_;
     std::vector<InputVc> in_; ///< [(module*2+port)*v + vc]
+    /** Wormhole-order invariant trackers, one per input VC. */
+    std::vector<check::WormholeOrderTracker> order_;
     Crossbar xbar_[2];        ///< one 2x2 per module
     MirrorAllocator sa_[2];
     std::vector<RoundRobinArbiter> vaArb_; ///< [dir * 4v + slot]

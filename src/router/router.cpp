@@ -100,6 +100,33 @@ Router::sendCredit(Direction inDir, std::uint8_t vcId, Cycle now)
     p.creditOut->send(Credit{vcId}, now);
 }
 
+void
+Router::countInFlight(Direction d, std::vector<int> &flits,
+                      std::vector<int> &credits) const
+{
+    flits.assign(static_cast<std::size_t>(slotsPerDir_), 0);
+    credits.assign(static_cast<std::size_t>(slotsPerDir_), 0);
+    const PortIo &p = port(d);
+    if (p.flitOut) {
+        p.flitOut->forEach([&](const Flit &f) {
+            if (f.vc != 0xFF && f.vc < slotsPerDir_)
+                ++flits[f.vc];
+        });
+    }
+    if (p.creditIn) {
+        p.creditIn->forEach([&](const Credit &c) {
+            if (c.vc < slotsPerDir_)
+                ++credits[c.vc];
+        });
+    }
+}
+
+void
+Router::debugCorruptCredit(Direction d, int slot)
+{
+    --outputVc(d, slot).credits;
+}
+
 const NodeFaultState &
 Router::faultState() const
 {

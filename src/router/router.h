@@ -172,6 +172,43 @@ class Router
      */
     bool creditsQuiescent() const;
 
+    // --- protocol invariant checker hooks (src/check/invariant.h) ----
+
+    /** Downstream VC slots tracked behind each cardinal output. */
+    int outputSlotCount() const { return slotsPerDir_; }
+    /** Credits a quiescent output VC holds (the buffer depth). */
+    int outputVcDepth() const { return outVcDepth_; }
+    /** Read-only view of one output VC's credit state. */
+    const OutputVc &
+    outputVcAt(Direction d, int slot) const
+    {
+        return outputVc(d, slot);
+    }
+
+    /**
+     * Flits buffered in input VC slot @p slotId that arrived over the
+     * link from @p fromDir (slot ids use the same numbering flits carry
+     * on the wire).  Zero when the slot's occupant entered via another
+     * link, so the caller can attribute occupancy per upstream.
+     */
+    virtual int inputVcOccupancy(Direction fromDir, int slotId) const = 0;
+
+    /**
+     * Counts this router's in-flight traffic on the link behind output
+     * @p d: @p flits[s] = flits on the wire bound for downstream slot
+     * s (ejecting flits carry vc 0xFF and are skipped), @p credits[s] =
+     * credits on the wire returning for slot s.  Both vectors are
+     * resized to outputSlotCount().
+     */
+    void countInFlight(Direction d, std::vector<int> &flits,
+                       std::vector<int> &credits) const;
+
+    /**
+     * Testing hook: leaks one credit from output VC (@p d, @p slot) so
+     * the credit-conservation invariant has something to catch.
+     */
+    void debugCorruptCredit(Direction d, int slot);
+
   protected:
     /** True when port @p d exists (mesh interior or edge). */
     bool

@@ -1,5 +1,6 @@
 #include "sim/network.h"
 
+#include "check/invariant.h"
 #include "router/generic/generic_router.h"
 #include "router/pathsensitive/ps_router.h"
 #include "router/roco/roco_router.h"
@@ -195,6 +196,86 @@ Network::resetContention()
 {
     for (auto &r : routers_)
         r->resetContention();
+}
+
+void
+Network::checkProtocolInvariants(Cycle now) const
+{
+#if NOC_INVARIANTS_BUILT
+    if (!check::invariantsEnabled())
+        return;
+    std::vector<int> flits, credits;
+    for (NodeId n = 0; n < static_cast<NodeId>(numNodes()); ++n) {
+        const Router &u = *routers_[n];
+
+        // Fault-state consistency (Table 3): RoCo recycles per
+        // component and never goes whole-node dead through apply();
+        // the unified designs collapse every fault to node death.
+        const NodeFaultState &fs = u.faultState();
+        if (cfg_.arch == RouterArch::Roco) {
+            NOC_INVARIANT(!fs.nodeDead,
+                          check::InvariantKind::FaultConsistency, now, n,
+                          Direction::Invalid, -1,
+                          "RoCo node marked whole-node dead; faults must "
+                          "recycle per component");
+            for (const DeadVc &dv : fs.deadVcs) {
+                NOC_INVARIANT(
+                    dv.portIndex >= 0 && dv.portIndex < kPortsPerModule &&
+                        dv.vcIndex >= 0 && dv.vcIndex < cfg_.vcsPerPort,
+                    check::InvariantKind::FaultConsistency, now, n,
+                    Direction::Invalid, dv.vcIndex,
+                    "retired VC index outside the Table 1 pool");
+            }
+        } else {
+            NOC_INVARIANT(!fs.anyModuleDead() && !fs.rcFaulty &&
+                              !fs.saDegraded[0] && !fs.saDegraded[1] &&
+                              fs.deadVcs.empty(),
+                          check::InvariantKind::FaultConsistency, now, n,
+                          Direction::Invalid, -1,
+                          "unified router carries component-level fault "
+                          "state; any fault must collapse to node death");
+        }
+
+        // Credit conservation: for every (link, slot), the upstream
+        // credits plus traffic in flight plus downstream occupancy
+        // equal the buffer depth.
+        for (int d = 0; d < kNumCardinal; ++d) {
+            Direction dir = static_cast<Direction>(d);
+            auto nb = topo_.neighbor(n, dir);
+            if (!nb)
+                continue;
+            u.countInFlight(dir, flits, credits);
+            const Router &down = *routers_[*nb];
+            for (int s = 0; s < u.outputSlotCount(); ++s) {
+                const OutputVc &o = u.outputVcAt(dir, s);
+                int held = down.inputVcOccupancy(opposite(dir), s);
+                int lhs = o.credits + flits[s] + credits[s] + held;
+                NOC_INVARIANT(
+                    lhs == u.outputVcDepth(),
+                    check::InvariantKind::CreditConservation, now, n, dir,
+                    s,
+                    "credits " + std::to_string(o.credits) +
+                        " + flits in flight " + std::to_string(flits[s]) +
+                        " + credits in flight " +
+                        std::to_string(credits[s]) +
+                        " + downstream occupancy " + std::to_string(held) +
+                        " != depth " + std::to_string(u.outputVcDepth()));
+                if (cfg_.arch != RouterArch::Generic) {
+                    NOC_INVARIANT(
+                        o.credits + o.outstanding == u.outputVcDepth(),
+                        check::InvariantKind::CreditConservation, now, n,
+                        dir, s,
+                        "credits " + std::to_string(o.credits) +
+                            " + outstanding " +
+                            std::to_string(o.outstanding) + " != depth " +
+                            std::to_string(u.outputVcDepth()));
+                }
+            }
+        }
+    }
+#else
+    (void)now;
+#endif
 }
 
 RatioStat

@@ -87,6 +87,15 @@ class Network
     RatioStat rowContention() const;
     RatioStat colContention() const;
 
+    /**
+     * Sweeps the protocol invariants that need a network-wide view
+     * (src/check/invariant.h): per-link credit conservation and the
+     * Table 3 fault-state consistency rules. Call between cycles —
+     * the conservation equation is exact only when no router is
+     * mid-step. No-op when invariants are compiled out or disabled.
+     */
+    void checkProtocolInvariants(Cycle now) const;
+
   private:
     void build(const std::vector<FaultSpec> &faults);
 

@@ -2,11 +2,23 @@
 
 #include <algorithm>
 
+#include "check/deadlock.h"
+#include "check/invariant.h"
+
 namespace noc {
+
+const SimConfig &
+Simulator::validated(const SimConfig &cfg)
+{
+    // Prove the (arch, routing, VC) combination deadlock-free before a
+    // single cycle is simulated (memoized; opt-out via NOC_SKIP_CHECK).
+    check::validateConfigOrDie(cfg);
+    return cfg;
+}
 
 Simulator::Simulator(const SimConfig &cfg,
                      const std::vector<FaultSpec> &faults)
-    : cfg_(cfg), net_(cfg, faults)
+    : cfg_(cfg), net_(validated(cfg), faults)
 {
 }
 
@@ -46,6 +58,13 @@ Simulator::run()
         net_.step(now, generating, measuring);
         ++now;
 
+#if NOC_INVARIANTS_BUILT
+        // Periodic network-wide protocol audit (credit conservation,
+        // fault-state consistency); cheap relative to its period.
+        if ((now & 1023u) == 0 && check::invariantsEnabled())
+            net_.checkProtocolInvariants(now);
+#endif
+
         if (!generating) {
             // Drain detection is O(1): the ledger counts every flit at
             // creation and retirement, replacing the per-cycle
@@ -73,6 +92,11 @@ Simulator::run()
                 break; // blocked remainder (faulty network)
         }
     }
+
+#if NOC_INVARIANTS_BUILT
+    if (check::invariantsEnabled())
+        net_.checkProtocolInvariants(now); // final audit at drain
+#endif
 
     SimResult r;
     r.timedOut = now >= cfg_.maxCycles;

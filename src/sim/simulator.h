@@ -67,6 +67,9 @@ class Simulator
     Network &network() { return net_; }
 
   private:
+    /** Runs the up-front deadlock-freedom proof, then returns @p cfg. */
+    static const SimConfig &validated(const SimConfig &cfg);
+
     SimConfig cfg_;
     Network net_;
 };

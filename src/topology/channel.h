@@ -79,6 +79,15 @@ class DelayChannel
     std::size_t inFlight() const { return queue_.size(); }
     int latency() const { return latency_; }
 
+    /** Iterates the in-flight values (protocol invariant checks). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (const Entry &e : queue_)
+            fn(e.value);
+    }
+
   private:
     struct Entry {
         Cycle arrival;

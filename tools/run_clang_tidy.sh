@@ -1,0 +1,35 @@
+#!/bin/sh
+# Runs clang-tidy over the library sources using the compile database
+# of an existing build tree.
+#
+#   tools/run_clang_tidy.sh [build-dir]
+#
+# The build dir defaults to ./build and must have been configured with
+# CMAKE_EXPORT_COMPILE_COMMANDS=ON (the top-level CMakeLists enables
+# it). Exits 0 with a notice when clang-tidy is not installed so CI
+# images without LLVM do not fail the lint step.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build=${1:-"$repo/build"}
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy: clang-tidy not found; skipping lint" >&2
+    exit 0
+fi
+
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "run_clang_tidy: no compile database in $build" >&2
+    echo "configure first: cmake --preset default" >&2
+    exit 1
+fi
+
+# Library sources only: tests and benches inherit the same headers via
+# HeaderFilterRegex, and gtest/benchmark macros are noisy under tidy.
+files=$(find "$repo/src" "$repo/examples" -name '*.cpp' | sort)
+
+status=0
+for f in $files; do
+    clang-tidy -p "$build" --quiet "$f" || status=1
+done
+exit $status

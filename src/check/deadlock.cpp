@@ -17,118 +17,9 @@
 namespace noc::check {
 namespace {
 
-// ---------------------------------------------------------------------------
-// Slot numbering and labelling per architecture.  Slot ids are local to a
-// node; CDG vertex ids are node * slotsPerNode + slot.
-// ---------------------------------------------------------------------------
-
-constexpr int kRocoSlots = 2 * kPortsPerModule * kVcsPerSet; // 12
-
-int
-rocoSlot(Module m, int port, int vc)
-{
-    return (static_cast<int>(m) * kPortsPerModule + port) * kVcsPerSet + vc;
-}
-
-std::string
-rocoSlotName(const RocoVcConfig &table, int slot)
-{
-    Module m = static_cast<Module>(slot / (kPortsPerModule * kVcsPerSet));
-    int port = (slot / kVcsPerSet) % kPortsPerModule;
-    int vc = slot % kVcsPerSet;
-    char buf[64];
-    std::snprintf(buf, sizeof buf, "%s p%d v%d [%s]", toString(m), port, vc,
-                  toString(table.at(m, port, vc)));
-    return buf;
-}
-
-std::string
-genericSlotName(int vcsPerPort, int slot)
-{
-    Direction port = static_cast<Direction>(slot / vcsPerPort);
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "in-%s v%d", toString(port),
-                  slot % vcsPerPort);
-    return buf;
-}
-
-std::string
-psSlotName(int vcsPerPort, int slot)
-{
-    Quadrant q = static_cast<Quadrant>(slot / vcsPerPort);
-    char buf[32];
-    std::snprintf(buf, sizeof buf, "%s v%d", toString(q), slot % vcsPerPort);
-    return buf;
-}
-
-/**
- * The slots a flit arriving on @p arrival and leaving on @p outHere may
- * occupy at a RoCo router — the prover-side mirror of
- * RocoRouter::eligibleSlots(), parameterised by the audit knobs.
- */
-std::uint64_t
-rocoSlotMask(const RocoCheckOptions &o, RoutingKind kind, Direction arrival,
-             Direction outHere, bool yxOrder)
-{
-    NOC_ASSERT(isCardinal(outHere), "RoCo flits buffer toward a cardinal");
-    std::uint64_t mask = 0;
-    Module m = moduleForOutput(outHere);
-    if (arrival == Direction::Local) {
-        VcClass want = m == Module::Row ? VcClass::InjXy : VcClass::InjYx;
-        for (int p = 0; p < kPortsPerModule; ++p)
-            for (int v = 0; v < kVcsPerSet; ++v)
-                if (o.table.at(m, p, v) == want)
-                    mask |= 1ull << rocoSlot(m, p, v);
-        return mask;
-    }
-    int p = portSideFor(m, arrival);
-    VcClass cls = classifyFlit(arrival, outHere);
-    bool turn = cls == VcClass::Txy || cls == VcClass::Tyx;
-    int count = o.table.countClass(m, p, cls);
-    bool partition = kind == RoutingKind::XYYX && o.orderPartition &&
-                     (cls == VcClass::Dx || cls == VcClass::Dy) && count >= 2;
-    // Mirror of eligibleSlots(): the dimension order that owns fewer
-    // packets of this class gets the last slot, the other the rest.
-    bool minority = cls == VcClass::Dx ? yxOrder : !yxOrder;
-    int ordinal = 0;
-    for (int v = 0; v < kVcsPerSet; ++v) {
-        VcClass have = o.table.at(m, p, v);
-        if (have == cls) {
-            int ord = ordinal++;
-            if (partition && minority != (ord == count - 1))
-                continue;
-            mask |= 1ull << rocoSlot(m, p, v);
-        } else if (o.mergeTurnClasses && turn &&
-                   (have == VcClass::Dx || have == VcClass::Dy)) {
-            // Audit knob: turn flits admitted into the dimension slots
-            // of their target port as one unrestricted shared class.
-            mask |= 1ull << rocoSlot(m, p, v);
-        }
-    }
-    return mask;
-}
-
-/** Generic-router slots a flit may occupy on input port @p port. */
-std::uint64_t
-genericSlotMask(RoutingKind kind, int port, int vcsPerPort, bool yxOrder)
-{
-    std::uint64_t all = ((1ull << vcsPerPort) - 1) << (port * vcsPerPort);
-    if (port == static_cast<int>(Direction::Local))
-        return all; // injection claims any idle Local VC
-    if (kind != RoutingKind::XYYX)
-        return all;
-    // slotAllowed(): YX packets own the last VC, XY packets the rest.
-    std::uint64_t last = 1ull << (port * vcsPerPort + vcsPerPort - 1);
-    return yxOrder ? last : all & ~last;
-}
-
-/** All slots of one Path-Sensitive quadrant pool. */
-std::uint64_t
-psPoolMask(Quadrant q, int vcsPerPort)
-{
-    return ((1ull << vcsPerPort) - 1)
-           << (static_cast<int>(q) * vcsPerPort);
-}
+// Slot numbering, labelling and eligibility rules live in
+// check/slot_rules.h, shared with the liveness model checker; CDG
+// vertex ids are node * slotsPerNode + slot.
 
 /**
  * Escape-tier canonical pool: strict-quadrant destinations keep their
@@ -300,12 +191,6 @@ ProofResult::renderCycle() const
     out += cycle.front().label();
     out += '\n';
     return out;
-}
-
-RocoCheckOptions
-RocoCheckOptions::shipped(RoutingKind kind)
-{
-    return {RocoVcConfig::forRouting(kind), true, false};
 }
 
 ProofResult

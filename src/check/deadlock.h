@@ -33,6 +33,7 @@
 #include <string>
 #include <vector>
 
+#include "check/slot_rules.h"
 #include "common/config.h"
 #include "common/types.h"
 #include "router/roco/vc_config.h"
@@ -69,30 +70,6 @@ struct ProofResult {
     std::string summary() const;
     /** Multi-line rendering of `cycle`; empty string when acyclic. */
     std::string renderCycle() const;
-};
-
-/**
- * Knobs for auditing RoCo VC tables beyond the shipped Table 1 rows —
- * used to demonstrate that the prover rejects mis-balanced layouts.
- */
-struct RocoCheckOptions {
-    RocoVcConfig table{};
-    /**
-     * Apply the XY-YX order partition on two-slot dx/dy classes (the
-     * role of Table 1's extra VCs).  Disabling it under XY-YX lets
-     * both dimension orders share every dx/dy slot — the textbook
-     * XY+YX buffer cycle.
-     */
-    bool orderPartition = true;
-    /**
-     * Admit turn-class flits (txy/tyx) into the dx/dy slots of their
-     * target port — "one unrestricted shared class" instead of
-     * order-exclusive turn path sets.
-     */
-    bool mergeTurnClasses = false;
-
-    /** The shipped Table 1 configuration for @p kind. */
-    static RocoCheckOptions shipped(RoutingKind kind);
 };
 
 ProofResult proveRoco(const MeshTopology &topo, RoutingKind kind,

@@ -1,0 +1,115 @@
+/**
+ * @file
+ * Shared slot-eligibility rules: which input-VC slots of a router a
+ * packet may occupy, given how it arrives and where it is heading.
+ *
+ * These functions are the verification-side mirror of the routers'
+ * private buffer-placement logic (RocoRouter::eligibleSlots, the
+ * generic router's slotAllowed partition, the Path-Sensitive quadrant
+ * pools).  Two independent verifiers consume them: the extended-CDG
+ * deadlock prover (check/deadlock.h) and the explicit-state liveness
+ * model checker (model/micro_model.h), so a single definition keeps
+ * both proofs aligned with each other and with the implementation.
+ *
+ * Slot ids are local to a node and use each architecture's natural
+ * numbering — the same numbering flits carry on the wire:
+ *   RoCo     (module * kPortsPerModule + port) * kVcsPerSet + vc
+ *   generic  port * vcsPerPort + vc
+ *   PS       quadrant * vcsPerPort + vc
+ */
+#ifndef ROCOSIM_CHECK_SLOT_RULES_H_
+#define ROCOSIM_CHECK_SLOT_RULES_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.h"
+#include "fault/fault.h"
+#include "router/roco/vc_config.h"
+#include "routing/quadrant.h"
+
+namespace noc::check {
+
+/** RoCo input-VC slots per node (two modules of two 3-VC path sets). */
+constexpr int kRocoSlots = 2 * kPortsPerModule * kVcsPerSet; // 12
+
+/** Flat RoCo slot id of (module, port, vc). */
+inline int
+rocoSlot(Module m, int port, int vc)
+{
+    return (static_cast<int>(m) * kPortsPerModule + port) * kVcsPerSet + vc;
+}
+
+/** Module / port / VC decomposition of a flat RoCo slot id. */
+inline Module
+rocoSlotModule(int slot)
+{
+    return static_cast<Module>(slot / (kPortsPerModule * kVcsPerSet));
+}
+inline int
+rocoSlotPort(int slot)
+{
+    return (slot / kVcsPerSet) % kPortsPerModule;
+}
+inline int
+rocoSlotVc(int slot)
+{
+    return slot % kVcsPerSet;
+}
+
+/** Human-readable slot labels, e.g. "Row p0 v1 [txy]", "in-W v2". */
+std::string rocoSlotName(const RocoVcConfig &table, int slot);
+std::string genericSlotName(int vcsPerPort, int slot);
+std::string psSlotName(int vcsPerPort, int slot);
+
+/**
+ * Knobs for auditing RoCo VC tables beyond the shipped Table 1 rows —
+ * used to demonstrate that the verifiers reject mis-balanced layouts.
+ */
+struct RocoCheckOptions {
+    RocoVcConfig table{};
+    /**
+     * Apply the XY-YX order partition on two-slot dx/dy classes (the
+     * role of Table 1's extra VCs).  Disabling it under XY-YX lets
+     * both dimension orders share every dx/dy slot — the textbook
+     * XY+YX buffer cycle.
+     */
+    bool orderPartition = true;
+    /**
+     * Admit turn-class flits (txy/tyx) into the dx/dy slots of their
+     * target port — "one unrestricted shared class" instead of
+     * order-exclusive turn path sets.
+     */
+    bool mergeTurnClasses = false;
+
+    /** The shipped Table 1 configuration for @p kind. */
+    static RocoCheckOptions shipped(RoutingKind kind);
+};
+
+/**
+ * The slots a flit arriving on @p arrival and leaving on @p outHere may
+ * occupy at a RoCo router — the verifier-side mirror of
+ * RocoRouter::eligibleSlots(), parameterised by the audit knobs.
+ * @p arrival == Local selects the injection classes.
+ */
+std::uint64_t rocoSlotMask(const RocoCheckOptions &o, RoutingKind kind,
+                           Direction arrival, Direction outHere,
+                           bool yxOrder);
+
+/** Generic-router slots a flit may occupy on input port @p port. */
+std::uint64_t genericSlotMask(RoutingKind kind, int port, int vcsPerPort,
+                              bool yxOrder);
+
+/** All slots of one Path-Sensitive quadrant pool. */
+std::uint64_t psPoolMask(Quadrant q, int vcsPerPort);
+
+/**
+ * RoCo slots retired by buffer faults at a node (Table 3 hardware
+ * recycling), as a mask to subtract from any eligibility mask.  Slots
+ * of a dead module are included: nothing may be buffered there.
+ */
+std::uint64_t rocoDeadSlotMask(const NodeFaultState &s);
+
+} // namespace noc::check
+
+#endif // ROCOSIM_CHECK_SLOT_RULES_H_

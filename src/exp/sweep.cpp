@@ -7,6 +7,7 @@
 
 #include "check/deadlock.h"
 #include "common/log.h"
+#include "model/liveness.h"
 
 namespace noc::exp {
 
@@ -126,11 +127,15 @@ SweepRunner::run(const SweepSpec &spec) const
     res.threads = threads_;
 
     // Prove every distinct (arch, routing, mesh, VC) combination
-    // deadlock-free before the pool burns hours simulating an unsound
-    // design; validateConfigOrDie memoizes, so a sweep over R routings
-    // and A architectures pays for R x A proofs, not one per point.
-    for (const SweepPoint &p : res.points)
+    // deadlock-free and starvation/livelock-free before the pool burns
+    // hours simulating an unsound design.  Both checkers memoize, so a
+    // sweep over R routings and A architectures pays for R x A proofs,
+    // not one per point; pre-warming here also keeps the caches out of
+    // the workers' way (they only ever hit the proven fast path).
+    for (const SweepPoint &p : res.points) {
         check::validateConfigOrDie(p.cfg);
+        model::validateConfigLiveness(p.cfg);
+    }
 
     // Work-stealing over a shared counter: each thread claims the next
     // unclaimed point and writes only its own result slot, so the

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Exhaustive explorer over the micro-model (model/micro_model.h).
+ *
+ * Breadth-first search over every reachable interleaving of a
+ * scenario's packets, checking on the fly:
+ *
+ *   livelock-freedom      every transition strictly decreases the moved
+ *                         packet's progress measure, so the transition
+ *                         graph of the closed system is a DAG and every
+ *                         packet reaches a terminal stage under any
+ *                         weakly-fair scheduler.
+ *   no stranding          every non-terminal state has an enabled
+ *                         transition (a stuck state would strand a
+ *                         packet forever: the graceful-degradation
+ *                         violation hardware recycling must avoid).
+ *   exact accounting      every terminal state has every packet either
+ *                         Delivered or Dropped, never both or neither
+ *                         (stage transitions are monotone, so a packet
+ *                         cannot be duplicated by construction).
+ *   delivery obligations  must-deliver packets (fault-free scenarios:
+ *                         all packets) are delivered in every terminal
+ *                         state — e.g. column traffic is immune to a
+ *                         dead row module (Table 3 independence).
+ *
+ * On violation the result carries a step-by-step counterexample trace
+ * from the initial state, reconstructed via BFS parent pointers.
+ */
+#ifndef ROCOSIM_MODEL_EXPLORER_H_
+#define ROCOSIM_MODEL_EXPLORER_H_
+
+#include <array>
+#include <cstddef>
+#include <string>
+
+#include "model/micro_model.h"
+
+namespace noc::model {
+
+/** Outcome of exploring one scenario. */
+struct ModelResult {
+    std::string scenario;
+    bool ok = false;
+    /** Violated property (empty when ok). */
+    std::string property;
+    /** Rendered counterexample trace (empty when ok). */
+    std::string counterexample;
+    std::size_t states = 0;
+    std::size_t transitions = 0;
+    /** Per-packet union of terminal outcomes (kOutcome* bits). */
+    std::array<std::uint8_t, kMaxPackets> outcomes{};
+
+    /** One-line verdict for audit tables. */
+    std::string summary() const;
+};
+
+/**
+ * Explores @p sc exhaustively.  @p stateCap bounds the search (a cap
+ * hit is reported as a violation — the proof must be total, never
+ * silently truncated).
+ */
+ModelResult explore(const Scenario &sc, std::size_t stateCap = 2000000);
+
+} // namespace noc::model
+
+#endif // ROCOSIM_MODEL_EXPLORER_H_

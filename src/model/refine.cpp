@@ -1,0 +1,202 @@
+#include "model/refine.h"
+
+#include <cstdio>
+#include <vector>
+
+#include "check/invariant.h"
+#include "common/log.h"
+#include "model/explorer.h"
+#include "sim/network.h"
+
+namespace noc::model {
+
+namespace {
+
+/** Collects violations instead of aborting. */
+class CollectingRecorder : public check::ViolationRecorder
+{
+  public:
+    std::vector<check::Violation> violations;
+    void
+    onViolation(const check::Violation &v) override
+    {
+        violations.push_back(v);
+    }
+};
+
+/** RAII: recorder installed + invariants forced on, restored on exit. */
+class RecorderScope
+{
+  public:
+    explicit RecorderScope(CollectingRecorder &rec)
+        : prev_(check::setViolationRecorder(&rec)),
+          prevEnabled_(check::invariantsEnabled())
+    {
+        check::setInvariantsEnabled(true);
+    }
+    ~RecorderScope()
+    {
+        check::setViolationRecorder(prev_);
+        check::setInvariantsEnabled(prevEnabled_);
+    }
+
+  private:
+    check::ViolationRecorder *prev_;
+    bool prevEnabled_;
+};
+
+constexpr Cycle kDrainCap = 5000;
+
+} // namespace
+
+std::string
+RefineResult::summary() const
+{
+    char buf[192];
+    if (ok) {
+        std::snprintf(buf, sizeof buf,
+                      "%-34s OK     %3llu/%llu delivered, drained in "
+                      "%llu cycles",
+                      scenario.c_str(),
+                      static_cast<unsigned long long>(delivered),
+                      static_cast<unsigned long long>(injected),
+                      static_cast<unsigned long long>(cycles));
+    } else {
+        std::snprintf(buf, sizeof buf, "%-34s FAILED %s",
+                      scenario.c_str(), detail.c_str());
+    }
+    return buf;
+}
+
+RefineResult
+replayScenario(const Scenario &sc, int flitsPerPacket)
+{
+    RefineResult res;
+    res.scenario = sc.name;
+    if (sc.mutation != Mutation::None) {
+        res.detail = "mutated scenarios are model-only";
+        return res;
+    }
+
+    ModelResult model = explore(sc);
+    if (!model.ok) {
+        res.detail = "model exploration failed: " + model.property;
+        return res;
+    }
+    std::uint64_t minDeliver = 0, maxDeliver = 0;
+    for (std::size_t i = 0; i < sc.packets.size(); ++i) {
+        if (model.outcomes[i] & kOutcomeDelivered)
+            ++maxDeliver;
+        if (model.outcomes[i] == kOutcomeDelivered)
+            ++minDeliver;
+    }
+
+    SimConfig cfg;
+    cfg.meshWidth = sc.width;
+    cfg.meshHeight = sc.height;
+    cfg.arch = sc.arch;
+    cfg.routing = sc.routing;
+    cfg.vcsPerPort = sc.vcsPerPort;
+    cfg.flitsPerPacket = flitsPerPacket;
+    cfg.injectionRate = 0.0; // only the scenario's hand-fed packets
+    res.injected = sc.packets.size();
+
+    // Several injection staggers sample distinct real schedules from
+    // the interleavings the model explored.
+    const int staggers[] = {0, 1, 3};
+    for (int variant = 0; variant < 3; ++variant) {
+        int stagger = staggers[variant];
+        bool reversed = variant == 2;
+
+        Network net(cfg, sc.faults);
+        CollectingRecorder rec;
+        RecorderScope scope(rec);
+
+        std::uint64_t nextId = 1;
+        std::size_t enqueued = 0;
+        Cycle now = 0;
+        for (; now < kDrainCap; ++now) {
+            while (enqueued < sc.packets.size() &&
+                   now >= static_cast<Cycle>(enqueued) * stagger) {
+                std::size_t idx = reversed
+                                      ? sc.packets.size() - 1 - enqueued
+                                      : enqueued;
+                const PacketSpec &p = sc.packets[idx];
+                net.nic(p.src).enqueuePacket(p.dst, now, nextId, true,
+                                             p.yxOrder);
+                ++enqueued;
+            }
+            net.step(now, false, true);
+
+            // Exact flit accounting: nothing created is ever lost
+            // between the source queues, the routers/links and the
+            // retirement counters.
+            std::uint64_t queued = 0;
+            for (NodeId n = 0; n < static_cast<NodeId>(net.numNodes());
+                 ++n)
+                queued += net.nic(n).queuedFlits();
+            std::uint64_t outstanding =
+                net.ledger().created - net.ledger().retired;
+            if (outstanding !=
+                static_cast<std::uint64_t>(net.flitsInFlight()) +
+                    queued) {
+                char buf[160];
+                std::snprintf(buf, sizeof buf,
+                              "flit conservation broken at cycle %llu: "
+                              "ledger %llu vs walked %llu+%llu",
+                              static_cast<unsigned long long>(now),
+                              static_cast<unsigned long long>(
+                                  outstanding),
+                              static_cast<unsigned long long>(
+                                  net.flitsInFlight()),
+                              static_cast<unsigned long long>(queued));
+                res.detail = buf;
+                return res;
+            }
+            net.checkProtocolInvariants(now + 1);
+
+            if (enqueued == sc.packets.size() && net.quiescent())
+                break;
+        }
+
+        if (!net.quiescent()) {
+            res.detail = "network failed to drain (stranded flits)";
+            return res;
+        }
+        if (!rec.violations.empty()) {
+            res.detail = "protocol invariant fired: " +
+                         rec.violations.front().describe();
+            return res;
+        }
+        for (NodeId n = 0; n < static_cast<NodeId>(net.numNodes()); ++n) {
+            if (!net.router(n).creditsQuiescent()) {
+                char buf[96];
+                std::snprintf(buf, sizeof buf,
+                              "router %u credits not quiescent after "
+                              "drain",
+                              n);
+                res.detail = buf;
+                return res;
+            }
+        }
+        std::uint64_t delivered = net.totalDelivered();
+        if (delivered < minDeliver || delivered > maxDeliver) {
+            char buf[160];
+            std::snprintf(
+                buf, sizeof buf,
+                "delivered %llu outside model envelope [%llu, %llu]",
+                static_cast<unsigned long long>(delivered),
+                static_cast<unsigned long long>(minDeliver),
+                static_cast<unsigned long long>(maxDeliver));
+            res.detail = buf;
+            return res;
+        }
+        res.delivered = delivered;
+        res.cycles = std::max(res.cycles, now + 1);
+    }
+
+    res.ok = true;
+    return res;
+}
+
+} // namespace noc::model

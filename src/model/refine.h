@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Refinement harness: replays model-checker scenarios through the real
+ * Simulator pipeline and cross-checks the execution against the
+ * micro-model's explored envelope, so the liveness proofs attach to
+ * the production code rather than an idealised abstraction.
+ *
+ * The micro-model explores EVERY interleaving of a scenario's packets;
+ * the real network's synchronous schedule is one of them.  The harness
+ * therefore (a) explores the scenario, (b) injects the same packets
+ * into a real Network (same mesh, architecture, routing and static
+ * faults; several injection staggers to sample distinct schedules),
+ * and (c) checks per cycle and at drain:
+ *
+ *   - flit conservation: created - retired == flits in routers/links +
+ *     flits still queued at source NICs (exact ledger accounting);
+ *   - the runtime protocol invariants stay silent (credit
+ *     conservation, wormhole order, path-set discipline, Table 3 fault
+ *     consistency) via an installed recorder;
+ *   - the network drains within a generous cycle cap (no stranded
+ *     flit), every router's credits return to quiescent;
+ *   - the delivered-packet count lies inside the model's envelope:
+ *     [#packets the model always delivers, #packets it may deliver].
+ */
+#ifndef ROCOSIM_MODEL_REFINE_H_
+#define ROCOSIM_MODEL_REFINE_H_
+
+#include <string>
+
+#include "model/micro_model.h"
+
+namespace noc::model {
+
+/** Outcome of replaying one scenario through the real Simulator. */
+struct RefineResult {
+    std::string scenario;
+    bool ok = false;
+    std::string detail; ///< first failed cross-check (empty when ok)
+    Cycle cycles = 0;   ///< cycles until drain (worst stagger)
+    std::uint64_t delivered = 0;
+    std::uint64_t injected = 0;
+
+    std::string summary() const;
+};
+
+/**
+ * Replays @p sc through a real Network.  @p flitsPerPacket controls
+ * the wormhole depth of the replay (the model abstracts packets to
+ * single units; >= 2 exercises the multi-flit discipline the
+ * abstraction argument relies on).  Scenarios with a Mutation are
+ * rejected — mutations exist only inside the model.
+ */
+RefineResult replayScenario(const Scenario &sc, int flitsPerPacket = 2);
+
+} // namespace noc::model
+
+#endif // ROCOSIM_MODEL_REFINE_H_

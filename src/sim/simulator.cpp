@@ -4,15 +4,18 @@
 
 #include "check/deadlock.h"
 #include "check/invariant.h"
+#include "model/liveness.h"
 
 namespace noc {
 
 const SimConfig &
 Simulator::validated(const SimConfig &cfg)
 {
-    // Prove the (arch, routing, VC) combination deadlock-free before a
-    // single cycle is simulated (memoized; opt-out via NOC_SKIP_CHECK).
+    // Prove the (arch, routing, VC) combination deadlock-free AND
+    // starvation/livelock-free before a single cycle is simulated
+    // (both memoized; opt-out via NOC_SKIP_CHECK).
     check::validateConfigOrDie(cfg);
+    model::validateConfigLiveness(cfg);
     return cfg;
 }
 

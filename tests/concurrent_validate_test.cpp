@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Thread-safety regression for the memoized config validators
+ * (check::validateConfigOrDie and model::validateConfigLiveness).
+ * Concurrent SweepRunner workers construct Simulators in parallel, so
+ * both memo caches are hammered from many threads with overlapping
+ * keys; under the tsan preset this test is the data-race detector for
+ * that path.  The caches hold their mutex across the proof itself, so
+ * a key is proved exactly once and never observed half-inserted.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "check/deadlock.h"
+#include "exp/sweep.h"
+#include "model/liveness.h"
+
+namespace noc {
+namespace {
+
+constexpr RouterArch kAllArchs[] = {RouterArch::Roco,
+                                    RouterArch::Generic,
+                                    RouterArch::PathSensitive};
+constexpr RoutingKind kAllRoutings[] = {RoutingKind::XY,
+                                        RoutingKind::XYYX,
+                                        RoutingKind::Adaptive};
+
+TEST(ConcurrentValidate, MemoCachesSurviveContention)
+{
+    // Every thread walks the full (arch x routing) matrix, so every
+    // cache key is requested by every thread: maximal overlap, first
+    // caller proves, the rest must hit the memo without racing it.
+    constexpr int kThreads = 8;
+    std::atomic<int> validated{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&validated, t] {
+            for (RouterArch arch : kAllArchs) {
+                for (RoutingKind kind : kAllRoutings) {
+                    SimConfig cfg;
+                    cfg.arch = arch;
+                    cfg.routing = kind;
+                    // Vary mesh size per thread so the deadlock cache
+                    // also sees distinct keys interleaved with hits.
+                    cfg.meshWidth = 3 + (t & 1);
+                    cfg.meshHeight = 3 + ((t >> 1) & 1);
+                    check::validateConfigOrDie(cfg);
+                    model::validateConfigLiveness(cfg);
+                    validated.fetch_add(1,
+                                        std::memory_order_relaxed);
+                }
+            }
+        });
+    }
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(validated.load(), kThreads * 9);
+}
+
+TEST(ConcurrentValidate, SweepWorkersValidateInParallel)
+{
+    // End-to-end variant: a multi-threaded sweep constructs Simulators
+    // concurrently; each construction re-enters both validators.
+    exp::SweepSpec spec;
+    spec.base.meshWidth = 4;
+    spec.base.meshHeight = 4;
+    spec.base.injectionRate = 0.05;
+    spec.base.warmupPackets = 20;
+    spec.base.measurePackets = 100;
+    spec.archs = {RouterArch::Roco, RouterArch::Generic,
+                  RouterArch::PathSensitive};
+    spec.routings = {RoutingKind::XY, RoutingKind::Adaptive};
+    exp::SweepRunner runner(4);
+    exp::SweepResults res = runner.run(spec);
+    ASSERT_EQ(res.results.size(), 6u);
+    for (const exp::PointResult &r : res.results)
+        EXPECT_GT(r.result.delivered, 0u);
+}
+
+} // namespace
+} // namespace noc

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Refinement-harness tests: every model-checker scenario replayed
+ * through the real Simulator pipeline must drain, keep the runtime
+ * protocol invariants silent, return all credits, and deliver a packet
+ * count inside the micro-model's explored envelope.
+ */
+#include <gtest/gtest.h>
+
+#include "model/liveness.h"
+#include "model/refine.h"
+
+namespace noc::model {
+namespace {
+
+constexpr RouterArch kAllArchs[] = {RouterArch::Roco,
+                                    RouterArch::Generic,
+                                    RouterArch::PathSensitive};
+constexpr RoutingKind kAllRoutings[] = {RoutingKind::XY,
+                                        RoutingKind::XYYX,
+                                        RoutingKind::Adaptive};
+
+TEST(Refine, HealthyScenariosMatchRealSimulator)
+{
+    for (RouterArch arch : kAllArchs) {
+        for (RoutingKind kind : kAllRoutings) {
+            for (int dim : {2, 3}) {
+                const Scenario sc =
+                    scenarioMatrix(arch, kind, dim, dim).front();
+                RefineResult r = replayScenario(sc);
+                EXPECT_TRUE(r.ok) << r.summary();
+                // Fault-free scenarios deliver every packet.
+                EXPECT_EQ(r.delivered, r.injected) << sc.name;
+            }
+        }
+    }
+}
+
+TEST(Refine, FaultScenariosMatchRealSimulator)
+{
+    for (RouterArch arch : kAllArchs) {
+        for (RoutingKind kind : kAllRoutings) {
+            for (const Scenario &sc :
+                 scenarioMatrix(arch, kind, 3, 3)) {
+                if (sc.faults.empty())
+                    continue;
+                RefineResult r = replayScenario(sc);
+                EXPECT_TRUE(r.ok) << r.summary();
+            }
+        }
+    }
+}
+
+TEST(Refine, MultiFlitWormholeDepthIsExercised)
+{
+    const Scenario sc =
+        scenarioMatrix(RouterArch::Roco, RoutingKind::XY, 3, 3)
+            .front();
+    for (int flits : {1, 2, 4}) {
+        RefineResult r = replayScenario(sc, flits);
+        EXPECT_TRUE(r.ok) << "flitsPerPacket=" << flits << ": "
+                          << r.summary();
+    }
+}
+
+TEST(Refine, MutatedScenariosAreRejected)
+{
+    RefineResult r = replayScenario(
+        brokenModelScenario(Mutation::NonMinimalRouting));
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.detail.find("model-only"), std::string::npos)
+        << r.detail;
+}
+
+} // namespace
+} // namespace noc::model

@@ -1,8 +1,18 @@
 #!/bin/sh
 # Runs clang-tidy over the library sources using the compile database
-# of an existing build tree.
+# of an existing build tree and emits a machine-readable report: one
+# line per diagnostic,
 #
-#   tools/run_clang_tidy.sh [build-dir]
+#   <repo-relative-file>:<line>:<col>: <level>: <message> [<check>]
+#
+# sorted lexicographically so reruns are byte-stable.  The report is
+# compared against tools/clang_tidy_baseline.txt; any diagnostic not in
+# the baseline fails the run (exit 1) and is printed under "NEW
+# DIAGNOSTICS".  Fixed diagnostics are reported informationally.
+#
+#   tools/run_clang_tidy.sh [build-dir]        lint against baseline
+#   tools/run_clang_tidy.sh --update-baseline [build-dir]
+#                                              regenerate the baseline
 #
 # The build dir defaults to ./build and must have been configured with
 # CMAKE_EXPORT_COMPILE_COMMANDS=ON (the top-level CMakeLists enables
@@ -11,6 +21,13 @@
 set -eu
 
 repo=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+baseline="$repo/tools/clang_tidy_baseline.txt"
+
+update=0
+if [ "${1:-}" = "--update-baseline" ]; then
+    update=1
+    shift
+fi
 build=${1:-"$repo/build"}
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
@@ -28,8 +45,45 @@ fi
 # HeaderFilterRegex, and gtest/benchmark macros are noisy under tidy.
 files=$(find "$repo/src" "$repo/examples" -name '*.cpp' | sort)
 
-status=0
+raw=$(mktemp)
+report=$(mktemp)
+trap 'rm -f "$raw" "$report"' EXIT
+
 for f in $files; do
-    clang-tidy -p "$build" --quiet "$f" || status=1
+    # || true: diagnostics are judged against the baseline below, not
+    # by clang-tidy's own exit status.
+    clang-tidy -p "$build" --quiet "$f" 2>/dev/null >>"$raw" || true
 done
-exit $status
+
+# Normalise to one stable line per diagnostic: keep only "<path>:L:C:
+# level: ..." lines (drops code snippets/carets), make paths
+# repo-relative, dedup (headers surface once per includer) and sort.
+sed -n "s|^$repo/||p" "$raw" |
+    grep -E '^[^ :]+:[0-9]+:[0-9]+: (warning|error): ' |
+    sort -u >"$report"
+
+if [ "$update" = 1 ]; then
+    cp "$report" "$baseline"
+    echo "run_clang_tidy: baseline updated ($(wc -l <"$baseline") diagnostics)"
+    exit 0
+fi
+
+[ -f "$baseline" ] || : >"$baseline"
+
+new=$(comm -23 "$report" "$baseline")
+fixed=$(comm -13 "$report" "$baseline")
+
+if [ -n "$fixed" ]; then
+    echo "run_clang_tidy: diagnostics fixed since baseline (run with"
+    echo "  --update-baseline to lock in):"
+    printf '%s\n' "$fixed" | sed 's/^/  /'
+fi
+
+if [ -n "$new" ]; then
+    echo "run_clang_tidy: NEW DIAGNOSTICS (not in baseline):"
+    printf '%s\n' "$new"
+    exit 1
+fi
+
+echo "run_clang_tidy: clean ($(wc -l <"$report") diagnostics, all baselined)"
+exit 0

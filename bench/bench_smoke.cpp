@@ -4,20 +4,31 @@
  * under ThreadSanitizer in CI (registered as the `bench_smoke` ctest).
  *
  * Forces a multi-thread pool regardless of host core count so the
- * runner's sharing (atomic work counter, per-slot result writes) is
- * actually exercised, then cross-checks the pool's results against a
- * serial run. Exits non-zero on any mismatch.
+ * runner's sharing (atomic work counter, per-slot result writes, the
+ * locked observability aggregate) is actually exercised, then
+ * cross-checks the pool's results against a serial run. Also guards
+ * the observability contracts: an attached recorder must not perturb
+ * simulation results, the trace aggregate must be pool-size
+ * independent, and the untraced hot path must not pay for the obs
+ * subsystem's existence. Exits non-zero on any violation.
  */
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_util.h"
+#include "obs/obs.h"
+#include "obs/recorder.h"
 
-int
-main()
+namespace {
+
+using namespace noc;
+using namespace noc::bench;
+
+exp::SweepSpec
+smokeSpec()
 {
-    using namespace noc;
-    using namespace noc::bench;
-
     exp::SweepSpec spec = makeSpec("smoke");
     spec.base.meshWidth = 4;
     spec.base.meshHeight = 4;
@@ -26,10 +37,12 @@ main()
     spec.base.maxCycles = 20000;
     spec.archs = {std::begin(kArchs), std::end(kArchs)};
     spec.rates = {0.1, 0.2};
+    return spec;
+}
 
-    exp::SweepResults serial = exp::SweepRunner(1).run(spec);
-    exp::SweepResults pooled = exp::SweepRunner(4).run(spec);
-
+int
+comparePools(const exp::SweepResults &serial, const exp::SweepResults &pooled)
+{
     int bad = 0;
     for (std::size_t i = 0; i < serial.results.size(); ++i) {
         const SimResult &a = serial.results[i].result;
@@ -41,6 +54,147 @@ main()
             ++bad;
         }
     }
+    return bad;
+}
+
+/** The sweep above, traced: the merged aggregate must be identical for
+ *  a serial and a pooled run (Summary::merge is commutative), and in
+ *  builds without the compiled-in hooks it must not form at all. */
+int
+checkObsAggregate()
+{
+    setenv("NOC_TRACE", "1", 1);
+    exp::SweepSpec spec = smokeSpec();
+    exp::SweepResults serial = exp::SweepRunner(1).run(spec);
+    exp::SweepResults pooled = exp::SweepRunner(4).run(spec);
+    unsetenv("NOC_TRACE");
+
+    if (!obs::kBuiltIn) {
+        if (serial.obs || pooled.obs) {
+            std::fprintf(stderr, "obs aggregate formed without hooks\n");
+            return 1;
+        }
+        return 0;
+    }
+    if (!serial.obs || !pooled.obs) {
+        std::fprintf(stderr, "traced sweep produced no obs aggregate\n");
+        return 1;
+    }
+    int bad = 0;
+    for (int st = 0; st < obs::kStageCount; ++st) {
+        if (serial.obs->counters.events[st] !=
+                pooled.obs->counters.events[st] ||
+            serial.obs->residency[st].count() !=
+                pooled.obs->residency[st].count()) {
+            std::fprintf(stderr, "obs aggregate diverged at stage %d\n", st);
+            ++bad;
+        }
+    }
+    if (serial.obs->endToEnd.count() != pooled.obs->endToEnd.count() ||
+        serial.obs->endToEnd.percentile(0.99) !=
+            pooled.obs->endToEnd.percentile(0.99)) {
+        std::fprintf(stderr, "obs end-to-end histogram diverged\n");
+        ++bad;
+    }
+    return bad;
+}
+
+/** One timed run; a disabled recorder is attached when @p disabled. */
+double
+timedRun(const SimConfig &cfg, bool disabledRecorder)
+{
+    Simulator sim(cfg);
+    if (disabledRecorder) {
+        obs::Recorder::Options opt;
+        opt.nodes = cfg.meshWidth * cfg.meshHeight;
+        opt.meshWidth = cfg.meshWidth;
+        opt.meshHeight = cfg.meshHeight;
+        opt.arch = cfg.arch;
+        opt.enabled = false;
+        sim.attachObserver(std::make_shared<obs::Recorder>(opt));
+    }
+    auto t0 = std::chrono::steady_clock::now();
+    sim.run();
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/**
+ * Overhead guard for the untraced hot path: min-of-3 wall time with a
+ * disabled recorder attached vs without one. In NOC_OBS=OFF builds the
+ * hooks are compiled out, so both paths run the same code and only
+ * timer noise separates them; in NOC_OBS=ON builds the disabled
+ * recorder costs one branch per hook. Either way a blow-up beyond the
+ * generous noise bound means the hot path regressed.
+ */
+int
+checkDisabledOverhead()
+{
+    SimConfig cfg = paperConfig(RouterArch::Roco, RoutingKind::XY,
+                                TrafficKind::Uniform, 0.15);
+    cfg.warmupPackets = 100;
+    cfg.measurePackets = 1500;
+    double plain = 1e300, withRec = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+        plain = std::min(plain, timedRun(cfg, false));
+        withRec = std::min(withRec, timedRun(cfg, true));
+    }
+    double ratio = withRec / plain;
+    std::printf("bench_smoke: untraced hot path x%.2f with idle recorder "
+                "(%.1f ms vs %.1f ms, NOC_OBS %s)\n",
+                ratio, withRec, plain, obs::kBuiltIn ? "ON" : "OFF");
+    if (ratio > 1.75) {
+        std::fprintf(stderr, "idle-recorder overhead beyond noise\n");
+        return 1;
+    }
+    return 0;
+}
+
+/** An attached (enabled) recorder must not change simulation results. */
+int
+checkRecorderInert()
+{
+    SimConfig cfg = paperConfig(RouterArch::Roco, RoutingKind::XY,
+                                TrafficKind::Uniform, 0.15);
+    cfg.warmupPackets = 50;
+    cfg.measurePackets = 400;
+    Simulator plain(cfg);
+    SimResult a = plain.run();
+
+    Simulator traced(cfg);
+    obs::Recorder::Options opt;
+    opt.nodes = cfg.meshWidth * cfg.meshHeight;
+    opt.meshWidth = cfg.meshWidth;
+    opt.meshHeight = cfg.meshHeight;
+    opt.arch = cfg.arch;
+    auto rec = std::make_shared<obs::Recorder>(opt);
+    traced.attachObserver(rec);
+    SimResult b = traced.run();
+
+    if (a.avgLatency != b.avgLatency || a.cycles != b.cycles ||
+        a.delivered != b.delivered ||
+        a.energyPerPacketNj != b.energyPerPacketNj) {
+        std::fprintf(stderr, "recorder perturbed simulation results\n");
+        return 1;
+    }
+    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    exp::SweepSpec spec = smokeSpec();
+    exp::SweepResults serial = exp::SweepRunner(1).run(spec);
+    exp::SweepResults pooled = exp::SweepRunner(4).run(spec);
+
+    int bad = comparePools(serial, pooled);
+    bad += checkObsAggregate();
+    bad += checkRecorderInert();
+    bad += checkDisabledOverhead();
+
     std::printf("bench_smoke: %zu points, %d threads, %s\n",
                 pooled.results.size(), pooled.threads,
                 bad ? "MISMATCH" : "serial == pooled");

@@ -95,8 +95,10 @@ runSweep(const exp::SweepSpec &spec)
     exp::SweepResults res = runner.run(spec);
     exp::writeSweepJson(spec, res);
     std::printf("seed: %" PRIu64 "   threads: %d   points: %zu   "
+                "packets: %" PRIu64 " (+%" PRIu64 " warmup)   "
                 "wall: %.1f s\n",
                 spec.base.seed, res.threads, res.points.size(),
+                spec.base.measurePackets, spec.base.warmupPackets,
                 res.totalWallMs / 1000.0);
     return res;
 }

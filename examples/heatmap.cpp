@@ -14,6 +14,7 @@
 #include <cstring>
 #include <vector>
 
+#include "obs/counters.h"
 #include "power/thermal.h"
 #include "sim/network.h"
 
@@ -82,17 +83,25 @@ main(int argc, char **argv)
     }
 
     const MeshTopology &topo = net.topology();
-    std::vector<double> xbar(64), temp(64);
-    for (NodeId n = 0; n < 64; ++n) {
-        xbar[n] = static_cast<double>(
-            net.router(n).activity().crossbarTraversals);
+    std::vector<double> xbar =
+        obs::perRouter(net, obs::Metric::CrossbarTraversals);
+    std::vector<double> temp(64);
+    for (NodeId n = 0; n < 64; ++n)
         temp[n] = tracker.model().temperature(n);
-    }
     renderGrid("crossbar traversals per router", topo, xbar);
+    std::puts("");
+    renderGrid("early ejections per router", topo,
+               obs::perRouter(net, obs::Metric::EarlyEjections));
     std::puts("");
     renderGrid("tile temperature (C)", topo, temp);
     std::printf("\nhottest tile: node %u at %.2f C\n",
                 static_cast<unsigned>(tracker.model().hottestNode()),
                 tracker.model().maxTemperature());
+
+    obs::CounterSummary cs = obs::snapshot(net, now);
+    std::printf("\nnetwork rates: link util %.4f, crossbar grants/cycle "
+                "%.4f, early-eject rate %.4f, mirror-tie rate %.4f\n",
+                cs.linkUtilization, cs.crossbarGrantRate,
+                cs.earlyEjectionRate, cs.mirrorTieRate);
     return 0;
 }

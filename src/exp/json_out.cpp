@@ -112,6 +112,70 @@ appendResult(std::string &out, const SimResult &r)
     out += "}";
 }
 
+/** One histogram as {count, overflow, min, max, mean, pXX...}. */
+void
+appendHistogram(std::string &out, const obs::HdrHistogram &h)
+{
+    out += "{";
+    appendField(out, "count", h.count());
+    appendField(out, "overflow", h.overflow());
+    appendField(out, "min", h.min());
+    appendField(out, "max", h.max());
+    appendField(out, "mean", h.mean());
+    appendField(out, "p50", h.percentile(0.50));
+    appendField(out, "p90", h.percentile(0.90));
+    appendField(out, "p99", h.percentile(0.99));
+    appendField(out, "p999", h.percentile(0.999), true);
+    out += "}";
+}
+
+/** The sweep-wide observability aggregate (schema 2 "obs" block). */
+void
+appendObs(std::string &out, const obs::Summary &s)
+{
+    out += "{\n    \"stages\": {";
+    bool first = true;
+    for (int st = 0; st < obs::kStageCount; ++st) {
+        const char *label = obs::residencyLabel(static_cast<obs::Stage>(st));
+        if (label == nullptr)
+            continue; // terminal stages open no residency interval
+        if (!first)
+            out += ", ";
+        first = false;
+        out += '"';
+        out += label;
+        out += "\": ";
+        appendHistogram(out, s.residency[static_cast<std::size_t>(st)]);
+    }
+    out += "},\n    \"endToEnd\": ";
+    appendHistogram(out, s.endToEnd);
+    out += ",\n    \"endToEndMeasured\": ";
+    appendHistogram(out, s.endToEndMeasured);
+    out += ",\n    \"byDistance\": [";
+    for (std::size_t d = 0; d < s.byDistance.size(); ++d) {
+        if (d)
+            out += ", ";
+        appendHistogram(out, s.byDistance[d]);
+    }
+    out += "],\n    \"events\": {";
+    for (int st = 0; st < obs::kStageCount; ++st) {
+        if (st)
+            out += ", ";
+        out += '"';
+        out += obs::toString(static_cast<obs::Stage>(st));
+        out += "\": ";
+        appendNum(out, s.counters.events[st]);
+    }
+    out += "},\n    ";
+    appendField(out, "sampledPackets", s.counters.sampledPackets);
+    appendField(out, "ringDropped", s.counters.ringDropped);
+    appendField(out, "occupancySamples", s.counters.occupancySamples);
+    out += "\"pathSetOccupancy\": {";
+    appendField(out, "row", s.occupancyAvg(0));
+    appendField(out, "col", s.occupancyAvg(1), true);
+    out += "}\n  }";
+}
+
 } // namespace
 
 std::string
@@ -119,14 +183,22 @@ sweepJson(const SweepSpec &spec, const SweepResults &res)
 {
     std::string out;
     out.reserve(1024 + res.points.size() * 640);
-    out += "{\n  \"schema\": 1,\n  \"bench\": ";
+    out += "{\n  \"schema\": 2,\n  \"bench\": ";
     appendStr(out, spec.name);
     out += ",\n  \"threads\": ";
     appendNum(out, static_cast<std::uint64_t>(res.threads));
     out += ",\n  \"baseSeed\": ";
     appendNum(out, spec.base.seed);
+    out += ",\n  \"warmupPackets\": ";
+    appendNum(out, spec.base.warmupPackets);
+    out += ",\n  \"measurePackets\": ";
+    appendNum(out, spec.base.measurePackets);
     out += ",\n  \"totalWallMs\": ";
     appendNum(out, res.totalWallMs);
+    if (res.obs) {
+        out += ",\n  \"obs\": ";
+        appendObs(out, *res.obs);
+    }
     out += ",\n  \"points\": [\n";
     for (std::size_t i = 0; i < res.points.size(); ++i) {
         const SweepPoint &p = res.points[i];

@@ -17,14 +17,17 @@
 namespace noc::exp {
 
 /**
- * Serialises a finished sweep. Schema (version 1):
+ * Serialises a finished sweep. Schema (version 2):
  * @code
  * {
- *   "schema": 1,
+ *   "schema": 2,
  *   "bench": "<spec.name>",
  *   "threads": N,
  *   "baseSeed": S,
+ *   "warmupPackets": W,
+ *   "measurePackets": M,
  *   "totalWallMs": T,
+ *   "obs": { ... },            // only when tracing ran (see below)
  *   "points": [
  *     { "index": i, "arch": "...", "routing": "...", "traffic": "...",
  *       "rate": r, "faults": "<label>", "seed": s, "wallMs": w,
@@ -33,6 +36,14 @@ namespace noc::exp {
  *   ]
  * }
  * @endcode
+ *
+ * Version history: schema 2 added warmupPackets / measurePackets and
+ * the optional "obs" block (grid-wide merged trace summary: per-stage
+ * residency histograms keyed by interval name, end-to-end latency
+ * histograms overall / measured-only / per Manhattan distance, stage
+ * event counts, sampling + ring-drop diagnostics and the RoCo
+ * row/column path-set occupancy averages). Histograms serialise as
+ * {count, overflow, min, max, mean, p50, p90, p99, p999}.
  */
 std::string sweepJson(const SweepSpec &spec, const SweepResults &res);
 

@@ -3,11 +3,13 @@
 #include <atomic>
 #include <chrono>
 #include <cstdlib>
+#include <mutex>
 #include <thread>
 
 #include "check/deadlock.h"
 #include "common/log.h"
 #include "model/liveness.h"
+#include "obs/recorder.h"
 
 namespace noc::exp {
 
@@ -103,15 +105,34 @@ msSince(std::chrono::steady_clock::time_point t0)
         .count();
 }
 
+/** Folds per-point recorder summaries into one grid-wide aggregate. */
+struct ObsAggregator {
+    std::mutex mu;
+    std::shared_ptr<obs::Summary> total;
+
+    void
+    add(const obs::Recorder *rec)
+    {
+        if (rec == nullptr)
+            return;
+        obs::Summary s = rec->summary();
+        std::lock_guard<std::mutex> lock(mu);
+        if (!total)
+            total = std::make_shared<obs::Summary>();
+        total->merge(s);
+    }
+};
+
 /** Runs one point; the only code the pool threads execute. */
 void
-runPoint(const SweepPoint &p, PointResult &out)
+runPoint(const SweepPoint &p, PointResult &out, ObsAggregator &agg)
 {
     auto t0 = std::chrono::steady_clock::now();
     Simulator sim(p.cfg, p.faults);
     out.index = p.index;
     out.seed = p.cfg.seed;
     out.result = sim.run();
+    agg.add(sim.observer());
     out.wallMs = msSince(t0);
 }
 
@@ -141,12 +162,13 @@ SweepRunner::run(const SweepSpec &spec) const
     // unclaimed point and writes only its own result slot, so the
     // collected vector needs no locks and is already in point order.
     std::atomic<std::size_t> next{0};
+    ObsAggregator agg;
     auto worker = [&] {
         for (;;) {
             std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
             if (i >= res.points.size())
                 return;
-            runPoint(res.points[i], res.results[i]);
+            runPoint(res.points[i], res.results[i], agg);
         }
     };
 
@@ -164,6 +186,7 @@ SweepRunner::run(const SweepSpec &spec) const
             t.join();
     }
 
+    res.obs = std::move(agg.total);
     res.totalWallMs = msSince(t0);
     return res;
 }

@@ -16,11 +16,13 @@
 #define ROCOSIM_EXP_SWEEP_H_
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "common/config.h"
 #include "fault/fault.h"
+#include "obs/summary.h"
 #include "sim/simulator.h"
 
 namespace noc::exp {
@@ -103,6 +105,15 @@ struct SweepResults {
     std::vector<PointResult> results; ///< results[i] is points[i]'s outcome
     double totalWallMs = 0;
     int threads = 1; ///< pool size the sweep ran with
+
+    /**
+     * Grid-wide observability aggregate: the per-point recorders'
+     * summaries merged under a lock as points finish. Null unless at
+     * least one point ran with tracing on (NOC_TRACE in an NOC_OBS
+     * build). Summary::merge is commutative over integer counters, so
+     * the aggregate is identical for serial and pooled runs.
+     */
+    std::shared_ptr<obs::Summary> obs;
 
     /** Result at a grid cell (axis positions as in SweepSpec). */
     const SimResult &at(const SweepSpec &spec, std::size_t routing,

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The observability event model.
+ *
+ * A packet's head flit walks a fixed lifecycle through the network:
+ *
+ *   SourceEnqueue -> BufferWrite -> VaGrant -> SwitchTraverse
+ *                        ^                          |
+ *                        +------ (next router) -----+--> EarlyEject
+ *                                                   +--> Eject
+ *   (any point) -> Drop
+ *
+ * The Recorder turns consecutive events of one packet into *slices*:
+ * the interval a packet spent in the state named by the earlier event.
+ * Four residency classes fall out of the transitions (the pipeline
+ * breakdown the paper's Figures 2/3 and Table 2 reason about):
+ *
+ *   after SourceEnqueue  - source-queue wait (injection stall)
+ *   after BufferWrite    - VA wait (includes RC, DEMUX/guided queuing)
+ *   after VaGrant        - SA wait (zero when speculation wins)
+ *   after SwitchTraverse - ST + link + input-register latch
+ *
+ * EarlyEject/Eject/Drop are terminal instants (zero-length slices).
+ */
+#ifndef ROCOSIM_OBS_EVENT_H_
+#define ROCOSIM_OBS_EVENT_H_
+
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace noc::obs {
+
+/** Lifecycle states a traced flit moves through. */
+enum class Stage : std::uint8_t {
+    SourceEnqueue = 0,  ///< packet segmented into the NIC source queue
+    BufferWrite = 1,    ///< latched into an input VC (DEMUX/guided queue)
+    VaGrant = 2,        ///< won virtual-channel allocation
+    SwitchTraverse = 3, ///< won SA, crossed the crossbar, on the link
+    EarlyEject = 4,     ///< ejected off the DEMUX, skipping VA/SA/ST
+    Eject = 5,          ///< delivered to the destination NIC
+    Drop = 6,           ///< discarded at a hard fault
+};
+
+constexpr int kStageCount = 7;
+
+/** Human-readable stage name. */
+const char *toString(Stage s);
+
+/**
+ * Name of the residency interval that *follows* stage @p s (what the
+ * packet is waiting for after reaching @p s), or nullptr for terminal
+ * stages that open no interval.
+ */
+const char *residencyLabel(Stage s);
+
+/**
+ * One recorded slice (or instant, when start == end): packet
+ * @p packetId sat in state @p stage at router @p node from @p start
+ * to @p end. @p track is the hardware lane within the router the UI
+ * groups by: RoCo module (0 row / 1 column), PS quadrant (0-3), 0 for
+ * the generic router. Sized to stay cheap in the per-router rings.
+ */
+struct ObsEvent {
+    std::uint64_t packetId = 0;
+    Cycle start = 0;
+    Cycle end = 0;
+    NodeId node = kInvalidNode;
+    NodeId src = kInvalidNode;
+    NodeId dst = kInvalidNode;
+    Stage stage = Stage::SourceEnqueue;
+    std::uint8_t track = 0;
+    std::int16_t vc = -1; ///< VC / path-set slot, -1 when not applicable
+};
+
+} // namespace noc::obs
+
+#endif // ROCOSIM_OBS_EVENT_H_

@@ -1,0 +1,164 @@
+#include "obs/recorder.h"
+
+#include <cstdlib>
+
+#include "common/config.h"
+#include "common/log.h"
+#include "router/roco/roco_router.h"
+#include "sim/network.h"
+
+namespace noc::obs {
+
+namespace {
+
+/** splitmix64 finaliser: decorrelates packet ids from the sample mask. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ull;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *s = std::getenv(name);
+    if (s == nullptr || *s == '\0')
+        return fallback;
+    char *end = nullptr;
+    unsigned long long v = std::strtoull(s, &end, 10);
+    return (end != nullptr && *end == '\0') ? v : fallback;
+}
+
+} // namespace
+
+Recorder::Recorder(const Options &opt) : opt_(opt)
+{
+    NOC_ASSERT(opt_.nodes > 0, "recorder needs at least one node");
+    if (opt_.sampleEvery == 0)
+        opt_.sampleEvery = 1;
+    rings_.reserve(static_cast<std::size_t>(opt_.nodes));
+    for (int n = 0; n < opt_.nodes; ++n)
+        rings_.emplace_back(opt_.ringCapacity);
+}
+
+std::shared_ptr<Recorder>
+Recorder::fromEnv(const SimConfig &cfg)
+{
+    const char *on = std::getenv("NOC_TRACE");
+    if (on == nullptr || *on == '\0' ||
+        (on[0] == '0' && on[1] == '\0'))
+        return nullptr;
+    Options opt;
+    opt.nodes = cfg.meshWidth * cfg.meshHeight;
+    opt.meshWidth = cfg.meshWidth;
+    opt.meshHeight = cfg.meshHeight;
+    opt.arch = cfg.arch;
+    opt.sampleEvery = envU64("NOC_TRACE_SAMPLE", 1);
+    opt.ringCapacity =
+        static_cast<std::size_t>(envU64("NOC_TRACE_BUF", 2048));
+    return std::make_shared<Recorder>(opt);
+}
+
+bool
+Recorder::sampled(std::uint64_t packetId) const
+{
+    return opt_.sampleEvery <= 1 || mix(packetId) % opt_.sampleEvery == 0;
+}
+
+void
+Recorder::record(Stage stage, const Flit &f, NodeId node, Cycle now,
+                 int track, int vcSlot)
+{
+    if (!opt_.enabled)
+        return;
+    ++summary_.counters.events[static_cast<int>(stage)];
+    if (!isHead(f.type) || !sampled(f.packetId))
+        return;
+
+    auto it = cursors_.find(f.packetId);
+    if (it != cursors_.end()) {
+        // Close the open slice: the packet sat in the cursor's state
+        // from the cursor's cycle until this event.
+        const Cursor &c = it->second;
+        rings_[c.node].push(ObsEvent{f.packetId, c.cycle, now, c.node,
+                                     f.src, f.dst, c.stage, c.track,
+                                     c.vc});
+        summary_.residency[static_cast<int>(c.stage)].record(now -
+                                                             c.cycle);
+    } else if (stage == Stage::SourceEnqueue) {
+        ++summary_.counters.sampledPackets;
+    }
+
+    bool terminal = residencyLabel(stage) == nullptr;
+    if (terminal) {
+        rings_[node].push(ObsEvent{f.packetId, now, now, node, f.src,
+                                   f.dst, stage,
+                                   static_cast<std::uint8_t>(track),
+                                   static_cast<std::int16_t>(vcSlot)});
+        if (it != cursors_.end())
+            cursors_.erase(it);
+        return;
+    }
+
+    Cursor next{stage, now, node, static_cast<std::uint8_t>(track),
+                static_cast<std::int16_t>(vcSlot)};
+    if (it != cursors_.end())
+        it->second = next;
+    else
+        cursors_.emplace(f.packetId, next);
+}
+
+void
+Recorder::recordEndToEnd(const Flit &head, Cycle now)
+{
+    if (!opt_.enabled)
+        return;
+    std::uint64_t lat = now - head.createTime;
+    summary_.endToEnd.record(lat);
+    if (head.measured)
+        summary_.endToEndMeasured.record(lat);
+    int w = opt_.meshWidth;
+    int dist = std::abs(static_cast<int>(head.src % w) -
+                        static_cast<int>(head.dst % w)) +
+               std::abs(static_cast<int>(head.src / w) -
+                        static_cast<int>(head.dst / w));
+    if (static_cast<std::size_t>(dist) >= summary_.byDistance.size())
+        summary_.byDistance.resize(static_cast<std::size_t>(dist) + 1);
+    summary_.byDistance[static_cast<std::size_t>(dist)].record(lat);
+}
+
+Summary
+Recorder::summary() const
+{
+    Summary out = summary_;
+    out.counters.ringDropped = 0;
+    for (const EventRing &r : rings_)
+        out.counters.ringDropped += r.dropped();
+    return out;
+}
+
+void
+Recorder::samplePathSetOccupancy(const Network &net)
+{
+    if (!opt_.enabled)
+        return;
+    for (NodeId n = 0; n < static_cast<NodeId>(net.numNodes()); ++n) {
+        const Router &r = net.router(n);
+        if (r.arch() == RouterArch::Roco) {
+            const auto &roco = static_cast<const RocoRouter &>(r);
+            summary_.counters.occupancySum[0] += static_cast<std::uint64_t>(
+                roco.moduleOccupancy(Module::Row));
+            summary_.counters.occupancySum[1] += static_cast<std::uint64_t>(
+                roco.moduleOccupancy(Module::Column));
+        } else {
+            summary_.counters.occupancySum[0] +=
+                static_cast<std::uint64_t>(r.bufferedFlits());
+        }
+    }
+    ++summary_.counters.occupancySamples;
+}
+
+} // namespace noc::obs

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Per-run trace recorder: rings + histograms behind one record() call.
+ *
+ * One Recorder serves one Simulator. Pipeline hooks (wrapped in the
+ * NOC_OBS macro so they vanish from hot paths when the build option is
+ * off) feed it flit lifecycle events; it keeps
+ *
+ *   - scalar event counters per stage (every flit, always cheap),
+ *   - residency histograms built from *sampled* packet head flits by
+ *     pairing consecutive events into slices (see obs/event.h),
+ *   - a fixed-capacity EventRing per router holding the recent slices
+ *     for the Perfetto exporter,
+ *   - end-to-end latency histograms (all packets, plus per-distance
+ *     and measurement-window views).
+ *
+ * Sampling is deterministic — a hash of the packet id, not a coin flip
+ * — so a run traced at 1/N samples the same packets no matter how a
+ * sweep schedules it, and re-runs are reproducible.
+ */
+#ifndef ROCOSIM_OBS_RECORDER_H_
+#define ROCOSIM_OBS_RECORDER_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flit.h"
+#include "common/types.h"
+#include "obs/event.h"
+#include "obs/ring_buffer.h"
+#include "obs/summary.h"
+
+namespace noc {
+struct SimConfig;
+class Network;
+} // namespace noc
+
+namespace noc::obs {
+
+class Recorder
+{
+  public:
+    struct Options {
+        int nodes = 0;
+        int meshWidth = 0;
+        int meshHeight = 0;
+        RouterArch arch = RouterArch::Roco;
+        /** Master switch; a disabled recorder ignores every call. */
+        bool enabled = true;
+        /** Trace 1 of every N packets (1 = all). */
+        std::uint64_t sampleEvery = 1;
+        /** Ring capacity per router, in events. */
+        std::size_t ringCapacity = 2048;
+    };
+
+    explicit Recorder(const Options &opt);
+
+    /**
+     * Builds a recorder from the environment, or nullptr when tracing
+     * is off. NOC_TRACE=1 enables; NOC_TRACE_SAMPLE=N samples 1/N
+     * packets (default every packet); NOC_TRACE_BUF=N sizes the
+     * per-router rings.
+     */
+    static std::shared_ptr<Recorder> fromEnv(const SimConfig &cfg);
+
+    /**
+     * A flit reached lifecycle stage @p stage at router/NIC @p node.
+     * Counts every call; head flits of sampled packets additionally
+     * close the packet's open residency slice and feed @p node's ring.
+     * @p track is the hardware lane (RoCo module / PS quadrant),
+     * @p vcSlot the VC or path-set slot index when known.
+     */
+    void record(Stage stage, const Flit &f, NodeId node, Cycle now,
+                int track = 0, int vcSlot = -1);
+
+    /** A packet fully delivered; feeds the end-to-end histograms. */
+    void recordEndToEnd(const Flit &head, Cycle now);
+
+    /**
+     * Occupancy probe: buffered flits per path-set group. RoCo splits
+     * row/column modules; other architectures report their total in
+     * slot 0 (the row/column split only exists in RoCo hardware).
+     */
+    void samplePathSetOccupancy(const Network &net);
+
+    /** True when packet @p packetId is traced at the current rate. */
+    bool sampled(std::uint64_t packetId) const;
+
+    /** Histogram/counter aggregate (copy; safe to merge elsewhere). */
+    Summary summary() const;
+
+    const Options &options() const { return opt_; }
+    bool enabled() const { return opt_.enabled; }
+    int numNodes() const { return opt_.nodes; }
+    const EventRing &ring(NodeId n) const { return rings_[n]; }
+
+  private:
+    /** Open residency slice of one sampled packet's head flit. */
+    struct Cursor {
+        Stage stage;
+        Cycle cycle;
+        NodeId node;
+        std::uint8_t track;
+        std::int16_t vc;
+    };
+
+    Options opt_;
+    std::vector<EventRing> rings_;
+    std::unordered_map<std::uint64_t, Cursor> cursors_;
+    Summary summary_;
+};
+
+} // namespace noc::obs
+
+#endif // ROCOSIM_OBS_RECORDER_H_

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Fixed-capacity per-router event ring.
+ *
+ * Each router's trace lane is a preallocated ring: push never
+ * allocates, never blocks and overwrites the oldest slice when full
+ * (a dropped counter keeps the loss visible). A Recorder is owned by
+ * exactly one Simulator and every ring by exactly one router lane, so
+ * no synchronisation is needed — the sweep runner only touches the
+ * merged Summary, under its own lock.
+ */
+#ifndef ROCOSIM_OBS_RING_BUFFER_H_
+#define ROCOSIM_OBS_RING_BUFFER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.h"
+
+namespace noc::obs {
+
+class EventRing
+{
+  public:
+    explicit EventRing(std::size_t capacity) : buf_(capacity) {}
+
+    /** Appends @p e, overwriting the oldest event when full. */
+    void
+    push(const ObsEvent &e)
+    {
+        if (buf_.empty()) {
+            ++dropped_;
+            return;
+        }
+        if (size_ < buf_.size()) {
+            buf_[(head_ + size_) % buf_.size()] = e;
+            ++size_;
+            return;
+        }
+        buf_[head_] = e;
+        head_ = (head_ + 1) % buf_.size();
+        ++dropped_;
+    }
+
+    /** Events currently held, oldest first via at(). */
+    std::size_t size() const { return size_; }
+    std::size_t capacity() const { return buf_.size(); }
+    /** Events overwritten (or rejected by a zero-capacity ring). */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** @p i-th oldest retained event, i in [0, size()). */
+    const ObsEvent &
+    at(std::size_t i) const
+    {
+        return buf_[(head_ + i) % buf_.size()];
+    }
+
+  private:
+    std::vector<ObsEvent> buf_;
+    std::size_t head_ = 0;
+    std::size_t size_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace noc::obs
+
+#endif // ROCOSIM_OBS_RING_BUFFER_H_

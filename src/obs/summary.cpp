@@ -1,0 +1,71 @@
+#include "obs/summary.h"
+
+namespace noc::obs {
+
+const char *
+toString(Stage s)
+{
+    switch (s) {
+      case Stage::SourceEnqueue: return "SourceEnqueue";
+      case Stage::BufferWrite: return "BufferWrite";
+      case Stage::VaGrant: return "VaGrant";
+      case Stage::SwitchTraverse: return "SwitchTraverse";
+      case Stage::EarlyEject: return "EarlyEject";
+      case Stage::Eject: return "Eject";
+      case Stage::Drop: return "Drop";
+    }
+    return "?";
+}
+
+const char *
+residencyLabel(Stage s)
+{
+    switch (s) {
+      case Stage::SourceEnqueue: return "source-queue";
+      case Stage::BufferWrite: return "va-wait";
+      case Stage::VaGrant: return "sa-wait";
+      case Stage::SwitchTraverse: return "link";
+      default: return nullptr;
+    }
+}
+
+ObsCounters &
+ObsCounters::operator+=(const ObsCounters &o)
+{
+    for (int s = 0; s < kStageCount; ++s)
+        events[s] += o.events[s];
+    sampledPackets += o.sampledPackets;
+    ringDropped += o.ringDropped;
+    occupancySum[0] += o.occupancySum[0];
+    occupancySum[1] += o.occupancySum[1];
+    occupancySamples += o.occupancySamples;
+    return *this;
+}
+
+Summary::Summary() : residency(kStageCount) {}
+
+void
+Summary::merge(const Summary &other)
+{
+    for (int s = 0; s < kStageCount; ++s)
+        residency[static_cast<std::size_t>(s)].merge(
+            other.residency[static_cast<std::size_t>(s)]);
+    endToEnd.merge(other.endToEnd);
+    endToEndMeasured.merge(other.endToEndMeasured);
+    if (other.byDistance.size() > byDistance.size())
+        byDistance.resize(other.byDistance.size());
+    for (std::size_t d = 0; d < other.byDistance.size(); ++d)
+        byDistance[d].merge(other.byDistance[d]);
+    counters += other.counters;
+}
+
+double
+Summary::occupancyAvg(int module) const
+{
+    return counters.occupancySamples
+               ? static_cast<double>(counters.occupancySum[module]) /
+                     static_cast<double>(counters.occupancySamples)
+               : 0.0;
+}
+
+} // namespace noc::obs

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Mergeable aggregate of one (or many) recorded runs.
+ *
+ * A Recorder reduces to a Summary at the end of its run; SweepRunner
+ * merges the per-point summaries under a lock into one grid-wide
+ * aggregate (the only obs state ever shared between threads). Merge is
+ * commutative and associative, so the aggregate is independent of the
+ * pool's scheduling order — the same bit-identity contract the sweep
+ * results themselves honour.
+ */
+#ifndef ROCOSIM_OBS_SUMMARY_H_
+#define ROCOSIM_OBS_SUMMARY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obs/event.h"
+#include "obs/hdr_histogram.h"
+
+namespace noc::obs {
+
+/** Scalar event counters carried alongside the histograms. */
+struct ObsCounters {
+    /** Flit-level event count per lifecycle stage (all flits). */
+    std::uint64_t events[kStageCount] = {};
+    /** Packets selected by the deterministic sampler. */
+    std::uint64_t sampledPackets = 0;
+    /** Ring-buffer slices lost to wrap-around. */
+    std::uint64_t ringDropped = 0;
+    /** Path-set occupancy probe: summed buffered flits per module.
+     *  Kept integral so merges stay bit-identical in any order. */
+    std::uint64_t occupancySum[2] = {0, 0};
+    std::uint64_t occupancySamples = 0;
+
+    ObsCounters &operator+=(const ObsCounters &o);
+};
+
+struct Summary {
+    /**
+     * Residency per stage: residency[s] holds the cycles packets spent
+     * in stage s before the next lifecycle event (see obs/event.h for
+     * the four meaningful classes; terminal stages stay empty).
+     */
+    std::vector<HdrHistogram> residency;
+    /** End-to-end packet latency, every delivered packet. */
+    HdrHistogram endToEnd;
+    /** End-to-end latency, measurement-window packets only. */
+    HdrHistogram endToEndMeasured;
+    /** End-to-end latency keyed by (src,dst) Manhattan distance. */
+    std::vector<HdrHistogram> byDistance;
+    ObsCounters counters;
+
+    Summary();
+
+    /** Folds @p other in (histograms bucket-wise, counters summed). */
+    void merge(const Summary &other);
+
+    /** Mean buffered flits per module across occupancy probes. */
+    double occupancyAvg(int module) const;
+};
+
+} // namespace noc::obs
+
+#endif // ROCOSIM_OBS_SUMMARY_H_

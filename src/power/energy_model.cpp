@@ -14,6 +14,7 @@ ActivityCounters::operator+=(const ActivityCounters &o)
     vaGlobalArbs += o.vaGlobalArbs;
     saLocalArbs += o.saLocalArbs;
     saGlobalArbs += o.saGlobalArbs;
+    saMirrorTies += o.saMirrorTies;
     earlyEjections += o.earlyEjections;
     return *this;
 }

@@ -27,6 +27,8 @@ struct ActivityCounters {
     std::uint64_t vaGlobalArbs = 0;
     std::uint64_t saLocalArbs = 0;
     std::uint64_t saGlobalArbs = 0;
+    /** SA grants decided by the mirror allocator's 2:1 tie arbiter. */
+    std::uint64_t saMirrorTies = 0;
     std::uint64_t earlyEjections = 0;
 
     ActivityCounters &operator+=(const ActivityCounters &o);

@@ -2,6 +2,8 @@
 
 #include <limits>
 
+#include "obs/recorder.h"
+
 namespace noc {
 
 namespace {
@@ -140,6 +142,9 @@ GenericRouter::drainDropped(Cycle now)
             }
             Flit f = ivc.buf.pop();
             retireFlit();
+            NOC_OBS(if (obs_ && isHead(f.type))
+                        obs_->record(obs::Stage::Drop, f, id(), now, 0,
+                                     p * numVcs_ + v));
             if (p != static_cast<int>(Direction::Local)) {
                 sendCredit(static_cast<Direction>(p),
                            static_cast<std::uint8_t>(v), now);
@@ -157,6 +162,8 @@ GenericRouter::acceptFlit(int portIdx, const Flit &f, Cycle now)
 {
     InputVc &v = vc(portIdx, f.vc);
     ++act_.bufferWrites;
+    NOC_OBS(if (obs_) obs_->record(obs::Stage::BufferWrite, f, id(), now,
+                                   0, portIdx * numVcs_ + f.vc));
     order_[static_cast<size_t>(portIdx * numVcs_ + f.vc)].onFlit(
         f, now, id(), static_cast<Direction>(portIdx), f.vc);
     if (isHead(f.type)) {
@@ -202,6 +209,8 @@ GenericRouter::pullInjection(Cycle now)
     if (isHead(front.type) && permanentlyBlocked(front)) {
         Flit f = nic_->popPending();
         retireFlit();
+        NOC_OBS(if (obs_)
+                    obs_->record(obs::Stage::Drop, f, id(), now));
         if (!isTail(f.type))
             droppingPacket_ = f.packetId;
         return;
@@ -341,6 +350,10 @@ GenericRouter::allocateVcs(Cycle now)
         ctl.outDir = r.dir;
         ctl.outSlot = r.slot;
         ctl.vaGrantCycle = now;
+        NOC_OBS(if (obs_ && !ivc.buf.empty() &&
+                    ivc.buf.front().packetId == ctl.owner)
+                    obs_->record(obs::Stage::VaGrant, ivc.buf.front(),
+                                 id(), now, 0, winner));
         OutputVc &o = outSlot(r.dir, r.slot);
         NOC_ASSERT(!o.busy, "VA granted a busy output VC");
         o.busy = true;
@@ -442,6 +455,9 @@ GenericRouter::allocateSwitch(Cycle now)
         Direction outDir = static_cast<Direction>(out);
         if (outDir == Direction::Local) {
             NOC_ASSERT(f.dst == id(), "ejecting at the wrong node");
+            NOC_OBS(if (obs_)
+                        obs_->record(obs::Stage::SwitchTraverse, f, id(),
+                                     now, 0, f.vc));
             ejectPipe_.send(f, now); // ST stage before the PE sees it
         } else {
             f.vc = static_cast<std::uint8_t>(ctl.outSlot);

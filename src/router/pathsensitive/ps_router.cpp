@@ -1,5 +1,7 @@
 #include "router/pathsensitive/ps_router.h"
 
+#include "obs/recorder.h"
+
 namespace noc {
 
 PathSensitiveRouter::PathSensitiveRouter(NodeId id, const SimConfig &cfg,
@@ -114,6 +116,9 @@ PathSensitiveRouter::drainDropped(Cycle now)
         }
         Flit f = ivc.buf.pop();
         retireFlit();
+        NOC_OBS(if (obs_ && isHead(f.type))
+                    obs_->record(obs::Stage::Drop, f, id(), now,
+                                 i / numVcs_, i));
         if (ivc.ctl.front().srcDir != Direction::Local) {
             sendCredit(ivc.ctl.front().srcDir,
                        static_cast<std::uint8_t>(i), now);
@@ -135,6 +140,8 @@ PathSensitiveRouter::bufferFlit(int q, int v, const Flit &f,
 {
     InputVc &ivc = vc(q, v);
     ++act_.bufferWrites;
+    NOC_OBS(if (obs_) obs_->record(obs::Stage::BufferWrite, f, id(), now,
+                                   q, q * numVcs_ + v));
     order_[static_cast<size_t>(q * numVcs_ + v)].onFlit(f, now, id(),
                                                         srcDir, v);
     if (isHead(f.type)) {
@@ -207,6 +214,9 @@ PathSensitiveRouter::receiveFlits(Cycle now)
             NOC_ASSERT(f->dst == id(), "early ejection at wrong node");
             ++act_.earlyEjections;
             ++f->hops;
+            NOC_OBS(if (obs_)
+                        obs_->record(obs::Stage::EarlyEject, *f, id(),
+                                     now));
             nic_->deliverFlit(*f, now);
             continue;
         }
@@ -245,6 +255,8 @@ PathSensitiveRouter::pullInjection(Cycle now)
         if (blocked) {
             Flit drop = nic_->popPending();
             retireFlit();
+            NOC_OBS(if (obs_)
+                        obs_->record(obs::Stage::Drop, drop, id(), now));
             if (!isTail(drop.type))
                 droppingPacket_ = drop.packetId;
             return;
@@ -420,6 +432,10 @@ PathSensitiveRouter::allocateVcs(Cycle now)
         ctl.outSlot = r.slot;
         ctl.stage = PacketCtl::Stage::Active;
         ctl.vaGrantCycle = now;
+        NOC_OBS(if (obs_ && !ivc.buf.empty() &&
+                    ivc.buf.front().packetId == ctl.owner)
+                    obs_->record(obs::Stage::VaGrant, ivc.buf.front(),
+                                 id(), now, winner / numVcs_, winner));
     }
 }
 

@@ -55,6 +55,7 @@ MirrorAllocator::allocate(const std::uint64_t reqs[2][2],
         useStraight = straight > crossed;
     } else {
         // Equal-quality matchings: rotate fairness with the 2:1 arbiter.
+        ++ops.ties;
         useStraight = global_.arbitrate(0b11) == 0;
     }
 

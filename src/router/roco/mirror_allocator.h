@@ -34,6 +34,9 @@ class MirrorAllocator
     struct ArbOps {
         std::uint64_t local = 0;
         std::uint64_t global = 0;
+        /** Global decisions where both matchings tied and the 2:1
+         *  arbiter broke the tie (observability: tie rate). */
+        std::uint64_t ties = 0;
     };
 
     explicit MirrorAllocator(int vcsPerSet);

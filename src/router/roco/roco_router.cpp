@@ -1,5 +1,7 @@
 #include "router/roco/roco_router.h"
 
+#include "obs/recorder.h"
+
 namespace noc {
 
 RocoRouter::RocoRouter(NodeId id, const SimConfig &cfg,
@@ -158,6 +160,9 @@ RocoRouter::drainDropped(Cycle now)
         }
         Flit f = ivc.buf.pop();
         retireFlit();
+        NOC_OBS(if (obs_ && isHead(f.type))
+                    obs_->record(obs::Stage::Drop, f, id(), now,
+                                 i / (kPortsPerModule * numVcs_), i));
         if (ivc.ctl.front().srcDir != Direction::Local) {
             sendCredit(ivc.ctl.front().srcDir,
                        static_cast<std::uint8_t>(i), now);
@@ -179,6 +184,9 @@ RocoRouter::bufferFlit(Module m, int port, int v, const Flit &f,
 {
     InputVc &ivc = vc(m, port, v);
     ++act_.bufferWrites;
+    NOC_OBS(if (obs_) obs_->record(obs::Stage::BufferWrite, f, id(), now,
+                                   static_cast<int>(m),
+                                   vcIndex(m, port, v)));
     order_[vcIndex(m, port, v)].onFlit(f, now, id(), srcDir, v);
     if (isHead(f.type)) {
         PacketCtl ctl;
@@ -272,6 +280,9 @@ RocoRouter::receiveFlits(Cycle now)
             NOC_ASSERT(f->dst == id(), "early ejection at wrong node");
             ++act_.earlyEjections;
             ++f->hops;
+            NOC_OBS(if (obs_)
+                        obs_->record(obs::Stage::EarlyEject, *f, id(),
+                                     now));
             nic_->deliverFlit(*f, now);
             continue;
         }
@@ -311,6 +322,8 @@ RocoRouter::pullInjection(Cycle now)
         if (destinationDead(front) || injectionBlocked(front)) {
             Flit drop = nic_->popPending();
             retireFlit();
+            NOC_OBS(if (obs_)
+                        obs_->record(obs::Stage::Drop, drop, id(), now));
             if (!isTail(drop.type))
                 droppingPacket_ = drop.packetId;
             return;
@@ -547,6 +560,12 @@ RocoRouter::allocateVcs(Cycle now)
         ctl.nextLa = r.nextLa; // commit the adaptive look-ahead choice
         ctl.stage = PacketCtl::Stage::Active;
         ctl.vaGrantCycle = now;
+        NOC_OBS(if (obs_ && !ivc.buf.empty() &&
+                    ivc.buf.front().packetId == ctl.owner)
+                    obs_->record(obs::Stage::VaGrant, ivc.buf.front(),
+                                 id(), now,
+                                 static_cast<int>(moduleOf(r.dir)),
+                                 winner));
         // The VA arbiters actually fired: a degraded SA cannot borrow
         // them this cycle (Figure 7).
         vaBusy_[static_cast<int>(moduleOf(r.dir))] = true;
@@ -598,6 +617,7 @@ RocoRouter::allocateSwitch(Cycle now)
         int n = sa_[mi].allocate(reqs, specReqs, maxGrants, grants, ops);
         act_.saLocalArbs += ops.local;
         act_.saGlobalArbs += ops.global;
+        act_.saMirrorTies += ops.ties;
 
         // Contention probes: a port with requests either sends or is
         // blocked this cycle.

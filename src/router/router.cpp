@@ -1,5 +1,7 @@
 #include "router/router.h"
 
+#include "obs/recorder.h"
+
 namespace noc {
 
 namespace {
@@ -90,6 +92,9 @@ Router::sendFlit(Direction d, const Flit &f, Cycle now)
     NOC_ASSERT(p.flitOut, "sendFlit on missing port");
     p.flitOut->send(f, now);
     ++act_.linkTraversals;
+    NOC_OBS(if (obs_) obs_->record(obs::Stage::SwitchTraverse, f, id(),
+                                   now, static_cast<int>(moduleOf(d)),
+                                   f.vc));
 }
 
 void

@@ -20,6 +20,7 @@
 #include "common/stats.h"
 #include "common/types.h"
 #include "fault/fault.h"
+#include "obs/obs.h"
 #include "power/energy_model.h"
 #include "routing/routing.h"
 #include "topology/channel.h"
@@ -118,6 +119,12 @@ class Router
     void setNic(NicIf *nic) { nic_ = nic; }
     /** Attaches the network-wide flit lifecycle counters (may be null). */
     void setLedger(FlitLedger *ledger) { ledger_ = ledger; }
+    /**
+     * Attaches the trace recorder (may be null). The pipeline hooks it
+     * feeds are compiled in only under NOC_OBS (see obs/obs.h), so in
+     * default builds an attached recorder sees no flit events.
+     */
+    void setObserver(obs::Recorder *obs) { obs_ = obs; }
     /** Registers the adjacent router behind port @p d (handshake wires). */
     void setNeighbor(Direction d, Router *r);
 
@@ -308,6 +315,7 @@ class Router
     const FaultMap *faults_;  ///< may be null (fault-free run)
     NicIf *nic_ = nullptr;
     FlitLedger *ledger_ = nullptr; ///< may be null (standalone tests)
+    obs::Recorder *obs_ = nullptr; ///< may be null (tracing off)
     ActivityCounters act_;
     Rng rng_; ///< deterministic tie-breaking
 

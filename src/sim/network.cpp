@@ -100,6 +100,15 @@ Network::build(const std::vector<FaultSpec> &faults)
 }
 
 void
+Network::setObserver(obs::Recorder *obs)
+{
+    for (auto &r : routers_)
+        r->setObserver(obs);
+    for (auto &nic : nics_)
+        nic->setObserver(obs);
+}
+
+void
 Network::step(Cycle now, bool generationEnabled, bool measured)
 {
     for (auto &nic : nics_)

@@ -71,6 +71,13 @@ class Network
     /** The incremental flit lifecycle counters behind quiescent(). */
     const FlitLedger &ledger() const { return ledger_; }
 
+    /**
+     * Attaches @p obs to every router and NIC (null detaches). The
+     * flit-event hooks it feeds only exist under NOC_OBS=ON builds;
+     * attaching is always legal (see obs/obs.h).
+     */
+    void setObserver(obs::Recorder *obs);
+
     /** Sums of per-node statistics. */
     std::uint64_t totalInjected() const;
     std::uint64_t totalInjectedMeasured() const;

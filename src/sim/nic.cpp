@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "common/log.h"
+#include "obs/recorder.h"
 
 namespace noc {
 
@@ -69,6 +70,8 @@ Nic::enqueuePacket(NodeId dst, Cycle now, std::uint64_t &nextPacketId,
         f.createTime = now;
         f.yxOrder = yxOrder;
         f.measured = measured;
+        NOC_OBS(if (obs_ && isHead(f.type))
+                    obs_->record(obs::Stage::SourceEnqueue, f, id_, now));
         sourceQueue_.push_back(f);
     }
     ++injected_;
@@ -106,6 +109,9 @@ Nic::deliverFlit(const Flit &f, Cycle now)
         ledger_->lastDelivery = now;
     }
 
+    NOC_OBS(if (obs_ && isHead(f.type))
+                obs_->record(obs::Stage::Eject, f, id_, now));
+
     Arrival &a = arrivals_[f.packetId];
     a.measured = a.measured || f.measured;
     // Wormhole switching delivers a packet's flits strictly in order.
@@ -120,6 +126,7 @@ Nic::deliverFlit(const Flit &f, Cycle now)
             latency_.add(lat);
             histogram_.add(lat);
         }
+        NOC_OBS(if (obs_) obs_->recordEndToEnd(f, now));
         arrivals_.erase(f.packetId);
     }
 }

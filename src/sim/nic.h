@@ -41,6 +41,9 @@ class Nic : public NicIf
     /** Attaches the network-wide flit lifecycle counters (may be null). */
     void setLedger(FlitLedger *ledger) { ledger_ = ledger; }
 
+    /** Attaches the trace recorder (may be null; see obs/obs.h). */
+    void setObserver(obs::Recorder *obs) { obs_ = obs; }
+
     /** Replays @p schedule entries for this node instead of the
      *  synthetic source (Trace traffic). */
     void attachTrace(const TraceSchedule &schedule);
@@ -82,6 +85,7 @@ class Nic : public NicIf
     Rng rng_; ///< per-packet choices (XY-YX order)
     std::unique_ptr<TraceReplayer> trace_;
     FlitLedger *ledger_ = nullptr;
+    obs::Recorder *obs_ = nullptr;
     std::deque<Flit> sourceQueue_;
 
     /** Reassembly progress of packets ejecting here. */

@@ -1,10 +1,13 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "check/deadlock.h"
 #include "check/invariant.h"
 #include "model/liveness.h"
+#include "obs/perfetto.h"
+#include "obs/recorder.h"
 
 namespace noc {
 
@@ -25,12 +28,28 @@ Simulator::Simulator(const SimConfig &cfg,
 {
 }
 
+void
+Simulator::attachObserver(std::shared_ptr<obs::Recorder> obs)
+{
+    obs_ = std::move(obs);
+    net_.setObserver(obs_.get());
+}
+
 SimResult
 Simulator::run()
 {
     const std::uint64_t warmTarget = cfg_.warmupPackets;
     const std::uint64_t genTarget =
         cfg_.warmupPackets + cfg_.measurePackets;
+
+    // Env-driven tracing: only consulted when no recorder was attached
+    // programmatically, and only able to see events in NOC_OBS builds.
+#if NOC_OBS_BUILT
+    if (!obs_) {
+        if (auto rec = obs::Recorder::fromEnv(cfg_))
+            attachObserver(std::move(rec));
+    }
+#endif
 
     Cycle now = 0;
     Cycle measureStart = 0;
@@ -60,6 +79,11 @@ Simulator::run()
 
         net_.step(now, generating, measuring);
         ++now;
+
+        // Coarse path-set occupancy probe; period keeps the probe's
+        // cost negligible against the per-cycle router work.
+        NOC_OBS(if (obs_ && (now & 255u) == 0)
+                    obs_->samplePathSetOccupancy(net_));
 
 #if NOC_INVARIANTS_BUILT
         // Periodic network-wide protocol audit (credit conservation,
@@ -143,6 +167,16 @@ Simulator::run()
 
     r.rowContention = net_.rowContention().ratio();
     r.colContention = net_.colContention().ratio();
+
+#if NOC_OBS_BUILT
+    // NOC_TRACE_OUT=<path>: dump the run's Perfetto trace on exit.
+    if (obs_) {
+        if (const char *out = std::getenv("NOC_TRACE_OUT");
+            out != nullptr && *out != '\0') {
+            obs::writePerfetto(*obs_, out);
+        }
+    }
+#endif
     return r;
 }
 

@@ -6,6 +6,7 @@
 #ifndef ROCOSIM_SIM_SIMULATOR_H_
 #define ROCOSIM_SIM_SIMULATOR_H_
 
+#include <memory>
 #include <vector>
 
 #include "common/config.h"
@@ -66,12 +67,24 @@ class Simulator
 
     Network &network() { return net_; }
 
+    /**
+     * Attaches a trace recorder for this run (wired into every router
+     * and NIC). Without an explicit recorder, run() consults the
+     * NOC_TRACE environment (obs::Recorder::fromEnv). The recorder
+     * only sees flit events in NOC_OBS=ON builds.
+     */
+    void attachObserver(std::shared_ptr<obs::Recorder> obs);
+
+    /** The run's recorder, or nullptr when tracing is off. */
+    obs::Recorder *observer() const { return obs_.get(); }
+
   private:
     /** Runs the up-front deadlock-freedom proof, then returns @p cfg. */
     static const SimConfig &validated(const SimConfig &cfg);
 
     SimConfig cfg_;
     Network net_;
+    std::shared_ptr<obs::Recorder> obs_;
 };
 
 } // namespace noc

@@ -187,7 +187,9 @@ TEST(JsonOutTest, SerialisesEveryPoint)
     SweepResults res = SweepRunner(2).run(spec);
 
     std::string json = sweepJson(spec, res);
-    EXPECT_NE(json.find("\"schema\": 1"), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"warmupPackets\""), std::string::npos);
+    EXPECT_NE(json.find("\"measurePackets\""), std::string::npos);
     EXPECT_NE(json.find("\"bench\": \"json_smoke\""), std::string::npos);
     EXPECT_NE(json.find("\"arch\": \"RoCo\""), std::string::npos);
     EXPECT_NE(json.find("\"rate\": 0.2"), std::string::npos);

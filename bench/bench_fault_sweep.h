@@ -35,10 +35,8 @@ faultSweep(FaultClass cls, const char *figure, const char *caption,
     constexpr std::size_t kSeeds = std::size(seeds);
     MeshTopology topo(8, 8);
 
-    exp::SweepSpec spec = makeSpec(specName);
+    exp::SweepSpec spec = makeGridSpec(specName);
     spec.base.injectionRate = 0.3;
-    spec.archs = {std::begin(kArchs), std::end(kArchs)};
-    spec.routings = {std::begin(kRoutings), std::end(kRoutings)};
     const char *prefix =
         cls == FaultClass::RouterCentricCritical ? "crit" : "noncrit";
     for (int nf : faultCounts) {
@@ -52,12 +50,9 @@ faultSweep(FaultClass cls, const char *figure, const char *caption,
 
     std::printf("%s: packet completion probability, 30%% injection, "
                 "%s faults\n", figure, caption);
-    for (std::size_t ro = 0; ro < spec.routings.size(); ++ro) {
-        std::printf("\n-- %s routing --\n", toString(spec.routings[ro]));
-        std::printf("%-8s %10s %12s %10s\n", "#faults", "Generic",
-                    "PathSens", "RoCo");
-        hr();
-        for (std::size_t nfi = 0; nfi < std::size(faultCounts); ++nfi) {
+    perRoutingTables(
+        spec, 8, "#faults", "", std::size(faultCounts),
+        [&](std::size_t ro, std::size_t nfi) {
             std::printf("%-8d", faultCounts[nfi]);
             for (std::size_t ar = 0; ar < spec.archs.size(); ++ar) {
                 double sum = 0;
@@ -68,8 +63,7 @@ faultSweep(FaultClass cls, const char *figure, const char *caption,
                 std::printf(" %10.3f", sum / static_cast<double>(kSeeds));
             }
             std::puts("");
-        }
-    }
+        });
     return 0;
 }
 

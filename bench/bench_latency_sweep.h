@@ -17,21 +17,16 @@ namespace noc::bench {
 inline int
 latencySweep(TrafficKind traffic, const char *figure, const char *specName)
 {
-    exp::SweepSpec spec = makeSpec(specName);
+    exp::SweepSpec spec = makeGridSpec(specName);
     spec.base.traffic = traffic;
-    spec.archs = {std::begin(kArchs), std::end(kArchs)};
-    spec.routings = {std::begin(kRoutings), std::end(kRoutings)};
     spec.rates = {0.05, 0.1, 0.15, 0.2, 0.25, 0.3, 0.35, 0.4};
     exp::SweepResults res = runSweep(spec);
 
     std::printf("%s: average latency (cycles) vs injection rate, 8x8 "
                 "mesh, %s traffic\n", figure, toString(traffic));
-    for (std::size_t ro = 0; ro < spec.routings.size(); ++ro) {
-        std::printf("\n-- %s routing --\n", toString(spec.routings[ro]));
-        std::printf("%-6s %10s %12s %10s   (throughput f/n/c)\n",
-                    "rate", "Generic", "PathSens", "RoCo");
-        hr();
-        for (std::size_t ra = 0; ra < spec.rates.size(); ++ra) {
+    perRoutingTables(
+        spec, 6, "rate", "   (throughput f/n/c)", spec.rates.size(),
+        [&](std::size_t ro, std::size_t ra) {
             std::printf("%-6.2f", spec.rates[ra]);
             char thr[64];
             int off = 0;
@@ -43,8 +38,7 @@ latencySweep(TrafficKind traffic, const char *figure, const char *specName)
                                      " %.3f", r.throughputFlits);
             }
             std::printf("  (%s )\n", thr);
-        }
-    }
+        });
     std::puts("\n'*' marks saturated runs cut at the cycle budget.");
     std::puts("Paper shape: RoCo lowest at low/mid load; all curves "
               "diverge at saturation.");

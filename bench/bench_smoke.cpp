@@ -11,15 +11,36 @@
  * simulation results, the trace aggregate must be pool-size
  * independent, and the untraced hot path must not pay for the obs
  * subsystem's existence. Exits non-zero on any violation.
+ *
+ * The sharded engine (src/par) gets the same treatment: every
+ * architecture x routing (plus a critical-fault row) is run serial and
+ * at 2 and 4 shards and must match bit-for-bit — results, flit ledger
+ * and (in NOC_OBS builds) the trace summary. A 16x16 speedup probe
+ * then records the serial-vs-4-shard wall-clock ratio in
+ * BENCH_smoke_shards.json; the ratio is informational (flat on
+ * single-core or sanitizer hosts), only divergence fails the bench.
  */
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "bench_util.h"
+#include "fault/fault_injector.h"
 #include "obs/obs.h"
 #include "obs/recorder.h"
+
+#if defined(__SANITIZE_THREAD__)
+#define SMOKE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define SMOKE_TSAN 1
+#endif
+#endif
+#ifndef SMOKE_TSAN
+#define SMOKE_TSAN 0
+#endif
 
 namespace {
 
@@ -151,6 +172,177 @@ checkDisabledOverhead()
     return 0;
 }
 
+/** One shard-equivalence observation: results + ledger + obs summary. */
+struct ShardRun {
+    SimResult r;
+    FlitLedger ledger;
+    std::uint64_t e2eCount = 0, e2eMeasured = 0, sampled = 0;
+};
+
+ShardRun
+shardRun(SimConfig cfg, const std::vector<FaultSpec> &faults, int shards)
+{
+    cfg.shards = shards;
+    Simulator sim(cfg, faults);
+    std::shared_ptr<obs::Recorder> rec;
+    if (obs::kBuiltIn) {
+        obs::Recorder::Options opt;
+        opt.nodes = cfg.meshWidth * cfg.meshHeight;
+        opt.meshWidth = cfg.meshWidth;
+        opt.meshHeight = cfg.meshHeight;
+        opt.arch = cfg.arch;
+        rec = std::make_shared<obs::Recorder>(opt);
+        sim.attachObserver(rec);
+    }
+    ShardRun out;
+    out.r = sim.run();
+    out.ledger = sim.network().ledger();
+    if (rec) {
+        obs::Summary s = rec->summary();
+        out.e2eCount = s.endToEnd.count();
+        out.e2eMeasured = s.endToEndMeasured.count();
+        out.sampled = s.counters.sampledPackets;
+    }
+    return out;
+}
+
+bool
+shardRunsIdentical(const ShardRun &a, const ShardRun &b)
+{
+    return a.r.avgLatency == b.r.avgLatency &&
+           a.r.maxLatency == b.r.maxLatency &&
+           a.r.p99Latency == b.r.p99Latency &&
+           a.r.throughputFlits == b.r.throughputFlits &&
+           a.r.injected == b.r.injected &&
+           a.r.delivered == b.r.delivered &&
+           a.r.completion == b.r.completion &&
+           a.r.energyPerPacketNj == b.r.energyPerPacketNj &&
+           a.r.cycles == b.r.cycles && a.r.timedOut == b.r.timedOut &&
+           a.ledger.created == b.ledger.created &&
+           a.ledger.retired == b.ledger.retired &&
+           a.ledger.lastDelivery == b.ledger.lastDelivery &&
+           a.e2eCount == b.e2eCount && a.e2eMeasured == b.e2eMeasured &&
+           a.sampled == b.sampled;
+}
+
+/**
+ * Sharded execution must be bit-identical to serial for every router
+ * architecture and routing algorithm, with and without faults — the
+ * engine's whole contract. 6x6 keeps ShardPlan splits non-trivial at
+ * 4 shards while the matrix stays tsan-sized.
+ */
+int
+checkShardEquivalence()
+{
+    MeshTopology topo(6, 6);
+    std::vector<FaultSpec> critFaults = placeRandomFaults(
+        topo, FaultClass::RouterCentricCritical, 2, 3, 11);
+
+    int bad = 0;
+    int combos = 0;
+    for (RouterArch arch : kArchs) {
+        for (RoutingKind routing : kRoutings) {
+            SimConfig cfg = paperConfig(arch, routing,
+                                        TrafficKind::Uniform, 0.2);
+            cfg.meshWidth = 6;
+            cfg.meshHeight = 6;
+            cfg.warmupPackets = 20;
+            cfg.measurePackets = 120;
+            cfg.maxCycles = 20000;
+            // Fault rows only on adaptive: faulted minimal routings
+            // drain through the inactivity window, which is the slow
+            // path this smoke bench cannot afford per-combination (the
+            // shard_test gtest covers the full matrix).
+            const bool withFaults = routing == RoutingKind::Adaptive;
+            for (int f = 0; f < (withFaults ? 2 : 1); ++f) {
+                const std::vector<FaultSpec> &faults =
+                    f ? critFaults : std::vector<FaultSpec>{};
+                ShardRun serial = shardRun(cfg, faults, 1);
+                for (int shards : {2, 4}) {
+                    if (!shardRunsIdentical(serial,
+                                            shardRun(cfg, faults, shards))) {
+                        std::fprintf(stderr,
+                                     "shard divergence: %s/%s %s at %d "
+                                     "shards\n",
+                                     toString(arch), toString(routing),
+                                     f ? "2-crit-faults" : "fault-free",
+                                     shards);
+                        ++bad;
+                    }
+                }
+                ++combos;
+            }
+        }
+    }
+    std::printf("bench_smoke: %d shard-equivalence combos x {2,4} shards "
+                "vs serial, %s\n", combos, bad ? "DIVERGED" : "identical");
+    return bad;
+}
+
+/**
+ * Wall-clock scaling probe: 16x16 uniform RoCo, serial vs 4 shards,
+ * recorded in BENCH_smoke_shards.json. Purely informational — hosts
+ * with fewer free cores than shards (CI runners, this container, any
+ * sanitizer build) legitimately show ~1x, so only result divergence
+ * fails; speedup is for machines with cores to spend.
+ */
+int
+checkShardSpeedup()
+{
+    SimConfig cfg = paperConfig(RouterArch::Roco, RoutingKind::XY,
+                                TrafficKind::Uniform, 0.2);
+    cfg.meshWidth = 16;
+    cfg.meshHeight = 16;
+    cfg.warmupPackets = SMOKE_TSAN ? 50 : 200;
+    cfg.measurePackets = SMOKE_TSAN ? 300 : 2000;
+
+    double serialMs = 1e300, shardedMs = 1e300;
+    SimResult serialR, shardedR;
+    for (int rep = 0; rep < 2; ++rep) {
+        SimConfig c = cfg;
+        c.shards = 1;
+        Simulator s1(c);
+        auto t0 = std::chrono::steady_clock::now();
+        SimResult r1 = s1.run();
+        serialMs = std::min(
+            serialMs, std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+        serialR = r1;
+
+        c.shards = 4;
+        Simulator s4(c);
+        t0 = std::chrono::steady_clock::now();
+        SimResult r4 = s4.run();
+        shardedMs = std::min(
+            shardedMs, std::chrono::duration<double, std::milli>(
+                           std::chrono::steady_clock::now() - t0)
+                           .count());
+        shardedR = r4;
+    }
+    bool same = serialR.avgLatency == shardedR.avgLatency &&
+                serialR.delivered == shardedR.delivered &&
+                serialR.cycles == shardedR.cycles &&
+                serialR.energyPerPacketNj == shardedR.energyPerPacketNj;
+    double speedup = serialMs / shardedMs;
+    unsigned hw = std::thread::hardware_concurrency();
+    std::printf("bench_smoke: 16x16 speedup at 4 shards: %.2fx "
+                "(%.1f ms -> %.1f ms, %u hw threads)%s\n",
+                speedup, serialMs, shardedMs, hw,
+                same ? "" : "  DIVERGED");
+
+    char json[256];
+    std::snprintf(json, sizeof json,
+                  "{\"schema\": 1, \"bench\": \"smoke_shards\", "
+                  "\"mesh\": 16, \"shards\": 4, \"serialMs\": %.3f, "
+                  "\"shardedMs\": %.3f, \"speedup\": %.4f, "
+                  "\"identical\": %s, \"hwThreads\": %u}\n",
+                  serialMs, shardedMs, speedup, same ? "true" : "false",
+                  hw);
+    exp::writeBenchJson("smoke_shards", json);
+    return same ? 0 : 1;
+}
+
 /** An attached (enabled) recorder must not change simulation results. */
 int
 checkRecorderInert()
@@ -194,6 +386,8 @@ main()
     bad += checkObsAggregate();
     bad += checkRecorderInert();
     bad += checkDisabledOverhead();
+    bad += checkShardEquivalence();
+    bad += checkShardSpeedup();
 
     std::printf("bench_smoke: %zu points, %d threads, %s\n",
                 pooled.results.size(), pooled.threads,

@@ -116,6 +116,44 @@ hr()
               "------------------");
 }
 
+/**
+ * A spec over the full architecture x routing comparison grid — the
+ * axes every figure bench sweeps. The base carries the paper's
+ * warm-up/measurement window (paperConfig, NOC_BENCH_* overridable).
+ */
+inline exp::SweepSpec
+makeGridSpec(const char *name)
+{
+    exp::SweepSpec spec = makeSpec(name);
+    spec.archs = {std::begin(kArchs), std::end(kArchs)};
+    spec.routings = {std::begin(kRoutings), std::end(kRoutings)};
+    return spec;
+}
+
+/**
+ * The figures' shared table layout: one section per swept routing,
+ * each with a column-header line naming the three architectures, a
+ * rule, and one data line per row. @p printRow(routingIdx, rowIdx)
+ * prints a full line (label, per-arch cells, newline); @p labelWidth /
+ * @p rowLabel format the header's row-label column and @p headerTail
+ * is appended after the arch columns (e.g. a units note).
+ */
+template <typename Row>
+inline void
+perRoutingTables(const exp::SweepSpec &spec, int labelWidth,
+                 const char *rowLabel, const char *headerTail,
+                 std::size_t rows, Row printRow)
+{
+    for (std::size_t ro = 0; ro < spec.routings.size(); ++ro) {
+        std::printf("\n-- %s routing --\n", toString(spec.routings[ro]));
+        std::printf("%-*s %10s %12s %10s%s\n", labelWidth, rowLabel,
+                    "Generic", "PathSens", "RoCo", headerTail);
+        hr();
+        for (std::size_t r = 0; r < rows; ++r)
+            printRow(ro, r);
+    }
+}
+
 } // namespace noc::bench
 
 #endif // ROCOSIM_BENCH_BENCH_UTIL_H_

@@ -15,6 +15,11 @@
  *     --packets <n> --warmup <n>     measurement protocol
  *     --seed <n>
  *     --faults <n> --fault-class critical|noncritical --fault-seed <n>
+ *     --shards <n>                   run on the sharded engine (src/par);
+ *                                    results are bit-identical to serial
+ *     --threads <n>                  worker-thread budget; without
+ *                                    --shards the run shards itself up
+ *                                    to this many ways
  *     --csv                          machine-readable one-line output
  *     --csv-header                   print the CSV column names
  *
@@ -85,6 +90,7 @@ main(int argc, char **argv)
     int numFaults = 0;
     FaultClass faultClass = FaultClass::RouterCentricCritical;
     std::uint64_t faultSeed = 1;
+    int threads = 0;
     bool csv = false;
 
     auto need = [&](int &i) -> std::string {
@@ -122,6 +128,8 @@ main(int argc, char **argv)
             else
                 usage("unknown --fault-class");
         }
+        else if (a == "--shards") cfg.shards = std::atoi(need(i).c_str());
+        else if (a == "--threads") threads = std::atoi(need(i).c_str());
         else if (a == "--csv") csv = true;
         else if (a == "--csv-header") {
             std::puts("arch,routing,traffic,rate,faults,latency,p50,"
@@ -131,6 +139,13 @@ main(int argc, char **argv)
         }
         else usage("unknown option");
     }
+
+    // --threads gives a budget without pinning a shard count: an
+    // explicit --shards (or NOC_SHARDS) wins; otherwise the engine
+    // shards the mesh up to `threads` ways.  Either way results are
+    // bit-identical to serial — these are wall-clock knobs only.
+    if (threads > 0 && cfg.shards == 0 && !std::getenv("NOC_SHARDS"))
+        cfg.shards = threads;
 
     cfg.validate();
     MeshTopology topo(cfg.meshWidth, cfg.meshHeight);

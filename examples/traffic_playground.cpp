@@ -3,10 +3,14 @@
  * Traffic playground: compare the three routers on any workload the
  * library ships, from the command line.
  *
- *   ./build/examples/traffic_playground [pattern] [rate] [routing]
+ *   ./build/examples/traffic_playground [options] [pattern] [rate] [routing]
  *   patterns: uniform transpose bitcomp hotspot tornado neighbor
  *             selfsimilar mpeg
  *   routing:  xy xyyx adaptive
+ *   options:  --shards <n>   run each router on the sharded engine
+ *                            (src/par); results identical to serial
+ *             --threads <n>  worker budget; without --shards the runs
+ *                            shard themselves up to this many ways
  *
  *   e.g. ./build/examples/traffic_playground hotspot 0.25 adaptive
  */
@@ -46,11 +50,28 @@ parseRouting(const char *s)
 int
 main(int argc, char **argv)
 {
+    // Peel off --shards/--threads first; what remains are the
+    // positional pattern/rate/routing arguments.
+    int shards = 0;
+    int threads = 0;
+    const char *pos[3] = {nullptr, nullptr, nullptr};
+    int nPos = 0;
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--shards") && i + 1 < argc)
+            shards = std::atoi(argv[++i]);
+        else if (!std::strcmp(argv[i], "--threads") && i + 1 < argc)
+            threads = std::atoi(argv[++i]);
+        else if (nPos < 3)
+            pos[nPos++] = argv[i];
+    }
+    if (shards == 0 && threads > 0 && !std::getenv("NOC_SHARDS"))
+        shards = threads;
+
     noc::TrafficKind traffic =
-        argc > 1 ? parsePattern(argv[1]) : noc::TrafficKind::Uniform;
-    double rate = argc > 2 ? std::atof(argv[2]) : 0.2;
+        pos[0] ? parsePattern(pos[0]) : noc::TrafficKind::Uniform;
+    double rate = pos[1] ? std::atof(pos[1]) : 0.2;
     noc::RoutingKind routing =
-        argc > 3 ? parseRouting(argv[3]) : noc::RoutingKind::XY;
+        pos[2] ? parseRouting(pos[2]) : noc::RoutingKind::XY;
 
     std::printf("8x8 mesh | %s traffic | %s routing | %.2f "
                 "flits/node/cycle\n\n",
@@ -67,6 +88,7 @@ main(int argc, char **argv)
         cfg.routing = routing;
         cfg.traffic = traffic;
         cfg.injectionRate = rate;
+        cfg.shards = shards;
         cfg.warmupPackets = 800;
         cfg.measurePackets = 8000;
 

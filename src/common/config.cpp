@@ -67,6 +67,8 @@ SimConfig::validate() const
         fatal("trace traffic requires a traceFile");
     if (maxCycles == 0)
         fatal("maxCycles must be positive");
+    if (shards < 0)
+        fatal("shards must be >= 0 (0 = auto via NOC_SHARDS)");
 }
 
 } // namespace noc

@@ -95,6 +95,15 @@ struct SimConfig {
      */
     Cycle maxCycles = 300000;
 
+    // --- execution ------------------------------------------------------
+    /**
+     * Worker shards for the deterministic parallel engine (src/par).
+     * 0 = auto (the NOC_SHARDS environment variable, default 1);
+     * 1 runs the classic serial loop. Results are bit-identical for
+     * every shard count — this is purely a wall-clock knob.
+     */
+    int shards = 0;
+
     /** Buffer depth for the configured architecture. */
     int bufferDepth() const;
     /** Total flit buffer capacity per router (must be 60 at defaults). */

@@ -230,7 +230,7 @@ sweepJson(const SweepSpec &spec, const SweepResults &res)
 }
 
 std::string
-writeSweepJson(const SweepSpec &spec, const SweepResults &res)
+writeBenchJson(const std::string &name, const std::string &body)
 {
     if (const char *v = std::getenv("NOC_BENCH_JSON")) {
         if (std::strcmp(v, "0") == 0)
@@ -238,9 +238,8 @@ writeSweepJson(const SweepSpec &spec, const SweepResults &res)
     }
     const char *dir = std::getenv("NOC_BENCH_JSON_DIR");
     std::string path = dir && *dir ? std::string(dir) + "/" : std::string();
-    path += "BENCH_" + spec.name + ".json";
+    path += "BENCH_" + name + ".json";
 
-    std::string body = sweepJson(spec, res);
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (!f) {
         std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
@@ -249,6 +248,12 @@ writeSweepJson(const SweepSpec &spec, const SweepResults &res)
     std::fwrite(body.data(), 1, body.size(), f);
     std::fclose(f);
     return path;
+}
+
+std::string
+writeSweepJson(const SweepSpec &spec, const SweepResults &res)
+{
+    return writeBenchJson(spec.name, sweepJson(spec, res));
 }
 
 } // namespace noc::exp

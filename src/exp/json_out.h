@@ -57,6 +57,15 @@ std::string sweepJson(const SweepSpec &spec, const SweepResults &res);
  */
 std::string writeSweepJson(const SweepSpec &spec, const SweepResults &res);
 
+/**
+ * Writes an already-serialised JSON body to BENCH_<name>.json under
+ * the same NOC_BENCH_JSON / NOC_BENCH_JSON_DIR policy as
+ * writeSweepJson. For benches whose output is not a plain sweep (e.g.
+ * the scaling bench's speedup curves). Returns the path written, or
+ * "" when skipped / on I/O failure.
+ */
+std::string writeBenchJson(const std::string &name, const std::string &body);
+
 } // namespace noc::exp
 
 #endif // ROCOSIM_EXP_JSON_OUT_H_

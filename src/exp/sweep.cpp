@@ -158,6 +158,28 @@ SweepRunner::run(const SweepSpec &spec) const
         model::validateConfigLiveness(p.cfg);
     }
 
+    // One pool budget serves both axes of parallelism: wide grids use
+    // the threads across points; small grids of big points hand the
+    // spare threads to each point's sharded engine (src/par). Sharding
+    // is bit-identical to serial execution, so this policy can never
+    // change results — only wall-clock time. An explicit cfg.shards or
+    // NOC_SHARDS choice is always respected (the policy only fills in
+    // the "auto" value, and only for meshes big enough to amortise the
+    // per-cycle barriers).
+    int pool = threads_;
+    if (pool > static_cast<int>(res.points.size()))
+        pool = static_cast<int>(res.points.size());
+    if (pool >= 1 && std::getenv("NOC_SHARDS") == nullptr) {
+        int spare = threads_ / pool;
+        if (spare > 1) {
+            for (SweepPoint &p : res.points) {
+                int nodes = p.cfg.meshWidth * p.cfg.meshHeight;
+                if (p.cfg.shards == 0 && nodes >= 64)
+                    p.cfg.shards = std::min(spare, 8);
+            }
+        }
+    }
+
     // Work-stealing over a shared counter: each thread claims the next
     // unclaimed point and writes only its own result slot, so the
     // collected vector needs no locks and is already in point order.
@@ -172,9 +194,6 @@ SweepRunner::run(const SweepSpec &spec) const
         }
     };
 
-    int pool = threads_;
-    if (pool > static_cast<int>(res.points.size()))
-        pool = static_cast<int>(res.points.size());
     if (pool <= 1) {
         worker();
     } else {

@@ -132,6 +132,13 @@ struct SweepResults {
  * written by exactly one thread, so no locking is needed and the
  * collected vector is in deterministic point order. threads == 0 reads
  * NOC_BENCH_THREADS, falling back to std::thread::hardware_concurrency.
+ *
+ * The thread budget covers both axes of parallelism: when the grid has
+ * fewer points than threads, the spare threads are handed to each
+ * point's sharded engine (cfg.shards, src/par) for meshes of 64+
+ * nodes. Sharded execution is bit-identical to serial, so the policy
+ * affects wall-clock time only; explicit cfg.shards / NOC_SHARDS
+ * settings are never overridden.
  */
 class SweepRunner
 {

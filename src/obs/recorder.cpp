@@ -69,27 +69,59 @@ Recorder::sampled(std::uint64_t packetId) const
 }
 
 void
+Recorder::setShardLanes(int lanes, std::vector<int> laneOf)
+{
+    NOC_ASSERT(lanes >= 1 &&
+                   laneOf.size() == static_cast<std::size_t>(opt_.nodes),
+               "shard lane map must cover every node");
+    lanes_.resize(static_cast<std::size_t>(lanes));
+    laneOf_ = std::move(laneOf);
+    if (lanes > 1 && !stripes_)
+        stripes_ = std::make_unique<std::mutex[]>(kCursorStripes);
+}
+
+Summary &
+Recorder::laneFor(NodeId node)
+{
+    if (laneOf_.empty())
+        return lanes_[0];
+    return lanes_[static_cast<std::size_t>(laneOf_[node])];
+}
+
+void
 Recorder::record(Stage stage, const Flit &f, NodeId node, Cycle now,
                  int track, int vcSlot)
 {
     if (!opt_.enabled)
         return;
-    ++summary_.counters.events[static_cast<int>(stage)];
+    Summary &lane = laneFor(node);
+    ++lane.counters.events[static_cast<int>(stage)];
     if (!isHead(f.type) || !sampled(f.packetId))
         return;
+
+    // Cursor ops are keyed by packet id; a packet's head is processed
+    // by exactly one router per cycle, so concurrent shard workers
+    // always act on *different* packets and the stripe locks only
+    // protect the table's bucket structure, never an ordering.
+    std::unique_lock<std::mutex> lock;
+    if (stripes_) {
+        lock = std::unique_lock<std::mutex>(
+            stripes_[mix(f.packetId) % kCursorStripes]);
+    }
 
     auto it = cursors_.find(f.packetId);
     if (it != cursors_.end()) {
         // Close the open slice: the packet sat in the cursor's state
-        // from the cursor's cycle until this event.
+        // from the cursor's cycle until this event. The ring pushed to
+        // belongs to this node or a neighbour, which the step schedule
+        // keeps race-free (see setShardLanes).
         const Cursor &c = it->second;
         rings_[c.node].push(ObsEvent{f.packetId, c.cycle, now, c.node,
                                      f.src, f.dst, c.stage, c.track,
                                      c.vc});
-        summary_.residency[static_cast<int>(c.stage)].record(now -
-                                                             c.cycle);
+        lane.residency[static_cast<int>(c.stage)].record(now - c.cycle);
     } else if (stage == Stage::SourceEnqueue) {
-        ++summary_.counters.sampledPackets;
+        ++lane.counters.sampledPackets;
     }
 
     bool terminal = residencyLabel(stage) == nullptr;
@@ -116,24 +148,29 @@ Recorder::recordEndToEnd(const Flit &head, Cycle now)
 {
     if (!opt_.enabled)
         return;
+    // Called from the destination's ejection path, so the caller is
+    // the worker driving head.dst's shard.
+    Summary &lane = laneFor(head.dst);
     std::uint64_t lat = now - head.createTime;
-    summary_.endToEnd.record(lat);
+    lane.endToEnd.record(lat);
     if (head.measured)
-        summary_.endToEndMeasured.record(lat);
+        lane.endToEndMeasured.record(lat);
     int w = opt_.meshWidth;
     int dist = std::abs(static_cast<int>(head.src % w) -
                         static_cast<int>(head.dst % w)) +
                std::abs(static_cast<int>(head.src / w) -
                         static_cast<int>(head.dst / w));
-    if (static_cast<std::size_t>(dist) >= summary_.byDistance.size())
-        summary_.byDistance.resize(static_cast<std::size_t>(dist) + 1);
-    summary_.byDistance[static_cast<std::size_t>(dist)].record(lat);
+    if (static_cast<std::size_t>(dist) >= lane.byDistance.size())
+        lane.byDistance.resize(static_cast<std::size_t>(dist) + 1);
+    lane.byDistance[static_cast<std::size_t>(dist)].record(lat);
 }
 
 Summary
 Recorder::summary() const
 {
-    Summary out = summary_;
+    Summary out = lanes_[0];
+    for (std::size_t i = 1; i < lanes_.size(); ++i)
+        out.merge(lanes_[i]);
     out.counters.ringDropped = 0;
     for (const EventRing &r : rings_)
         out.counters.ringDropped += r.dropped();
@@ -149,16 +186,18 @@ Recorder::samplePathSetOccupancy(const Network &net)
         const Router &r = net.router(n);
         if (r.arch() == RouterArch::Roco) {
             const auto &roco = static_cast<const RocoRouter &>(r);
-            summary_.counters.occupancySum[0] += static_cast<std::uint64_t>(
-                roco.moduleOccupancy(Module::Row));
-            summary_.counters.occupancySum[1] += static_cast<std::uint64_t>(
-                roco.moduleOccupancy(Module::Column));
+            lanes_[0].counters.occupancySum[0] +=
+                static_cast<std::uint64_t>(
+                    roco.moduleOccupancy(Module::Row));
+            lanes_[0].counters.occupancySum[1] +=
+                static_cast<std::uint64_t>(
+                    roco.moduleOccupancy(Module::Column));
         } else {
-            summary_.counters.occupancySum[0] +=
+            lanes_[0].counters.occupancySum[0] +=
                 static_cast<std::uint64_t>(r.bufferedFlits());
         }
     }
-    ++summary_.counters.occupancySamples;
+    ++lanes_[0].counters.occupancySamples;
 }
 
 } // namespace noc::obs

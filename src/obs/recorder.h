@@ -23,6 +23,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -88,6 +89,20 @@ class Recorder
     /** True when packet @p packetId is traced at the current rate. */
     bool sampled(std::uint64_t packetId) const;
 
+    /**
+     * Prepares the recorder for the sharded engine (src/par): summary
+     * state splits into one lane per shard (@p laneOf maps node ->
+     * lane, all < @p lanes) and the sampled-packet cursor table
+     * switches to striped locking. Per-lane writes stay lock-free
+     * because an event at node n is only ever recorded by the worker
+     * driving n's shard, and the pentachromatic step schedule keeps
+     * every ring single-writer within a phase; summary() merges the
+     * lanes, and Summary::merge is commutative, so the merged result
+     * is bit-identical to an unsharded run. Lanes persist for the
+     * recorder's remaining lifetime.
+     */
+    void setShardLanes(int lanes, std::vector<int> laneOf);
+
     /** Histogram/counter aggregate (copy; safe to merge elsewhere). */
     Summary summary() const;
 
@@ -106,10 +121,21 @@ class Recorder
         std::int16_t vc;
     };
 
+    /** Summary lane events at @p node are recorded into. */
+    Summary &laneFor(NodeId node);
+
+    static constexpr std::size_t kCursorStripes = 64;
+
     Options opt_;
     std::vector<EventRing> rings_;
     std::unordered_map<std::uint64_t, Cursor> cursors_;
-    Summary summary_;
+    /** One Summary per shard lane; lanes_[0] doubles as the serial
+     *  summary (samplePathSetOccupancy always records there — it runs
+     *  in the engine's single-threaded epilogue). */
+    std::vector<Summary> lanes_{1};
+    std::vector<int> laneOf_; ///< node -> lane; empty = all lane 0
+    /** Cursor-table stripe locks; allocated only when lanes > 1. */
+    std::unique_ptr<std::mutex[]> stripes_;
 };
 
 } // namespace noc::obs

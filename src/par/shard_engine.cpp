@@ -1,0 +1,204 @@
+#include "par/shard_engine.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "check/invariant.h"
+#include "obs/recorder.h"
+#include "par/barrier.h"
+#include "topology/partition.h"
+
+namespace noc::par {
+
+namespace {
+
+/** Per-shard cycle-local counter, padded against false sharing. */
+struct alignas(64) ShardCount {
+    std::uint64_t value = 0;
+};
+
+/** Everything the workers share; mutable fields are only written in
+ *  the single-threaded barrier epilogue, and the barrier's release /
+ *  acquire pair publishes them to every worker. */
+struct Shared {
+    Network &net;
+    const SimConfig &cfg;
+    const ShardPlan &plan;
+    RunControl &ctl;
+    obs::Recorder *obs;
+    SpinBarrier barrier;
+    std::vector<FlitLedger> ledgers;   // one per shard
+    std::vector<ShardCount> generated; // this cycle, per shard
+    Cycle now = 0;   // cycle the workers are about to run
+    bool stop = false;
+    FlitLedger totals; // reduction of ledgers, maintained in epilogue
+
+    Shared(Network &n, const SimConfig &c, const ShardPlan &p,
+           RunControl &rc, obs::Recorder *o)
+        : net(n), cfg(c), plan(p), ctl(rc), obs(o),
+          barrier(p.shards()),
+          ledgers(static_cast<std::size_t>(p.shards())),
+          generated(static_cast<std::size_t>(p.shards()))
+    {
+    }
+};
+
+/**
+ * End-of-cycle epilogue, run by the last barrier arriver while every
+ * other worker is parked: mirrors one trip around the serial loop in
+ * Simulator::run (probe cadence included) so the two drivers make
+ * identical decisions at identical cycles.
+ */
+void
+epilogue(Shared &sh)
+{
+    std::uint64_t gen = 0;
+    for (ShardCount &g : sh.generated) {
+        gen += g.value;
+        g.value = 0;
+    }
+    sh.net.addGenerated(gen);
+
+    FlitLedger sum;
+    for (const FlitLedger &l : sh.ledgers) {
+        sum.created += l.created;
+        sum.retired += l.retired;
+        sum.lastDelivery = std::max(sum.lastDelivery, l.lastDelivery);
+    }
+    sh.totals = sum;
+
+    Cycle done = sh.now + 1; // cycles completed, == serial's post-step now
+
+    NOC_OBS(if (sh.obs && (done & 255u) == 0)
+                sh.obs->samplePathSetOccupancy(sh.net));
+#if NOC_INVARIANTS_BUILT
+    if ((done & 1023u) == 0 && check::invariantsEnabled())
+        sh.net.checkProtocolInvariants(done);
+#endif
+
+    bool stop = false;
+    if (!sh.ctl.generating()) {
+#ifndef NDEBUG
+        if ((done & 63u) == 0) {
+            bool queued = false;
+            for (int i = 0; i < sh.net.numNodes() && !queued; ++i) {
+                queued =
+                    sh.net.nic(static_cast<NodeId>(i)).queuedFlits() > 0;
+            }
+            NOC_ASSERT(sum.quiescent() ==
+                           (!queued && sh.net.flitsInFlight() == 0),
+                       "shard ledgers out of sync with network scan");
+        }
+#endif
+        stop = sh.ctl.endCycle(done, sum.quiescent(), sum.lastDelivery);
+    }
+    if (!stop && done >= sh.cfg.maxCycles)
+        stop = true;
+
+    if (!stop) {
+        if (sh.ctl.beginCycle(done, sh.net.traceExhausted(),
+                              sh.net.packetsGenerated())) {
+            sh.net.resetActivity();
+            sh.net.resetContention();
+        }
+    }
+    sh.now = done;
+    sh.stop = stop;
+}
+
+/** One worker's whole run: shard @p s of the plan. */
+void
+work(Shared &sh, int s)
+{
+    Network &net = sh.net;
+    const ShardPlan &plan = sh.plan;
+    for (;;) {
+        // Cycle state is stable between barriers: the epilogue is the
+        // only writer and it runs inside the previous barrier.
+        Cycle now = sh.now;
+        bool generating = sh.ctl.generating();
+        bool measuring = sh.ctl.measuring();
+
+        std::uint64_t gen = 0;
+        for (NodeId n : plan.nodes(s))
+            gen += static_cast<std::uint64_t>(
+                net.nic(n).generate(now, measuring, generating));
+        sh.generated[static_cast<std::size_t>(s)].value = gen;
+
+        for (int ph = 0; ph < kNumStepPhases; ++ph) {
+            for (NodeId n : plan.phaseNodes(s, ph))
+                net.router(n).step(now);
+            if (ph + 1 < kNumStepPhases)
+                sh.barrier.arriveAndWait();
+        }
+        sh.barrier.arriveAndWait([&sh] { epilogue(sh); });
+        if (sh.stop)
+            return;
+    }
+}
+
+} // namespace
+
+int
+effectiveShards(const SimConfig &cfg, int numNodes)
+{
+    int shards = cfg.shards;
+    if (shards == 0) {
+        if (const char *v = std::getenv("NOC_SHARDS")) {
+            long n = std::strtol(v, nullptr, 10);
+            if (n >= 1)
+                shards = static_cast<int>(n);
+        }
+    }
+    return std::clamp(shards, 1, numNodes);
+}
+
+RunOutcome
+runSharded(Network &net, const SimConfig &cfg, int shards,
+           obs::Recorder *obs, RunControl &ctl)
+{
+    ShardPlan plan(cfg.meshWidth, cfg.meshHeight, shards);
+    Shared sh(net, cfg, plan, ctl, obs);
+
+    // Per-shard ledgers keep flit-lifecycle counting lock-free; the
+    // epilogue reduces them, and the master ledger is restored (with
+    // the reduced totals) before returning.
+    for (NodeId n = 0; n < static_cast<NodeId>(net.numNodes()); ++n)
+        net.bindNodeLedger(n, &sh.ledgers[static_cast<std::size_t>(
+                                  plan.shardOf(n))]);
+    if (obs != nullptr) {
+        std::vector<int> laneOf(static_cast<std::size_t>(net.numNodes()));
+        for (NodeId n = 0; n < static_cast<NodeId>(net.numNodes()); ++n)
+            laneOf[n] = plan.shardOf(n);
+        obs->setShardLanes(plan.shards(), std::move(laneOf));
+    }
+#if NOC_INVARIANTS_BUILT
+    // Warm the lazy env read before the pool shares it.
+    check::invariantsEnabled();
+#endif
+
+    // Mirror the serial loop's first top-of-cycle bookkeeping (cycle 0
+    // flags are decided before any step).
+    if (ctl.beginCycle(0, net.traceExhausted(), net.packetsGenerated())) {
+        net.resetActivity();
+        net.resetContention();
+    }
+
+    std::vector<std::thread> workers;
+    workers.reserve(static_cast<std::size_t>(plan.shards() - 1));
+    for (int s = 1; s < plan.shards(); ++s)
+        workers.emplace_back([&sh, s] { work(sh, s); });
+    work(sh, 0);
+    for (std::thread &t : workers)
+        t.join();
+
+    for (NodeId n = 0; n < static_cast<NodeId>(net.numNodes()); ++n)
+        net.bindNodeLedger(n, nullptr);
+    net.setLedgerTotals(sh.totals);
+
+    return RunOutcome{sh.now};
+}
+
+} // namespace noc::par

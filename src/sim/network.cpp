@@ -97,6 +97,19 @@ Network::build(const std::vector<FaultSpec> &faults)
             routers_[*b]->setNeighbor(opposite(d), routers_[a].get());
         }
     }
+
+    for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+        Coord c = topo_.coord(id);
+        phases_[stepPhase(c.x, c.y)].push_back(id);
+    }
+}
+
+void
+Network::bindNodeLedger(NodeId n, FlitLedger *l)
+{
+    FlitLedger *target = l != nullptr ? l : &ledger_;
+    routers_[n]->setLedger(target);
+    nics_[n]->setLedger(target);
 }
 
 void
@@ -111,10 +124,14 @@ Network::setObserver(obs::Recorder *obs)
 void
 Network::step(Cycle now, bool generationEnabled, bool measured)
 {
-    for (auto &nic : nics_)
-        nic->generate(now, nextPacketId_, measured, generationEnabled);
-    for (auto &r : routers_)
-        r->step(now);
+    for (auto &nic : nics_) {
+        generatedBase1_ += static_cast<std::uint64_t>(
+            nic->generate(now, measured, generationEnabled));
+    }
+    for (const auto &phase : phases_) {
+        for (NodeId n : phase)
+            routers_[n]->step(now);
+    }
 }
 
 int

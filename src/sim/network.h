@@ -18,6 +18,7 @@
 #include "traffic/trace.h"
 #include "topology/channel.h"
 #include "topology/mesh.h"
+#include "topology/partition.h"
 
 namespace noc {
 
@@ -36,8 +37,14 @@ class Network
     Network &operator=(const Network &) = delete;
 
     /**
-     * Advances one cycle: NICs generate traffic, then every router
-     * steps. Channel delay lines make the order immaterial.
+     * Advances one cycle: NICs generate traffic, then the routers step
+     * phase by phase of the pentachromatic schedule (ascending id
+     * within a phase; see topology/partition.h). Inter-router channels
+     * are delay lines, but the RoCo / path-sensitive reserveInputVc
+     * handshake acts on the neighbour within the cycle, so the phase
+     * structure — not channel latency alone — is what makes the step
+     * order canonical. The sharded engine (src/par) runs the identical
+     * schedule, which keeps its results bit-identical to this loop.
      */
     void step(Cycle now, bool generationEnabled, bool measured);
 
@@ -51,7 +58,11 @@ class Network
     const Nic &nic(NodeId n) const { return *nics_[n]; }
     int numNodes() const { return topo_.numNodes(); }
 
-    std::uint64_t packetsGenerated() const { return nextPacketId_; }
+    /** Base-1 generation counter: 1 + packets generated so far. */
+    std::uint64_t packetsGenerated() const { return generatedBase1_; }
+
+    /** Folds externally-counted generated packets in (sharded engine). */
+    void addGenerated(std::uint64_t n) { generatedBase1_ += n; }
 
     /** Trace traffic: true once every node's schedule has replayed. */
     bool traceExhausted() const;
@@ -70,6 +81,16 @@ class Network
 
     /** The incremental flit lifecycle counters behind quiescent(). */
     const FlitLedger &ledger() const { return ledger_; }
+
+    /**
+     * Rebinds node @p n's router and NIC to ledger @p l (the sharded
+     * engine gives every shard its own ledger so retirement counting
+     * stays lock-free); null restores the network's master ledger.
+     */
+    void bindNodeLedger(NodeId n, FlitLedger *l);
+
+    /** Overwrites the master ledger with reduced shard totals. */
+    void setLedgerTotals(const FlitLedger &l) { ledger_ = l; }
 
     /**
      * Attaches @p obs to every router and NIC (null detaches). The
@@ -114,8 +135,10 @@ class Network
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::unique_ptr<TraceSchedule> trace_;
-    std::uint64_t nextPacketId_ = 1;
+    std::uint64_t generatedBase1_ = 1;
     FlitLedger ledger_;
+    /** Router step order: node ids per schedule phase, ascending. */
+    std::vector<NodeId> phases_[kNumStepPhases];
 };
 
 /** Instantiates the router microarchitecture selected by @p cfg. */

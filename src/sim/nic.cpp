@@ -9,7 +9,8 @@ namespace noc {
 
 Nic::Nic(NodeId id, const SimConfig &cfg, const MeshTopology &topo)
     : id_(id), cfg_(cfg), traffic_(cfg, topo, id),
-      rng_(cfg.seed, 0x41C0000ull + id)
+      rng_(cfg.seed, 0x41C0000ull + id),
+      idStride_(static_cast<std::uint64_t>(topo.numNodes()))
 {
 }
 
@@ -25,32 +26,39 @@ Nic::traceExhausted() const
     return trace_ && trace_->exhausted();
 }
 
-void
-Nic::generate(Cycle now, std::uint64_t &nextPacketId, bool measured,
-              bool generationEnabled)
+int
+Nic::generate(Cycle now, bool measured, bool generationEnabled)
 {
     if (!generationEnabled)
-        return;
+        return 0;
+    NodeId dst = kInvalidNode;
     if (trace_) {
-        NodeId dst = trace_->next(now);
-        if (dst != kInvalidNode) {
-            enqueuePacket(dst, now, nextPacketId, measured,
-                          rng_.nextBool(0.5));
-        }
-        return;
+        dst = trace_->next(now);
+    } else if (auto d = traffic_.maybeGenerate(now)) {
+        dst = *d;
     }
-    auto dst = traffic_.maybeGenerate(now);
-    if (!dst)
-        return;
-    enqueuePacket(*dst, now, nextPacketId, measured, rng_.nextBool(0.5));
+    if (dst == kInvalidNode)
+        return 0;
+    std::uint64_t pid = 1 + static_cast<std::uint64_t>(id_) +
+                        genSeq_++ * idStride_;
+    enqueueWithId(dst, now, pid, measured, rng_.nextBool(0.5));
+    return 1;
 }
 
 std::uint64_t
 Nic::enqueuePacket(NodeId dst, Cycle now, std::uint64_t &nextPacketId,
                    bool measured, bool yxOrder)
 {
-    NOC_ASSERT(dst != id_, "packet to self");
     std::uint64_t pid = nextPacketId++;
+    enqueueWithId(dst, now, pid, measured, yxOrder);
+    return pid;
+}
+
+void
+Nic::enqueueWithId(NodeId dst, Cycle now, std::uint64_t pid, bool measured,
+                   bool yxOrder)
+{
+    NOC_ASSERT(dst != id_, "packet to self");
     int len = cfg_.flitsPerPacket;
     for (int i = 0; i < len; ++i) {
         Flit f;
@@ -79,7 +87,6 @@ Nic::enqueuePacket(NodeId dst, Cycle now, std::uint64_t &nextPacketId,
         ++injectedMeasured_;
     if (ledger_)
         ledger_->created += static_cast<std::uint64_t>(len);
-    return pid;
 }
 
 const Flit &

@@ -30,13 +30,18 @@ class Nic : public NicIf
     Nic(NodeId id, const SimConfig &cfg, const MeshTopology &topo);
 
     /**
-     * Runs the traffic source for cycle @p now; @p nextPacketId is the
-     * network-wide id counter. @p measured tags packets created after
-     * warm-up so statistics cover only the measurement window.
+     * Runs the traffic source for cycle @p now and returns the number
+     * of packets generated (0 or 1). @p measured tags packets created
+     * after warm-up so statistics cover only the measurement window.
      * No-op when @p generationEnabled is false (drain phase).
+     *
+     * Generated packets draw ids from a per-NIC arithmetic stream
+     * (1 + node + seq * numNodes): ids are unique network-wide yet
+     * depend only on this NIC's own history, so id assignment is
+     * identical whether the NICs run serially or sharded across
+     * threads (src/par).
      */
-    void generate(Cycle now, std::uint64_t &nextPacketId, bool measured,
-                  bool generationEnabled);
+    int generate(Cycle now, bool measured, bool generationEnabled);
 
     /** Attaches the network-wide flit lifecycle counters (may be null). */
     void setLedger(FlitLedger *ledger) { ledger_ = ledger; }
@@ -52,7 +57,8 @@ class Nic : public NicIf
 
     /**
      * Enqueues one packet to @p dst directly (tests and examples that
-     * drive traffic by hand). Returns the packet id.
+     * drive traffic by hand), drawing its id from the caller's
+     * @p nextPacketId counter. Returns the packet id.
      */
     std::uint64_t enqueuePacket(NodeId dst, Cycle now,
                                 std::uint64_t &nextPacketId,
@@ -79,10 +85,16 @@ class Nic : public NicIf
     std::size_t queuedFlits() const { return sourceQueue_.size(); }
 
   private:
+    /** Enqueues one packet with an already-assigned id. */
+    void enqueueWithId(NodeId dst, Cycle now, std::uint64_t pid,
+                       bool measured, bool yxOrder);
+
     NodeId id_;
     const SimConfig &cfg_;
     TrafficGenerator traffic_;
     Rng rng_; ///< per-packet choices (XY-YX order)
+    std::uint64_t idStride_; ///< nodes in the mesh (id stream step)
+    std::uint64_t genSeq_ = 0; ///< packets this NIC has generated
     std::unique_ptr<TraceReplayer> trace_;
     FlitLedger *ledger_ = nullptr;
     obs::Recorder *obs_ = nullptr;

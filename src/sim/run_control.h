@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Warm-up / measurement / drain phase control for one run.
+ *
+ * The serial loop (Simulator::run) and the sharded engine (src/par)
+ * must make identical phase decisions at identical cycles for sharded
+ * runs to be bit-identical to serial ones, so the decision logic lives
+ * here and both drivers call it at the same points of the cycle:
+ * beginCycle() with the generation counter as of the previous cycle,
+ * endCycle() with the post-cycle drain state.
+ */
+#ifndef ROCOSIM_SIM_RUN_CONTROL_H_
+#define ROCOSIM_SIM_RUN_CONTROL_H_
+
+#include <algorithm>
+
+#include "common/config.h"
+
+namespace noc {
+
+class RunControl
+{
+  public:
+    /**
+     * Inactivity window: in a faulty network blocked packets never
+     * drain; the paper stops after twice the fault-free completion
+     * time, approximated here with a generous idle window.
+     */
+    static constexpr Cycle kIdleWindow = 5000;
+
+    explicit RunControl(const SimConfig &cfg)
+        : warmTarget_(cfg.warmupPackets),
+          genTarget_(cfg.warmupPackets + cfg.measurePackets),
+          traceDriven_(cfg.traffic == TrafficKind::Trace)
+    {
+    }
+
+    /**
+     * Top-of-cycle bookkeeping for cycle @p now. @p packetsGenerated
+     * is the network's base-1 generation counter; @p traceExhausted
+     * replaces the packet-count cutoff for trace-driven runs. Returns
+     * true when the measurement window just opened — the caller must
+     * then reset the activity and contention probes.
+     */
+    bool
+    beginCycle(Cycle now, bool traceExhausted,
+               std::uint64_t packetsGenerated)
+    {
+        bool genDone =
+            traceDriven_ ? traceExhausted : packetsGenerated > genTarget_;
+        if (generating_ && genDone) {
+            generating_ = false;
+            generationEnd_ = now;
+        }
+        if (!measuring_ && packetsGenerated > warmTarget_) {
+            measuring_ = true;
+            measureStart_ = now;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Stop decision after completing the cycle before @p now (@p now
+     * counts completed cycles). True once the network has drained, or
+     * after the idle window expires with blocked packets (faulty
+     * networks). Never stops while generation is still on.
+     */
+    bool
+    endCycle(Cycle now, bool quiescent, Cycle lastDelivery) const
+    {
+        if (generating_)
+            return false;
+        if (quiescent)
+            return true;
+        Cycle last = std::max(lastDelivery, generationEnd_);
+        return now > last + kIdleWindow;
+    }
+
+    bool generating() const { return generating_; }
+    bool measuring() const { return measuring_; }
+    Cycle measureStart() const { return measureStart_; }
+    Cycle generationEnd() const { return generationEnd_; }
+
+  private:
+    std::uint64_t warmTarget_;
+    std::uint64_t genTarget_;
+    bool traceDriven_;
+    bool generating_ = true;
+    bool measuring_ = false;
+    Cycle measureStart_ = 0;
+    Cycle generationEnd_ = 0;
+};
+
+} // namespace noc
+
+#endif // ROCOSIM_SIM_RUN_CONTROL_H_

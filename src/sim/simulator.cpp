@@ -8,6 +8,8 @@
 #include "model/liveness.h"
 #include "obs/perfetto.h"
 #include "obs/recorder.h"
+#include "par/shard_engine.h"
+#include "sim/run_control.h"
 
 namespace noc {
 
@@ -38,10 +40,6 @@ Simulator::attachObserver(std::shared_ptr<obs::Recorder> obs)
 SimResult
 Simulator::run()
 {
-    const std::uint64_t warmTarget = cfg_.warmupPackets;
-    const std::uint64_t genTarget =
-        cfg_.warmupPackets + cfg_.measurePackets;
-
     // Env-driven tracing: only consulted when no recorder was attached
     // programmatically, and only able to see events in NOC_OBS builds.
 #if NOC_OBS_BUILT
@@ -51,72 +49,62 @@ Simulator::run()
     }
 #endif
 
+    RunControl ctl(cfg_);
     Cycle now = 0;
-    Cycle measureStart = 0;
-    bool measuring = false;
-    bool generating = true;
-    Cycle generationEnd = 0;
+    int shards = par::effectiveShards(cfg_, net_.numNodes());
 
-    // Inactivity window: in a faulty network blocked packets never
-    // drain; the paper stops after twice the fault-free completion
-    // time. We approximate with a generous idle window.
-    const Cycle idleWindow = 5000;
+    if (shards > 1) {
+        // Sharded bulk-synchronous engine: bit-identical to the serial
+        // loop below for any shard count (see par/shard_engine.h).
+        now = par::runSharded(net_, cfg_, shards, obs_.get(), ctl)
+                  .endCycle;
+    } else {
+        while (now < cfg_.maxCycles) {
+            if (ctl.beginCycle(now, net_.traceExhausted(),
+                               net_.packetsGenerated())) {
+                net_.resetActivity();
+                net_.resetContention();
+            }
 
-    while (now < cfg_.maxCycles) {
-        bool genDone = cfg_.traffic == TrafficKind::Trace
-                           ? net_.traceExhausted()
-                           : net_.packetsGenerated() > genTarget;
-        if (generating && genDone) {
-            generating = false;
-            generationEnd = now;
-        }
-        if (!measuring && net_.packetsGenerated() > warmTarget) {
-            measuring = true;
-            measureStart = now;
-            net_.resetActivity();
-            net_.resetContention();
-        }
+            net_.step(now, ctl.generating(), ctl.measuring());
+            ++now;
 
-        net_.step(now, generating, measuring);
-        ++now;
-
-        // Coarse path-set occupancy probe; period keeps the probe's
-        // cost negligible against the per-cycle router work.
-        NOC_OBS(if (obs_ && (now & 255u) == 0)
-                    obs_->samplePathSetOccupancy(net_));
+            // Coarse path-set occupancy probe; period keeps the
+            // probe's cost negligible against the per-cycle work.
+            NOC_OBS(if (obs_ && (now & 255u) == 0)
+                        obs_->samplePathSetOccupancy(net_));
 
 #if NOC_INVARIANTS_BUILT
-        // Periodic network-wide protocol audit (credit conservation,
-        // fault-state consistency); cheap relative to its period.
-        if ((now & 1023u) == 0 && check::invariantsEnabled())
-            net_.checkProtocolInvariants(now);
+            // Periodic network-wide protocol audit (credit
+            // conservation, fault-state consistency).
+            if ((now & 1023u) == 0 && check::invariantsEnabled())
+                net_.checkProtocolInvariants(now);
 #endif
 
-        if (!generating) {
-            // Drain detection is O(1): the ledger counts every flit at
-            // creation and retirement, replacing the per-cycle
-            // O(nodes) source-queue scan and O(routers + channels)
-            // in-flight walk the loop used to pay once generation
-            // stopped. A debug-only periodic cross-check keeps the
-            // incremental counters honest against the full walk.
+            if (!ctl.generating()) {
+                // Drain detection is O(1): the ledger counts every
+                // flit at creation and retirement. A debug-only
+                // periodic cross-check keeps the incremental counters
+                // honest against the full network walk.
 #ifndef NDEBUG
-            if ((now & 63u) == 0) {
-                bool queued = false;
-                for (int i = 0; i < net_.numNodes() && !queued; ++i) {
-                    queued =
-                        net_.nic(static_cast<NodeId>(i)).queuedFlits() >
-                        0;
+                if ((now & 63u) == 0) {
+                    bool queued = false;
+                    for (int i = 0; i < net_.numNodes() && !queued;
+                         ++i) {
+                        queued = net_.nic(static_cast<NodeId>(i))
+                                     .queuedFlits() > 0;
+                    }
+                    NOC_ASSERT(net_.quiescent() ==
+                                   (!queued &&
+                                    net_.flitsInFlight() == 0),
+                               "flit ledger out of sync with network "
+                               "scan");
                 }
-                NOC_ASSERT(net_.quiescent() ==
-                               (!queued && net_.flitsInFlight() == 0),
-                           "flit ledger out of sync with network scan");
-            }
 #endif
-            if (net_.quiescent())
-                break; // fully drained
-            Cycle last = std::max(net_.lastDeliveryCycle(), generationEnd);
-            if (now > last + idleWindow)
-                break; // blocked remainder (faulty network)
+                if (ctl.endCycle(now, net_.quiescent(),
+                                 net_.lastDeliveryCycle()))
+                    break; // drained, or blocked past the idle window
+            }
         }
     }
 
@@ -127,7 +115,7 @@ Simulator::run()
 
     SimResult r;
     r.timedOut = now >= cfg_.maxCycles;
-    r.cycles = measuring ? now - measureStart : now;
+    r.cycles = ctl.measuring() ? now - ctl.measureStart() : now;
 
     RunningStat lat;
     Histogram hist(2.0, 1024);

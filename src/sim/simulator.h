@@ -55,6 +55,10 @@ struct SimResult {
  * drains.  Faulty networks may never drain — the run ends after an
  * inactivity window of twice the expected drain time or at maxCycles,
  * and undelivered measured packets lower the completion probability.
+ *
+ * With cfg.shards > 1 (or NOC_SHARDS set) the run executes on the
+ * deterministic sharded engine (src/par) with bit-identical results;
+ * shard count only changes wall-clock time.
  */
 class Simulator
 {

@@ -1,0 +1,64 @@
+#include "topology/partition.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace noc {
+
+ShardPlan::ShardPlan(int width, int height, int shards)
+    : width_(width), height_(height)
+{
+    NOC_ASSERT(width > 0 && height > 0, "empty mesh");
+    int n = width * height;
+    shards_ = std::clamp(shards, 1, n);
+
+    // Best rectangular factorisation rows x cols == shards_ that fits
+    // the mesh, minimising the largest shard area (ties: squarer grid).
+    int bestRows = 0, bestCols = 0, bestArea = n + 1;
+    for (int rows = 1; rows <= shards_; ++rows) {
+        if (shards_ % rows != 0)
+            continue;
+        int cols = shards_ / rows;
+        if (rows > height || cols > width)
+            continue;
+        int maxH = (height + rows - 1) / rows;
+        int maxW = (width + cols - 1) / cols;
+        if (maxH * maxW < bestArea) {
+            bestArea = maxH * maxW;
+            bestRows = rows;
+            bestCols = cols;
+        }
+    }
+
+    shardOf_.resize(static_cast<std::size_t>(n));
+    if (bestRows > 0) {
+        for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+            int x = id % width;
+            int y = id / width;
+            int r = (y * bestRows) / height;
+            int c = (x * bestCols) / width;
+            shardOf_[id] = r * bestCols + c;
+        }
+    } else {
+        // No rectangular grid fits (e.g. 7 shards on a 4x4 mesh):
+        // contiguous id ranges. Geometry only affects locality, never
+        // results (see the file header).
+        for (NodeId id = 0; id < static_cast<NodeId>(n); ++id)
+            shardOf_[id] = static_cast<int>(
+                (static_cast<long long>(id) * shards_) / n);
+    }
+
+    nodes_.resize(static_cast<std::size_t>(shards_));
+    phaseNodes_.resize(static_cast<std::size_t>(shards_) * kNumStepPhases);
+    for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
+        int s = shardOf_[id];
+        int ph = stepPhase(id % width, id / width);
+        nodes_[static_cast<std::size_t>(s)].push_back(id);
+        phaseNodes_[static_cast<std::size_t>(s) * kNumStepPhases +
+                    static_cast<std::size_t>(ph)]
+            .push_back(id);
+    }
+}
+
+} // namespace noc

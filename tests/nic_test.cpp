@@ -80,11 +80,13 @@ TEST_F(NicFixture, GenerationRespectsEnableFlag)
     cfg_.injectionRate = 1.0; // fires essentially every cycle
     Nic nic(0, cfg_, topo_);
     for (Cycle t = 0; t < 100; ++t)
-        nic.generate(t, nextId_, false, false);
+        EXPECT_EQ(nic.generate(t, false, false), 0);
     EXPECT_EQ(nic.injectedPackets(), 0u);
+    std::uint64_t generated = 0;
     for (Cycle t = 0; t < 100; ++t)
-        nic.generate(t, nextId_, false, true);
+        generated += static_cast<std::uint64_t>(nic.generate(t, false, true));
     EXPECT_GT(nic.injectedPackets(), 10u);
+    EXPECT_EQ(generated, nic.injectedPackets());
 }
 
 TEST_F(NicFixture, InterleavedDeliveriesReassembleByPacket)

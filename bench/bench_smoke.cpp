@@ -221,6 +221,7 @@ shardRunsIdentical(const ShardRun &a, const ShardRun &b)
            a.ledger.created == b.ledger.created &&
            a.ledger.retired == b.ledger.retired &&
            a.ledger.lastDelivery == b.ledger.lastDelivery &&
+           a.ledger.flitCycles == b.ledger.flitCycles &&
            a.e2eCount == b.e2eCount && a.e2eMeasured == b.e2eMeasured &&
            a.sampled == b.sampled;
 }
@@ -343,6 +344,81 @@ checkShardSpeedup()
     return same ? 0 : 1;
 }
 
+/**
+ * Throughput-regression canary for the serial hot path: min-of-3 wall
+ * time of an 8x8 RoCo probe with idle-skip on vs off, recorded in
+ * BENCH_smoke_throughput.json.  Two gates: the two runs must produce
+ * bit-identical results (idle-skip is provably a no-op), and the
+ * skipping engine must not come out grossly slower than the plain loop
+ * — a generous 1.5x bound so timer noise and sanitizer builds never
+ * trip it, while a real hot-path regression (idle-skip bookkeeping
+ * outweighing the work it skips) still does.  Absolute wall times and
+ * flit-cycles/second are informational; bench_throughput owns the
+ * speedup-vs-baseline comparison.
+ */
+int
+checkThroughputRegression()
+{
+    SimConfig cfg = paperConfig(RouterArch::Roco, RoutingKind::XY,
+                                TrafficKind::Uniform, 0.1);
+    cfg.warmupPackets = SMOKE_TSAN ? 50 : 200;
+    cfg.measurePackets = SMOKE_TSAN ? 400 : 4000;
+
+    double onMs = 1e300, offMs = 1e300;
+    SimResult onR{}, offR{};
+    std::uint64_t flitCycles = 0;
+    for (int rep = 0; rep < 3; ++rep) {
+        SimConfig c = cfg;
+        c.idleSkip = true;
+        Simulator sOn(c);
+        auto t0 = std::chrono::steady_clock::now();
+        onR = sOn.run();
+        onMs = std::min(onMs, std::chrono::duration<double, std::milli>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+        flitCycles = sOn.network().ledger().flitCycles;
+
+        c.idleSkip = false;
+        Simulator sOff(c);
+        t0 = std::chrono::steady_clock::now();
+        offR = sOff.run();
+        offMs = std::min(offMs,
+                         std::chrono::duration<double, std::milli>(
+                             std::chrono::steady_clock::now() - t0)
+                             .count());
+    }
+
+    int bad = 0;
+    if (onR.avgLatency != offR.avgLatency || onR.cycles != offR.cycles ||
+        onR.delivered != offR.delivered ||
+        onR.energyPerPacketNj != offR.energyPerPacketNj) {
+        std::fprintf(stderr, "idle-skip on/off results diverged\n");
+        ++bad;
+    }
+    const double ratio = onMs / offMs;
+    const double flitCycPerSec =
+        onMs > 0 ? static_cast<double>(flitCycles) / (onMs / 1000.0) : 0;
+    std::printf("bench_smoke: idle-skip on %.1f ms vs off %.1f ms "
+                "(x%.2f), %.3g flit-cycles/s\n",
+                onMs, offMs, ratio, flitCycPerSec);
+    if (ratio > 1.5) {
+        std::fprintf(stderr, "idle-skip slower than the plain loop "
+                             "beyond noise\n");
+        ++bad;
+    }
+
+    char json[320];
+    std::snprintf(json, sizeof json,
+                  "{\"schema\": 1, \"bench\": \"smoke_throughput\", "
+                  "\"mesh\": 8, \"idleSkipMs\": %.3f, \"noSkipMs\": %.3f, "
+                  "\"ratio\": %.4f, \"flitCycles\": %" PRIu64 ", "
+                  "\"flitCyclesPerSec\": %.1f, \"identical\": %s}\n",
+                  onMs, offMs, ratio, flitCycles, flitCycPerSec,
+                  bad ? "false" : "true");
+    exp::writeBenchJson("smoke_throughput", json);
+    return bad;
+}
+
 /** An attached (enabled) recorder must not change simulation results. */
 int
 checkRecorderInert()
@@ -386,6 +462,7 @@ main()
     bad += checkObsAggregate();
     bad += checkRecorderInert();
     bad += checkDisabledOverhead();
+    bad += checkThroughputRegression();
     bad += checkShardEquivalence();
     bad += checkShardSpeedup();
 

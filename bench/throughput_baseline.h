@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Frozen pre-optimisation wall-clock numbers for bench_throughput.
+ *
+ * Measured at the seed revision (before the flat-hot-path PR) on the
+ * reference container: best-of-3 serial runs of the exact probe grid
+ * bench_throughput still uses (SimConfig defaults: 8x8 mesh, XY,
+ * uniform Bernoulli traffic, 2,000 warm-up + 20,000 measured packets,
+ * seed 0xC0FFEE, RelWithDebInfo, invariants compiled in and enabled).
+ * `cycles` is the simulated-cycle count of that run; it is part of the
+ * bit-identity contract, so a mismatch against the current build means
+ * the workload changed and the speedup column is void (the bench
+ * flags the row as stale instead of comparing apples to oranges).
+ *
+ * Re-freezing: run bench_throughput on the old revision and copy the
+ * printed baseline block here.
+ */
+#ifndef ROCOSIM_BENCH_THROUGHPUT_BASELINE_H_
+#define ROCOSIM_BENCH_THROUGHPUT_BASELINE_H_
+
+#include <cstdint>
+
+namespace noc::bench {
+
+struct ThroughputBaseline {
+    const char *tag;      ///< probe tag, matches bench_throughput's grid
+    double wallMs;        ///< best-of-3 serial wall time at the seed rev
+    std::uint64_t cycles; ///< simulated cycles of that run (identity guard)
+};
+
+/** Seed-revision numbers for the standard probe grid. */
+constexpr ThroughputBaseline kThroughputBaseline[] = {
+    {"roco_xy_0.02", 547.841, 62841},
+    {"roco_xy_0.1", 207.598, 12608},
+    {"roco_xy_0.3", 175.284, 4285},
+    {"generic_xy_0.1", 259.905, 12611},
+    {"ps_xy_0.1", 249.856, 12610},
+};
+
+} // namespace noc::bench
+
+#endif // ROCOSIM_BENCH_THROUGHPUT_BASELINE_H_

@@ -104,6 +104,16 @@ struct SimConfig {
      */
     int shards = 0;
 
+    /**
+     * Skip stepping routers with no buffered flits, no pending
+     * injection and nothing in flight toward them (the quiescence-bit
+     * fast path). Provably a no-op per skipped step, so results are
+     * bit-identical on or off; the NOC_IDLE_SKIP environment variable
+     * (0/1) overrides this at engine start. Off buys nothing except a
+     * baseline for the equivalence tests and benchmarks.
+     */
+    bool idleSkip = true;
+
     /** Buffer depth for the configured architecture. */
     int bufferDepth() const;
     /** Total flit buffer capacity per router (must be 60 at defaults). */

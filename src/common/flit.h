@@ -86,6 +86,13 @@ struct FlitLedger {
     std::uint64_t created = 0; ///< flits enqueued at source NICs
     std::uint64_t retired = 0; ///< flits delivered or discarded
     Cycle lastDelivery = 0;    ///< most recent NIC delivery cycle
+    /**
+     * Sum over retired flits of (retire cycle - create cycle): total
+     * flit residency in the system. Deterministic and load-invariant
+     * for a fixed seed, which makes it the workload numerator of the
+     * throughput benchmarks (flit-cycles simulated per wall second).
+     */
+    std::uint64_t flitCycles = 0;
 
     /** True when no flit is queued, buffered or on a link. */
     bool quiescent() const { return created == retired; }

@@ -15,16 +15,6 @@ splitmix64(std::uint64_t &state)
     return z ^ (z >> 31);
 }
 
-namespace {
-
-inline std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
-} // namespace
-
 Rng::Rng(std::uint64_t seed, std::uint64_t stream)
 {
     // Mix the stream id into the seed so distinct streams from the same
@@ -32,22 +22,6 @@ Rng::Rng(std::uint64_t seed, std::uint64_t stream)
     std::uint64_t sm = seed ^ (stream * 0xA3EC647659359ACDull + 1);
     for (auto &w : s_)
         w = splitmix64(sm);
-}
-
-std::uint64_t
-Rng::next64()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-
-    return result;
 }
 
 std::uint64_t
@@ -67,18 +41,6 @@ Rng::nextRange(std::uint64_t bound)
         }
     }
     return static_cast<std::uint64_t>(m >> 64);
-}
-
-double
-Rng::nextDouble()
-{
-    return static_cast<double>(next64() >> 11) * 0x1.0p-53;
-}
-
-bool
-Rng::nextBool(double p)
-{
-    return nextDouble() < p;
 }
 
 double

@@ -33,16 +33,34 @@ class Rng
     explicit Rng(std::uint64_t seed, std::uint64_t stream = 0);
 
     /** Next raw 64-bit value. */
-    std::uint64_t next64();
+    std::uint64_t
+    next64()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+
+        return result;
+    }
 
     /** Uniform integer in [0, bound) using Lemire rejection; bound > 0. */
     std::uint64_t nextRange(std::uint64_t bound);
 
     /** Uniform double in [0, 1). */
-    double nextDouble();
+    double
+    nextDouble()
+    {
+        return static_cast<double>(next64() >> 11) * 0x1.0p-53;
+    }
 
     /** Bernoulli trial with probability @p p. */
-    bool nextBool(double p);
+    bool nextBool(double p) { return nextDouble() < p; }
 
     /**
      * Pareto-distributed sample with shape @p alpha and minimum @p xm.
@@ -51,6 +69,12 @@ class Rng
     double nextPareto(double alpha, double xm);
 
   private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
 };
 

@@ -4,20 +4,6 @@
 
 namespace noc {
 
-Direction
-opposite(Direction d)
-{
-    switch (d) {
-      case Direction::North: return Direction::South;
-      case Direction::South: return Direction::North;
-      case Direction::East: return Direction::West;
-      case Direction::West: return Direction::East;
-      default:
-        NOC_ASSERT(false, "opposite() of non-cardinal direction");
-        return Direction::Invalid;
-    }
-}
-
 const char *
 toString(Direction d)
 {

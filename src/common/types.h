@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <string>
 
+#include "common/log.h"
+
 namespace noc {
 
 /** Simulation time, measured in router clock cycles. */
@@ -44,14 +46,25 @@ constexpr int kNumCardinal = 4;
 /** Number of physical ports on a generic 5-port router. */
 constexpr int kNumPorts = 5;
 
-/** Returns the opposite cardinal direction (North<->South, East<->West). */
-Direction opposite(Direction d);
-
 /** True for the four cardinal directions. */
 constexpr bool
 isCardinal(Direction d)
 {
     return static_cast<int>(d) < kNumCardinal;
+}
+
+/** Returns the opposite cardinal direction (North<->South, East<->West).
+ *  The encoding pairs opposites two apart, so this is a single XOR. */
+inline Direction
+opposite(Direction d)
+{
+    static_assert(static_cast<int>(Direction::North) == 0 &&
+                      static_cast<int>(Direction::South) == 2 &&
+                      static_cast<int>(Direction::East) == 1 &&
+                      static_cast<int>(Direction::West) == 3,
+                  "opposite() relies on the cardinal encoding");
+    NOC_ASSERT(isCardinal(d), "opposite() of non-cardinal direction");
+    return static_cast<Direction>(static_cast<int>(d) ^ 2);
 }
 
 /** True when the direction belongs to the X dimension (East/West). */

@@ -99,13 +99,6 @@ FaultMap::apply(const FaultSpec &f)
     }
 }
 
-const NodeFaultState &
-FaultMap::state(NodeId n) const
-{
-    NOC_ASSERT(n < states_.size(), "node id out of range");
-    return states_[n];
-}
-
 bool
 FaultMap::blocksOutput(NodeId n, Direction outDir) const
 {

@@ -29,6 +29,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/log.h"
 #include "common/types.h"
 
 namespace noc {
@@ -115,7 +116,12 @@ class FaultMap
     /** Applies one permanent fault (static injection at t=0). */
     void apply(const FaultSpec &fault);
 
-    const NodeFaultState &state(NodeId n) const;
+    const NodeFaultState &
+    state(NodeId n) const
+    {
+        NOC_ASSERT(n < states_.size(), "node id out of range");
+        return states_[n];
+    }
     RouterArch arch() const { return arch_; }
 
     /**

@@ -31,6 +31,8 @@ struct Shared {
     SpinBarrier barrier;
     std::vector<FlitLedger> ledgers;   // one per shard
     std::vector<ShardCount> generated; // this cycle, per shard
+    std::vector<ShardCount> stepsExec; // whole run, per shard
+    std::vector<ShardCount> stepsSched;
     Cycle now = 0;   // cycle the workers are about to run
     bool stop = false;
     FlitLedger totals; // reduction of ledgers, maintained in epilogue
@@ -40,7 +42,9 @@ struct Shared {
         : net(n), cfg(c), plan(p), ctl(rc), obs(o),
           barrier(p.shards()),
           ledgers(static_cast<std::size_t>(p.shards())),
-          generated(static_cast<std::size_t>(p.shards()))
+          generated(static_cast<std::size_t>(p.shards())),
+          stepsExec(static_cast<std::size_t>(p.shards())),
+          stepsSched(static_cast<std::size_t>(p.shards()))
     {
     }
 };
@@ -65,6 +69,7 @@ epilogue(Shared &sh)
     for (const FlitLedger &l : sh.ledgers) {
         sum.created += l.created;
         sum.retired += l.retired;
+        sum.flitCycles += l.flitCycles;
         sum.lastDelivery = std::max(sum.lastDelivery, l.lastDelivery);
     }
     sh.totals = sum;
@@ -114,6 +119,8 @@ work(Shared &sh, int s)
 {
     Network &net = sh.net;
     const ShardPlan &plan = sh.plan;
+    const bool idleSkip = net.idleSkipEnabled();
+    std::uint64_t stepsExec = 0, stepsSched = 0;
     for (;;) {
         // Cycle state is stable between barriers: the epilogue is the
         // only writer and it runs inside the previous barrier.
@@ -121,21 +128,49 @@ work(Shared &sh, int s)
         bool generating = sh.ctl.generating();
         bool measuring = sh.ctl.measuring();
 
-        std::uint64_t gen = 0;
-        for (NodeId n : plan.nodes(s))
-            gen += static_cast<std::uint64_t>(
-                net.nic(n).generate(now, measuring, generating));
-        sh.generated[static_cast<std::size_t>(s)].value = gen;
+        // NIC sources must run every generating cycle (each draws its
+        // RNG stream per cycle); the loop vanishes in the drain phase.
+        // The epilogue zeroed generated[s] after reading it.
+        if (generating) {
+            std::uint64_t gen = 0;
+            for (NodeId n : plan.nodes(s))
+                gen += static_cast<std::uint64_t>(
+                    net.nic(n).generate(now, measuring, true));
+            sh.generated[static_cast<std::size_t>(s)].value = gen;
+        }
 
+        // Identical idle-skip decisions to the serial loop: within a
+        // phase, only this thread writes a phase-p router's flag (its
+        // clear after stepping) — same-phase routers never share a
+        // neighbour, and cross-phase wake-ups are ordered by the
+        // barriers — so every read sees exactly the serial value.
         for (int ph = 0; ph < kNumStepPhases; ++ph) {
-            for (NodeId n : plan.phaseNodes(s, ph))
-                net.router(n).step(now);
+            const std::vector<NodeId> &nodes = plan.phaseNodes(s, ph);
+            stepsSched += nodes.size();
+            if (idleSkip) {
+                for (NodeId n : nodes) {
+                    std::atomic<std::uint8_t> &flag = net.activeFlag(n);
+                    if (!flag.load(std::memory_order_relaxed))
+                        continue;
+                    net.router(n).step(now);
+                    ++stepsExec;
+                    if (!net.router(n).hasLocalWork())
+                        flag.store(0, std::memory_order_relaxed);
+                }
+            } else {
+                for (NodeId n : nodes)
+                    net.router(n).step(now);
+                stepsExec += nodes.size();
+            }
             if (ph + 1 < kNumStepPhases)
                 sh.barrier.arriveAndWait();
         }
         sh.barrier.arriveAndWait([&sh] { epilogue(sh); });
-        if (sh.stop)
+        if (sh.stop) {
+            sh.stepsExec[static_cast<std::size_t>(s)].value = stepsExec;
+            sh.stepsSched[static_cast<std::size_t>(s)].value = stepsSched;
             return;
+        }
     }
 }
 
@@ -197,6 +232,9 @@ runSharded(Network &net, const SimConfig &cfg, int shards,
     for (NodeId n = 0; n < static_cast<NodeId>(net.numNodes()); ++n)
         net.bindNodeLedger(n, nullptr);
     net.setLedgerTotals(sh.totals);
+    for (int s = 0; s < plan.shards(); ++s)
+        net.addRouterSteps(sh.stepsExec[static_cast<std::size_t>(s)].value,
+                           sh.stepsSched[static_cast<std::size_t>(s)].value);
 
     return RunOutcome{sh.now};
 }

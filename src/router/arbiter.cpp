@@ -1,5 +1,7 @@
 #include "router/arbiter.h"
 
+#include <bit>
+
 #include "common/log.h"
 
 namespace noc {
@@ -7,28 +9,6 @@ namespace noc {
 RoundRobinArbiter::RoundRobinArbiter(int size) : size_(size)
 {
     NOC_ASSERT(size >= 1 && size <= 64, "arbiter size out of range");
-}
-
-int
-RoundRobinArbiter::peek(std::uint64_t requestMask) const
-{
-    if (requestMask == 0)
-        return -1;
-    for (int i = 0; i < size_; ++i) {
-        int idx = (next_ + i) % size_;
-        if (requestMask & (1ull << idx))
-            return idx;
-    }
-    return -1;
-}
-
-int
-RoundRobinArbiter::arbitrate(std::uint64_t requestMask)
-{
-    int winner = peek(requestMask);
-    if (winner >= 0)
-        next_ = (winner + 1) % size_;
-    return winner;
 }
 
 MatrixArbiter::MatrixArbiter(int size)

@@ -9,8 +9,11 @@
 #ifndef ROCOSIM_ROUTER_ARBITER_H_
 #define ROCOSIM_ROUTER_ARBITER_H_
 
+#include <bit>
 #include <cstdint>
 #include <vector>
+
+#include "common/log.h"
 
 namespace noc {
 
@@ -30,10 +33,29 @@ class RoundRobinArbiter
      * Grants one requester from @p requestMask (bit i = requester i),
      * or -1 when the mask is empty. Updates priority on a grant.
      */
-    int arbitrate(std::uint64_t requestMask);
+    int
+    arbitrate(std::uint64_t requestMask)
+    {
+        int winner = peek(requestMask);
+        if (winner >= 0)
+            next_ = (winner + 1) % size_;
+        return winner;
+    }
 
     /** Like arbitrate() but leaves the priority pointer untouched. */
-    int peek(std::uint64_t requestMask) const;
+    int
+    peek(std::uint64_t requestMask) const
+    {
+        NOC_ASSERT(size_ >= 64 || (requestMask >> size_) == 0,
+                   "request mask wider than the arbiter");
+        if (requestMask == 0)
+            return -1;
+        // Rotating priority in two finds: the first requester at or
+        // after the pointer, else the wrap's first requester overall.
+        const std::uint64_t atOrAfter = requestMask >> next_;
+        return atOrAfter ? next_ + std::countr_zero(atOrAfter)
+                         : std::countr_zero(requestMask);
+    }
 
     int size() const { return size_; }
 

@@ -20,9 +20,18 @@ GenericRouter::GenericRouter(NodeId id, const SimConfig &cfg,
       numVcs_(cfg.vcsPerPort), depth_(cfg.bufferDepthGeneric),
       xbar_(kNumPorts, kNumPorts), ejectPipe_(cfg.hopDelay - 1)
 {
-    in_.reserve(static_cast<size_t>(kNumPorts) * numVcs_);
-    for (int i = 0; i < kNumPorts * numVcs_; ++i)
-        in_.emplace_back(depth_);
+    // Carve every VC's flit slots and packet-control records out of two
+    // contiguous arenas sized once for the router's lifetime.
+    const int nVc = kNumPorts * numVcs_;
+    flitPool_.resize(static_cast<size_t>(nVc) * depth_);
+    ctlPool_.resize(static_cast<size_t>(nVc) * (depth_ + 1));
+    in_.reserve(static_cast<size_t>(nVc));
+    for (int i = 0; i < nVc; ++i) {
+        in_.emplace_back(&flitPool_[static_cast<size_t>(i) * depth_],
+                         depth_,
+                         &ctlPool_[static_cast<size_t>(i) * (depth_ + 1)],
+                         depth_ + 1);
+    }
     order_.resize(in_.size());
 
     initOutputVcs(numVcs_, depth_);
@@ -94,8 +103,10 @@ GenericRouter::step(Cycle now)
         ++o.credits;
         NOC_ASSERT(o.credits <= depth_, "credit overflow");
     });
-    while (auto f = ejectPipe_.receive(now))
+    while (auto f = ejectPipe_.receive(now)) {
+        noteFlitUnbuffered(); // ST pipe counts as buffered work
         nic_->deliverFlit(*f, now);
+    }
     receiveFlits(now);
     pullInjection(now);
     drainDropped(now);
@@ -141,7 +152,8 @@ GenericRouter::drainDropped(Cycle now)
                 continue;
             }
             Flit f = ivc.buf.pop();
-            retireFlit();
+            noteFlitUnbuffered();
+            retireFlit(f, now);
             NOC_OBS(if (obs_ && isHead(f.type))
                         obs_->record(obs::Stage::Drop, f, id(), now, 0,
                                      p * numVcs_ + v));
@@ -176,39 +188,39 @@ GenericRouter::acceptFlit(int portIdx, const Flit &f, Cycle now)
     NOC_ASSERT(!v.ctl.empty() && v.ctl.back().owner == f.packetId,
                "flit interleaving within a VC");
     v.buf.push(f);
+    noteFlitBuffered();
 }
 
 void
 GenericRouter::receiveFlits(Cycle now)
 {
     for (int d = 0; d < kNumCardinal; ++d) {
-        PortIo &p = port(static_cast<Direction>(d));
-        if (!p.flitIn)
-            continue;
-        if (auto f = p.flitIn->receive(now))
+        if (const Flit *f = peekFlitFrom(d, now)) {
             acceptFlit(d, *f, now);
+            consumeFlitFrom(d);
+        }
     }
 }
 
 void
 GenericRouter::pullInjection(Cycle now)
 {
-    if (!nic_ || !nic_->hasPending())
+    if (!nicHasPending())
         return;
-    const Flit &front = nic_->peekPending();
+    const Flit &front = nicPeekPending();
     const int local = static_cast<int>(Direction::Local);
 
     // Discard packets that can never leave the source (fault-blocked).
     if (front.packetId == droppingPacket_) {
-        Flit f = nic_->popPending();
-        retireFlit();
+        Flit f = nicPopPending();
+        retireFlit(f, now);
         if (isTail(f.type))
             droppingPacket_ = 0;
         return;
     }
     if (isHead(front.type) && permanentlyBlocked(front)) {
-        Flit f = nic_->popPending();
-        retireFlit();
+        Flit f = nicPopPending();
+        retireFlit(f, now);
         NOC_OBS(if (obs_)
                     obs_->record(obs::Stage::Drop, f, id(), now));
         if (!isTail(f.type))
@@ -236,7 +248,7 @@ GenericRouter::pullInjection(Cycle now)
     if (target < 0 || vc(local, target).buf.full())
         return; // injection stalls this cycle
 
-    Flit f = nic_->popPending();
+    Flit f = nicPopPending();
     f.vc = static_cast<std::uint8_t>(target);
     acceptFlit(local, f, now);
 }
@@ -250,7 +262,7 @@ GenericRouter::slotAllowed(Direction d, int slot, const Flit &head) const
     // YX packets, the rest to XY packets.  Each partition's channel
     // dependency graph is acyclic on its own, so the oblivious scheme
     // stays deadlock-free (the role of the paper's extra VCs).
-    if (routing_.kind() == RoutingKind::XYYX) {
+    if (routingKind() == RoutingKind::XYYX) {
         bool yxSlot = slot == numVcs_ - 1;
         return head.yxOrder == yxSlot;
     }
@@ -446,6 +458,7 @@ GenericRouter::allocateSwitch(Cycle now)
         InputVc &ivc = vc(winPort, stage1[winPort]);
         PacketCtl ctl = ivc.ctl.front();
         Flit f = ivc.buf.pop();
+        noteFlitUnbuffered();
         NOC_ASSERT(f.packetId == ctl.owner, "VC FIFO out of sync");
         ++act_.bufferReads;
         xbar_.traverse(winPort, out);
@@ -459,6 +472,7 @@ GenericRouter::allocateSwitch(Cycle now)
                         obs_->record(obs::Stage::SwitchTraverse, f, id(),
                                      now, 0, f.vc));
             ejectPipe_.send(f, now); // ST stage before the PE sees it
+            noteFlitBuffered(); // still local work until the pipe drains
         } else {
             f.vc = static_cast<std::uint8_t>(ctl.outSlot);
             f.lookahead = Direction::Invalid; // generic: RC at next hop

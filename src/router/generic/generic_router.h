@@ -19,10 +19,10 @@
 #ifndef ROCOSIM_ROUTER_GENERIC_GENERIC_ROUTER_H_
 #define ROCOSIM_ROUTER_GENERIC_GENERIC_ROUTER_H_
 
-#include <deque>
 #include <vector>
 
 #include "check/invariant.h"
+#include "common/ring.h"
 #include "router/arbiter.h"
 #include "router/crossbar.h"
 #include "router/router.h"
@@ -45,11 +45,14 @@ class GenericRouter : public Router
     int inputVcOccupancy(Direction fromDir, int slotId) const override;
 
   private:
+    /** Views into the router's flit/ctl arenas (see RocoRouter). */
     struct InputVc {
-        explicit InputVc(int depth) : buf(depth) {}
+        InputVc(Flit *fbase, int depth, PacketCtl *cbase, int ctlCap)
+            : buf(fbase, depth), ctl(cbase, ctlCap)
+        {}
 
         VcBuffer buf;
-        std::deque<PacketCtl> ctl; ///< per-packet state, front = active
+        RingView<PacketCtl> ctl; ///< per-packet state, front = active
 
         /** True when the front packet's head awaits VC allocation. */
         bool
@@ -96,6 +99,10 @@ class GenericRouter : public Router
 
     int numVcs_;
     int depth_;
+    /** Flit slots of all input VCs, carved depth_ apiece (SoA arena). */
+    std::vector<Flit> flitPool_;
+    /** PacketCtl records of all input VCs, depth_+1 apiece. */
+    std::vector<PacketCtl> ctlPool_;
     std::vector<InputVc> in_;          ///< [port * numVcs_ + vc]
     /** Wormhole-order invariant trackers, one per input VC. */
     std::vector<check::WormholeOrderTracker> order_;

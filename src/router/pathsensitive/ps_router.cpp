@@ -14,9 +14,18 @@ PathSensitiveRouter::PathSensitiveRouter(NodeId id, const SimConfig &cfg,
 {
     NOC_ASSERT(numVcs_ == 3,
                "path sets hold one VC per previous direction (3)");
-    in_.reserve(static_cast<size_t>(kNumQuadrants) * numVcs_);
-    for (int i = 0; i < kNumQuadrants * numVcs_; ++i)
-        in_.emplace_back(depth_);
+    // Carve every VC's flit slots and packet-control records out of two
+    // contiguous arenas sized once for the router's lifetime.
+    const int nVc = kNumQuadrants * numVcs_;
+    flitPool_.resize(static_cast<size_t>(nVc) * depth_);
+    ctlPool_.resize(static_cast<size_t>(nVc) * (depth_ + 1));
+    in_.reserve(static_cast<size_t>(nVc));
+    for (int i = 0; i < nVc; ++i) {
+        in_.emplace_back(&flitPool_[static_cast<size_t>(i) * depth_],
+                         depth_,
+                         &ctlPool_[static_cast<size_t>(i) * (depth_ + 1)],
+                         depth_ + 1);
+    }
     order_.resize(in_.size());
 
     initOutputVcs(kNumQuadrants * numVcs_, depth_);
@@ -115,7 +124,8 @@ PathSensitiveRouter::drainDropped(Cycle now)
             continue;
         }
         Flit f = ivc.buf.pop();
-        retireFlit();
+        noteFlitUnbuffered();
+        retireFlit(f, now);
         NOC_OBS(if (obs_ && isHead(f.type))
                     obs_->record(obs::Stage::Drop, f, id(), now,
                                  i / numVcs_, i));
@@ -168,6 +178,7 @@ PathSensitiveRouter::bufferFlit(int q, int v, const Flit &f,
                "flit interleaving within a VC");
     ivc.occupantLink = srcDir;
     ivc.buf.push(f);
+    noteFlitBuffered();
     if (isTail(f.type) && ivc.reservedPacket == f.packetId) {
         ivc.reservedFrom = Direction::Invalid;
         ivc.reservedPacket = 0;
@@ -204,38 +215,38 @@ PathSensitiveRouter::receiveFlits(Cycle now)
 {
     for (int d = 0; d < kNumCardinal; ++d) {
         Direction dir = static_cast<Direction>(d);
-        PortIo &p = port(dir);
-        if (!p.flitIn)
-            continue;
-        auto f = p.flitIn->receive(now);
+        const Flit *f = peekFlitFrom(d, now);
         if (!f)
             continue;
         if (f->lookahead == Direction::Local) {
             NOC_ASSERT(f->dst == id(), "early ejection at wrong node");
             ++act_.earlyEjections;
-            ++f->hops;
+            Flit ej = *f;
+            consumeFlitFrom(d);
+            ++ej.hops;
             NOC_OBS(if (obs_)
-                        obs_->record(obs::Stage::EarlyEject, *f, id(),
+                        obs_->record(obs::Stage::EarlyEject, ej, id(),
                                      now));
-            nic_->deliverFlit(*f, now);
+            nic_->deliverFlit(ej, now);
             continue;
         }
         int q = f->vc / numVcs_;
         int v = f->vc % numVcs_;
         bufferFlit(q, v, *f, dir, now);
+        consumeFlitFrom(d);
     }
 }
 
 void
 PathSensitiveRouter::pullInjection(Cycle now)
 {
-    if (!nic_ || !nic_->hasPending())
+    if (!nicHasPending())
         return;
-    const Flit &front = nic_->peekPending();
+    const Flit &front = nicPeekPending();
 
     if (front.packetId == droppingPacket_) {
-        Flit drop = nic_->popPending();
-        retireFlit();
+        Flit drop = nicPopPending();
+        retireFlit(drop, now);
         if (isTail(drop.type))
             droppingPacket_ = 0;
         return;
@@ -253,8 +264,8 @@ PathSensitiveRouter::pullInjection(Cycle now)
             }
         }
         if (blocked) {
-            Flit drop = nic_->popPending();
-            retireFlit();
+            Flit drop = nicPopPending();
+            retireFlit(drop, now);
             NOC_OBS(if (obs_)
                         obs_->record(obs::Stage::Drop, drop, id(), now));
             if (!isTail(drop.type))
@@ -325,7 +336,7 @@ PathSensitiveRouter::pullInjection(Cycle now)
 
     if (in_[static_cast<size_t>(target)].buf.full())
         return;
-    nic_->popPending();
+    nicPopPending();
     bufferFlit(target / numVcs_, target % numVcs_, f, Direction::Local,
                now);
 }
@@ -517,6 +528,7 @@ PathSensitiveRouter::allocateSwitch(Cycle now)
         InputVc &ivc = vc(winQ, setWin[winQ]);
         PacketCtl ctl = ivc.ctl.front();
         Flit f = ivc.buf.pop();
+        noteFlitUnbuffered();
         NOC_ASSERT(f.packetId == ctl.owner, "VC FIFO out of sync");
         ++act_.bufferReads;
         xbar_.traverse(winQ, out);

@@ -20,10 +20,10 @@
 #ifndef ROCOSIM_ROUTER_PATHSENSITIVE_PS_ROUTER_H_
 #define ROCOSIM_ROUTER_PATHSENSITIVE_PS_ROUTER_H_
 
-#include <deque>
 #include <vector>
 
 #include "check/invariant.h"
+#include "common/ring.h"
 #include "router/arbiter.h"
 #include "router/crossbar.h"
 #include "router/router.h"
@@ -67,11 +67,14 @@ class PathSensitiveRouter : public Router
     const Crossbar &crossbar() const { return xbar_; }
 
   private:
+    /** Views into the router's flit/ctl arenas (see RocoRouter). */
     struct InputVc {
-        explicit InputVc(int depth) : buf(depth) {}
+        InputVc(Flit *fbase, int depth, PacketCtl *cbase, int ctlCap)
+            : buf(fbase, depth), ctl(cbase, ctlCap)
+        {}
 
         VcBuffer buf;
-        std::deque<PacketCtl> ctl;
+        RingView<PacketCtl> ctl;
         /** Link holding the reservation handshake, Invalid when free. */
         Direction reservedFrom = Direction::Invalid;
         std::uint64_t reservedPacket = 0;
@@ -111,6 +114,10 @@ class PathSensitiveRouter : public Router
 
     int numVcs_;
     int depth_;
+    /** Flit slots of all input VCs, carved depth_ apiece (SoA arena). */
+    std::vector<Flit> flitPool_;
+    /** PacketCtl records of all input VCs, depth_+1 apiece. */
+    std::vector<PacketCtl> ctlPool_;
     std::vector<InputVc> in_; ///< [quadrant * numVcs_ + vc]
     /** Wormhole-order invariant trackers, one per input VC. */
     std::vector<check::WormholeOrderTracker> order_;

@@ -1,5 +1,7 @@
 #include "router/roco/roco_router.h"
 
+#include <bit>
+
 #include "obs/recorder.h"
 
 namespace noc {
@@ -17,9 +19,19 @@ RocoRouter::RocoRouter(NodeId id, const SimConfig &cfg,
 {
     NOC_ASSERT(numVcs_ == kVcsPerSet,
                "RoCo path sets carry exactly 3 VCs (Table 1)");
-    in_.reserve(static_cast<size_t>(2) * kPortsPerModule * numVcs_);
-    for (int i = 0; i < 2 * kPortsPerModule * numVcs_; ++i)
-        in_.emplace_back(depth_);
+    // Carve every VC's flit slots and packet-control records out of two
+    // contiguous arenas; the pools are sized once so the views below
+    // stay valid for the router's lifetime.
+    const int nVc = 2 * kPortsPerModule * numVcs_;
+    flitPool_.resize(static_cast<size_t>(nVc) * depth_);
+    ctlPool_.resize(static_cast<size_t>(nVc) * (depth_ + 1));
+    in_.reserve(static_cast<size_t>(nVc));
+    for (int i = 0; i < nVc; ++i) {
+        in_.emplace_back(&flitPool_[static_cast<size_t>(i) * depth_],
+                         depth_,
+                         &ctlPool_[static_cast<size_t>(i) * (depth_ + 1)],
+                         depth_ + 1);
+    }
     order_.resize(in_.size());
 
     // Output slot namespace mirrors the downstream input VC pool:
@@ -148,18 +160,18 @@ RocoRouter::drainDropped(Cycle now)
 {
     if (dropPending_ == 0)
         return;
-    for (int i = 0; i < static_cast<int>(in_.size()); ++i) {
+    for (std::uint32_t scan = ctlMask_; scan; scan &= scan - 1) {
+        const int i = std::countr_zero(scan);
         InputVc &ivc = in_[static_cast<size_t>(i)];
-        if (ivc.ctl.empty() ||
-            ivc.ctl.front().stage != PacketCtl::Stage::Drop) {
+        if (ivc.ctl.front().stage != PacketCtl::Stage::Drop)
             continue;
-        }
         if (ivc.buf.empty() ||
             ivc.buf.front().packetId != ivc.ctl.front().owner) {
             continue;
         }
         Flit f = ivc.buf.pop();
-        retireFlit();
+        noteFlitUnbuffered();
+        retireFlit(f, now);
         NOC_OBS(if (obs_ && isHead(f.type))
                     obs_->record(obs::Stage::Drop, f, id(), now,
                                  i / (kPortsPerModule * numVcs_), i));
@@ -173,6 +185,8 @@ RocoRouter::drainDropped(Cycle now)
                 ivc.reservedPacket = 0;
             }
             ivc.ctl.pop_front();
+            if (ivc.ctl.empty())
+                ctlMask_ &= ~(1u << i);
             --dropPending_;
         }
     }
@@ -223,11 +237,13 @@ RocoRouter::bufferFlit(Module m, int port, int v, const Flit &f,
             ctl.stage = PacketCtl::Stage::Active;
         }
         ivc.ctl.push_back(ctl);
+        ctlMask_ |= 1u << vcIndex(m, port, v);
     }
     NOC_ASSERT(!ivc.ctl.empty() && ivc.ctl.back().owner == f.packetId,
                "flit interleaving within a VC");
     ivc.occupantLink = srcDir;
     ivc.buf.push(f);
+    noteFlitBuffered();
     // The reservation handshake releases the slot once the tail is
     // safely buffered; the next upstream sees the true occupancy.
     if (isTail(f.type) && ivc.reservedPacket == f.packetId) {
@@ -268,10 +284,7 @@ RocoRouter::receiveFlits(Cycle now)
 {
     for (int d = 0; d < kNumCardinal; ++d) {
         Direction dir = static_cast<Direction>(d);
-        PortIo &p = port(dir);
-        if (!p.flitIn)
-            continue;
-        auto f = p.flitIn->receive(now);
+        const Flit *f = peekFlitFrom(d, now);
         if (!f)
             continue;
 
@@ -279,11 +292,13 @@ RocoRouter::receiveFlits(Cycle now)
             // Early ejection: straight off the demux to the PE.
             NOC_ASSERT(f->dst == id(), "early ejection at wrong node");
             ++act_.earlyEjections;
-            ++f->hops;
+            Flit ej = *f;
+            consumeFlitFrom(d);
+            ++ej.hops;
             NOC_OBS(if (obs_)
-                        obs_->record(obs::Stage::EarlyEject, *f, id(),
+                        obs_->record(obs::Stage::EarlyEject, ej, id(),
                                      now));
-            nic_->deliverFlit(*f, now);
+            nic_->deliverFlit(ej, now);
             continue;
         }
 
@@ -295,15 +310,16 @@ RocoRouter::receiveFlits(Cycle now)
         NOC_ASSERT(!faultState().isModuleDead(m),
                    "flit steered into a dead module");
         bufferFlit(m, portIdx, v, *f, dir, now);
+        consumeFlitFrom(d);
     }
 }
 
 void
 RocoRouter::pullInjection(Cycle now)
 {
-    if (!nic_ || !nic_->hasPending())
+    if (!nicHasPending())
         return;
-    const Flit &front = nic_->peekPending();
+    const Flit &front = nicPeekPending();
 
     Module m{};
     int portIdx = -1;
@@ -311,8 +327,8 @@ RocoRouter::pullInjection(Cycle now)
     Flit f = front;
 
     if (front.packetId == droppingPacket_) {
-        Flit drop = nic_->popPending();
-        retireFlit();
+        Flit drop = nicPopPending();
+        retireFlit(drop, now);
         if (isTail(drop.type))
             droppingPacket_ = 0;
         return;
@@ -320,8 +336,8 @@ RocoRouter::pullInjection(Cycle now)
 
     if (isHead(front.type)) {
         if (destinationDead(front) || injectionBlocked(front)) {
-            Flit drop = nic_->popPending();
-            retireFlit();
+            Flit drop = nicPopPending();
+            retireFlit(drop, now);
             NOC_OBS(if (obs_)
                         obs_->record(obs::Stage::Drop, drop, id(), now));
             if (!isTail(drop.type))
@@ -363,11 +379,11 @@ RocoRouter::pullInjection(Cycle now)
         f.lookahead = outDir;
     } else {
         // Body/tail flits follow their packet's injection VC.
-        for (int i = 0; i < static_cast<int>(in_.size()) && slot < 0;
-             ++i) {
+        for (std::uint32_t scan = ctlMask_; scan && slot < 0;
+             scan &= scan - 1) {
+            const int i = std::countr_zero(scan);
             const InputVc &ivc = in_[static_cast<size_t>(i)];
-            if (!ivc.ctl.empty() &&
-                ivc.ctl.back().owner == front.packetId &&
+            if (ivc.ctl.back().owner == front.packetId &&
                 ivc.ctl.back().srcDir == Direction::Local) {
                 m = static_cast<Module>(i / (kPortsPerModule * numVcs_));
                 portIdx = (i / numVcs_) % kPortsPerModule;
@@ -381,7 +397,7 @@ RocoRouter::pullInjection(Cycle now)
     if (vc(m, portIdx, slot).buf.full())
         return; // stall: buffer back-pressure
 
-    nic_->popPending();
+    nicPopPending();
     bufferFlit(m, portIdx, slot, f, Direction::Local, now);
 }
 
@@ -409,7 +425,7 @@ RocoRouter::eligibleSlots(Direction outDir, Direction nextLa,
     // XY-YX order partition: txy/tyx classes are order-exclusive by
     // construction; where Table 1 provides two dx/dy slots, one is set
     // aside for the minority order (the paper's extra VCs).
-    bool partition = routing_.kind() == RoutingKind::XYYX &&
+    bool partition = routingKind() == RoutingKind::XYYX &&
                      (cls == VcClass::Dx || cls == VcClass::Dy) &&
                      vcCfg_.countClass(m2, p2, cls) >= 2;
     bool minority = cls == VcClass::Dx ? head.yxOrder : !head.yxOrder;
@@ -446,9 +462,10 @@ RocoRouter::allocateVcs(Cycle now)
     reqs.clear();
     const int slotsPerDirAll = 2 * kPortsPerModule * numVcs_;
 
-    const bool adaptive = routing_.kind() == RoutingKind::Adaptive;
+    const bool adaptive = routingKind() == RoutingKind::Adaptive;
 
-    for (int i = 0; i < static_cast<int>(in_.size()); ++i) {
+    for (std::uint32_t scan = ctlMask_; scan; scan &= scan - 1) {
+        const int i = std::countr_zero(scan);
         InputVc &ivc = in_[static_cast<size_t>(i)];
         if (!ivc.headWaiting(now))
             continue;
@@ -581,30 +598,42 @@ RocoRouter::allocateSwitch(Cycle now)
         if (fs.isModuleDead(m))
             continue;
 
+        // Only VCs holding a packet can request; walk the module's
+        // slice of the ctl-occupancy mask.
+        const int moduleSlots = kPortsPerModule * numVcs_;
+        std::uint32_t mScan =
+            (ctlMask_ >> (mi * moduleSlots)) &
+            ((1u << moduleSlots) - 1);
+
         std::uint64_t reqs[2][2] = {{0, 0}, {0, 0}};
         std::uint64_t specReqs[2][2] = {{0, 0}, {0, 0}};
-        for (int p = 0; p < kPortsPerModule; ++p) {
-            for (int v = 0; v < numVcs_; ++v) {
-                InputVc &ivc = vc(m, p, v);
-                if (ivc.ctl.empty() || ivc.buf.empty())
-                    continue;
-                const PacketCtl &ctl = ivc.ctl.front();
-                if (ctl.stage != PacketCtl::Stage::Active)
-                    continue;
-                if (ivc.buf.front().packetId != ctl.owner)
-                    continue; // active packet's flits not here yet
-                if (ctl.outSlot != kEjectSlot &&
-                    outputVc(ctl.outDir, ctl.outSlot).credits <= 0) {
-                    continue;
-                }
-                bool spec = ctl.vaGrantCycle == now &&
-                            isHead(ivc.buf.front().type);
-                if (spec)
-                    specReqs[p][outIndex(ctl.outDir)] |= 1ull << v;
-                else
-                    reqs[p][outIndex(ctl.outDir)] |= 1ull << v;
+        bool any = false;
+        for (; mScan; mScan &= mScan - 1) {
+            const int local = std::countr_zero(mScan);
+            const int p = local / numVcs_;
+            const int v = local % numVcs_;
+            InputVc &ivc = vc(m, p, v);
+            if (ivc.buf.empty())
+                continue;
+            const PacketCtl &ctl = ivc.ctl.front();
+            if (ctl.stage != PacketCtl::Stage::Active)
+                continue;
+            if (ivc.buf.front().packetId != ctl.owner)
+                continue; // active packet's flits not here yet
+            if (ctl.outSlot != kEjectSlot &&
+                outputVc(ctl.outDir, ctl.outSlot).credits <= 0) {
+                continue;
             }
+            bool spec = ctl.vaGrantCycle == now &&
+                        isHead(ivc.buf.front().type);
+            if (spec)
+                specReqs[p][outIndex(ctl.outDir)] |= 1ull << v;
+            else
+                reqs[p][outIndex(ctl.outDir)] |= 1ull << v;
+            any = true;
         }
+        if (!any)
+            continue; // allocate() is a stateless no-op with no requests
 
         // SA fault: grants ride the VA's idle arbiters (Figure 7) —
         // one grant at most, and none while the VA is busy.
@@ -641,8 +670,10 @@ RocoRouter::commitGrant(Module m, const MirrorAllocator::Grant &g,
                         Cycle now)
 {
     InputVc &ivc = vc(m, g.port, g.vc);
-    PacketCtl ctl = ivc.ctl.front();
-    Flit f = ivc.buf.pop();
+    const PacketCtl &ctl = ivc.ctl.front();
+    // Rewrite the head slot in place and send straight from the
+    // buffer: the only surviving copy is the channel push.
+    Flit &f = ivc.buf.front();
     NOC_ASSERT(f.packetId == ctl.owner, "VC FIFO out of sync");
     ++act_.bufferReads;
     xbar_[static_cast<int>(m)].traverse(g.port, g.out);
@@ -657,6 +688,9 @@ RocoRouter::commitGrant(Module m, const MirrorAllocator::Grant &g,
                ? 0xFF
                : static_cast<std::uint8_t>(ctl.outSlot);
     sendFlit(outDir, f, now);
+    const bool tail = isTail(f.type);
+    ivc.buf.drop();
+    noteFlitUnbuffered();
     if (ctl.outSlot != kEjectSlot) {
         OutputVc &ov = outputVc(outDir, ctl.outSlot);
         --ov.credits;
@@ -668,13 +702,15 @@ RocoRouter::commitGrant(Module m, const MirrorAllocator::Grant &g,
         sendCredit(ctl.srcDir, static_cast<std::uint8_t>(myslot), now);
     }
 
-    if (isTail(f.type)) {
+    if (tail) {
         if (ctl.outSlot != kEjectSlot) {
             OutputVc &o = outputVc(outDir, ctl.outSlot);
             o.busy = false;
             o.ownerPacket = 0;
         }
         ivc.ctl.pop_front();
+        if (ivc.ctl.empty())
+            ctlMask_ &= ~(1u << vcIndex(m, g.port, g.vc));
     }
 }
 

@@ -24,10 +24,10 @@
 #ifndef ROCOSIM_ROUTER_ROCO_ROCO_ROUTER_H_
 #define ROCOSIM_ROUTER_ROCO_ROCO_ROUTER_H_
 
-#include <deque>
 #include <vector>
 
 #include "check/invariant.h"
+#include "common/ring.h"
 #include "router/crossbar.h"
 #include "router/roco/mirror_allocator.h"
 #include "router/roco/vc_config.h"
@@ -69,11 +69,20 @@ class RocoRouter : public Router
     int inputVcOccupancy(Direction fromDir, int slotId) const override;
 
   private:
+    /**
+     * One input VC as views into the router's flit/ctl arenas: the
+     * buffers of a router are a single contiguous run of memory (see
+     * flitPool_ / ctlPool_ below). The ctl ring holds at most
+     * depth + 1 packets — k packets in a VC imply at least k-1 tails
+     * plus one more flit buffered, so k <= depth + 1.
+     */
     struct InputVc {
-        explicit InputVc(int depth) : buf(depth) {}
+        InputVc(Flit *fbase, int depth, PacketCtl *cbase, int ctlCap)
+            : buf(fbase, depth), ctl(cbase, ctlCap)
+        {}
 
         VcBuffer buf;
-        std::deque<PacketCtl> ctl;
+        RingView<PacketCtl> ctl;
         /** Link holding the reservation handshake, Invalid when free. */
         Direction reservedFrom = Direction::Invalid;
         std::uint64_t reservedPacket = 0;
@@ -131,7 +140,18 @@ class RocoRouter : public Router
     int numVcs_;
     int depth_;
     RocoVcConfig vcCfg_;
+    /** Flit slots of all input VCs, carved depth_ apiece (SoA arena). */
+    std::vector<Flit> flitPool_;
+    /** PacketCtl records of all input VCs, depth_+1 apiece. */
+    std::vector<PacketCtl> ctlPool_;
     std::vector<InputVc> in_; ///< [(module*2+port)*v + vc]
+    /**
+     * Bit i set iff in_[i].ctl is non-empty. The allocation, drain and
+     * injection scans walk set bits instead of all twelve VCs — at low
+     * load a router holds one or two packets, so the scans shrink to
+     * the VCs that can actually act.
+     */
+    std::uint32_t ctlMask_ = 0;
     /** Wormhole-order invariant trackers, one per input VC. */
     std::vector<check::WormholeOrderTracker> order_;
     Crossbar xbar_[2];        ///< one 2x2 per module

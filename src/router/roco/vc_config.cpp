@@ -61,20 +61,6 @@ RocoVcConfig::countClass(Module m, int port, VcClass c) const
     return n;
 }
 
-VcClass
-classifyFlit(Direction arrival, Direction outHere)
-{
-    NOC_ASSERT(outHere != Direction::Local && outHere != Direction::Invalid,
-               "locally destined flits are early-ejected, not buffered");
-    if (arrival == Direction::Local)
-        return isRow(outHere) ? VcClass::InjXy : VcClass::InjYx;
-
-    // Continuing in the arrival dimension vs turning (Section 3.1).
-    if (isRow(arrival))
-        return isRow(outHere) ? VcClass::Dx : VcClass::Txy;
-    return isColumn(outHere) ? VcClass::Dy : VcClass::Tyx;
-}
-
 Direction
 ownerDirection(Module m, int port, VcClass c)
 {
@@ -97,21 +83,5 @@ ownerDirection(Module m, int port, VcClass c)
     (void)m;
 }
 
-int
-portSideFor(Module m, Direction arrival)
-{
-    if (arrival == Direction::Local)
-        return 0;
-    if (m == Module::Row) {
-        // Row module: West/South arrivals on port 0, East/North on 1.
-        return (arrival == Direction::West || arrival == Direction::South)
-                   ? 0
-                   : 1;
-    }
-    // Column module: South/West on port 0, North/East on 1.
-    return (arrival == Direction::South || arrival == Direction::West)
-               ? 0
-               : 1;
-}
 
 } // namespace noc

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 
+#include "common/log.h"
 #include "common/types.h"
 
 namespace noc {
@@ -80,7 +81,19 @@ struct RocoVcConfig {
  * it is heading (its look-ahead output at that router). @p outHere must
  * not be Local: locally destined flits are early-ejected, not buffered.
  */
-VcClass classifyFlit(Direction arrival, Direction outHere);
+inline VcClass
+classifyFlit(Direction arrival, Direction outHere)
+{
+    NOC_ASSERT(outHere != Direction::Local && outHere != Direction::Invalid,
+               "locally destined flits are early-ejected, not buffered");
+    if (arrival == Direction::Local)
+        return isRow(outHere) ? VcClass::InjXy : VcClass::InjYx;
+
+    // Continuing in the arrival dimension vs turning (Section 3.1).
+    if (isRow(arrival))
+        return isRow(outHere) ? VcClass::Dx : VcClass::Txy;
+    return isColumn(outHere) ? VcClass::Dy : VcClass::Tyx;
+}
 
 /**
  * The input link whose demux writes VC (module, port, class): every
@@ -100,7 +113,22 @@ moduleForOutput(Direction outHere)
  * Module port serving arrivals from @p arrival (Local -> port 0, the
  * paper places Injxy/Injyx in Port 1).
  */
-int portSideFor(Module m, Direction arrival);
+inline int
+portSideFor(Module m, Direction arrival)
+{
+    if (arrival == Direction::Local)
+        return 0;
+    if (m == Module::Row) {
+        // Row module: West/South arrivals on port 0, East/North on 1.
+        return (arrival == Direction::West || arrival == Direction::South)
+                   ? 0
+                   : 1;
+    }
+    // Column module: South/West on port 0, North/East on 1.
+    return (arrival == Direction::South || arrival == Direction::West)
+               ? 0
+               : 1;
+}
 
 } // namespace noc
 

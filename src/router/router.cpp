@@ -14,7 +14,12 @@ const NodeFaultState kHealthy{};
 Router::Router(NodeId id, const SimConfig &cfg, const MeshTopology &topo,
                const RoutingAlgorithm &routing, const FaultMap *faults)
     : cfg_(cfg), topo_(topo), routing_(routing), faults_(faults),
-      rng_(cfg.seed, 0x5EED0000ull + id), id_(id)
+      rng_(cfg.seed, 0x5EED0000ull + id), id_(id),
+      // The map's per-node states live in a vector sized once at
+      // construction and mutated in place, so the reference is stable
+      // for the router's lifetime (fault injection included).
+      fs_(faults ? &faults->state(id) : &kHealthy),
+      routingKind_(routing.kind())
 {
 }
 
@@ -71,26 +76,16 @@ Router::creditsQuiescent() const
     return true;
 }
 
-OutputVc &
-Router::outputVc(Direction d, int slot)
-{
-    NOC_ASSERT(isCardinal(d), "output VC on non-cardinal port");
-    NOC_ASSERT(slot >= 0 && slot < slotsPerDir_, "output slot range");
-    return outVc_[static_cast<size_t>(d) * slotsPerDir_ + slot];
-}
-
-const OutputVc &
-Router::outputVc(Direction d, int slot) const
-{
-    return const_cast<Router *>(this)->outputVc(d, slot);
-}
-
 void
 Router::sendFlit(Direction d, const Flit &f, Cycle now)
 {
     PortIo &p = port(d);
     NOC_ASSERT(p.flitOut, "sendFlit on missing port");
     p.flitOut->send(f, now);
+    if (Router *nb = neighbors_[static_cast<int>(d)])
+        bumpPend(nb->pendFlitIn_[static_cast<int>(opposite(d))]);
+    if (auto *w = wake_[static_cast<int>(d)])
+        w->store(1, std::memory_order_relaxed);
     ++act_.linkTraversals;
     NOC_OBS(if (obs_) obs_->record(obs::Stage::SwitchTraverse, f, id(),
                                    now, static_cast<int>(moduleOf(d)),
@@ -103,6 +98,10 @@ Router::sendCredit(Direction inDir, std::uint8_t vcId, Cycle now)
     PortIo &p = port(inDir);
     NOC_ASSERT(p.creditOut, "sendCredit on missing port");
     p.creditOut->send(Credit{vcId}, now);
+    if (Router *nb = neighbors_[static_cast<int>(inDir)])
+        bumpPend(nb->pendCreditIn_[static_cast<int>(opposite(inDir))]);
+    if (auto *w = wake_[static_cast<int>(inDir)])
+        w->store(1, std::memory_order_relaxed);
 }
 
 void
@@ -130,12 +129,6 @@ void
 Router::debugCorruptCredit(Direction d, int slot)
 {
     --outputVc(d, slot).credits;
-}
-
-const NodeFaultState &
-Router::faultState() const
-{
-    return faults_ ? faults_->state(id_) : kHealthy;
 }
 
 DirectionSet
@@ -192,16 +185,6 @@ bool
 Router::destinationDead(const Flit &f) const
 {
     return faults_ && faults_->state(f.dst).nodeDead;
-}
-
-void
-Router::noteContention(bool rowInput, bool denied)
-{
-    RatioStat &s = rowInput ? rowContention_ : colContention_;
-    if (denied)
-        s.hit();
-    else
-        s.miss();
 }
 
 } // namespace noc

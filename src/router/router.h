@@ -11,11 +11,13 @@
 #ifndef ROCOSIM_ROUTER_ROUTER_H_
 #define ROCOSIM_ROUTER_ROUTER_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
 #include "common/config.h"
 #include "common/flit.h"
+#include "common/ring.h"
 #include "common/rng.h"
 #include "common/stats.h"
 #include "common/types.h"
@@ -117,6 +119,15 @@ class Router
     void connectPort(Direction d, const PortIo &io);
     /** Attaches the processing element. */
     void setNic(NicIf *nic) { nic_ = nic; }
+    /**
+     * Binds the NIC's source queue for devirtualized injection-side
+     * access (sim::Nic exposes its ring; see sim/nic.h). When bound,
+     * the per-cycle pending checks bypass the NicIf vtable; unit tests
+     * that stub NicIf simply leave it unbound and keep the virtual
+     * path. Ejection (deliverFlit) stays virtual — it only fires on
+     * actual delivery events, not every cycle.
+     */
+    void setNicQueue(GrowRing<Flit> *q) { srcQueue_ = q; }
     /** Attaches the network-wide flit lifecycle counters (may be null). */
     void setLedger(FlitLedger *ledger) { ledger_ = ledger; }
     /**
@@ -127,6 +138,62 @@ class Router
     void setObserver(obs::Recorder *obs) { obs_ = obs; }
     /** Registers the adjacent router behind port @p d (handshake wires). */
     void setNeighbor(Direction d, Router *r);
+
+    /**
+     * Registers the idle-skip wake flag of the router behind output
+     * @p d: sending a flit or credit on that port marks the receiver
+     * active so the engine's fast path never skips a router with an
+     * event in flight toward it (see sim/network.h).
+     */
+    void
+    setWakeFlag(Direction d, std::atomic<std::uint8_t> *flag)
+    {
+        wake_[static_cast<int>(d)] = flag;
+    }
+
+    /**
+     * True when skipping this router's step() would not be a no-op:
+     * flits are buffered here, the NIC has injection pending, or an
+     * incoming channel holds an in-flight flit or credit. The idle-skip
+     * engine clears a router's active flag only when this is false.
+     * O(1): incoming occupancy is mirrored into pendFlitIn_ /
+     * pendCreditIn_, so no channel object is touched.
+     */
+    bool
+    hasLocalWork() const
+    {
+        if (workItems_ != 0 || nicHasPending())
+            return true;
+        for (int d = 0; d < kNumCardinal; ++d) {
+            if (pendFlitIn_[d].load(std::memory_order_relaxed) != 0 ||
+                pendCreditIn_[d].load(std::memory_order_relaxed) != 0)
+                return true;
+        }
+        return false;
+    }
+
+    /**
+     * Debug cross-check: the pending mirrors equal the channels' true
+     * occupancy (periodic audit in simulator.cpp and the invariant
+     * checker; a drifting mirror would silently starve a port).
+     */
+    bool
+    pendMirrorsConsistent() const
+    {
+        for (int d = 0; d < kNumCardinal; ++d) {
+            const PortIo &p = ports_[d];
+            const std::size_t f = p.flitIn ? p.flitIn->inFlight() : 0;
+            const std::size_t c =
+                p.creditIn ? p.creditIn->inFlight() : 0;
+            if (pendFlitIn_[d].load(std::memory_order_relaxed) != f ||
+                pendCreditIn_[d].load(std::memory_order_relaxed) != c)
+                return false;
+        }
+        return true;
+    }
+
+    /** Buffered-flit count kept incrementally (debug cross-check). */
+    int workItems() const { return workItems_; }
 
     /**
      * Receiver-side VC reservation handshake (RoCo / Path-Sensitive).
@@ -169,8 +236,10 @@ class Router
         colContention_.reset();
     }
 
-    /** This node's fault state (healthy default when no fault map). */
-    const NodeFaultState &faultState() const;
+    /** This node's fault state (healthy default when no fault map).
+     *  Resolved once at construction — the allocation paths consult it
+     *  several times per step and the map lookup showed up in profiles. */
+    const NodeFaultState &faultState() const { return *fs_; }
 
     /**
      * Credit-protocol invariant for a drained network: every output VC
@@ -239,8 +308,18 @@ class Router
     void initOutputVcs(int slotsPerDir, int bufferDepth);
 
 
-    OutputVc &outputVc(Direction d, int slot);
-    const OutputVc &outputVc(Direction d, int slot) const;
+    OutputVc &
+    outputVc(Direction d, int slot)
+    {
+        NOC_ASSERT(isCardinal(d), "output VC on non-cardinal port");
+        NOC_ASSERT(slot >= 0 && slot < slotsPerDir_, "output slot range");
+        return outVc_[static_cast<size_t>(d) * slotsPerDir_ + slot];
+    }
+    const OutputVc &
+    outputVc(Direction d, int slot) const
+    {
+        return const_cast<Router *>(this)->outputVc(d, slot);
+    }
     int outputSlots() const { return slotsPerDir_; }
 
     /** Pushes @p f downstream on @p d and counts the link traversal. */
@@ -249,18 +328,56 @@ class Router
     /** Returns a credit for VC id @p vcId to the upstream on @p inDir. */
     void sendCredit(Direction inDir, std::uint8_t vcId, Cycle now);
 
-    /** Drains the credit-return channel of every connected port. */
+    /**
+     * Drains the credit-return channel of every connected port.
+     * Counter-gated: ports whose occupancy mirror reads zero are
+     * skipped without touching the channel object.
+     */
     template <typename ApplyFn>
     void
     receiveCredits(Cycle now, ApplyFn &&apply)
     {
         for (int d = 0; d < kNumCardinal; ++d) {
-            PortIo &p = ports_[d];
-            if (!p.creditIn)
+            std::atomic<std::uint16_t> &pend = pendCreditIn_[d];
+            const std::uint16_t n = pend.load(std::memory_order_relaxed);
+            if (n == 0)
                 continue;
-            while (auto c = p.creditIn->receive(now))
-                apply(static_cast<Direction>(d), c->vc);
+            NOC_ASSERT(ports_[d].creditIn,
+                       "credit mirror set on a wireless port");
+            const int got = ports_[d].creditIn->drainDue(
+                now, [&](const Credit &c) {
+                    apply(static_cast<Direction>(d), c.vc);
+                });
+            pend.store(static_cast<std::uint16_t>(n - got),
+                       std::memory_order_relaxed);
         }
+    }
+
+    /**
+     * Zero-copy receive: the due flit on cardinal port index @p d, or
+     * nullptr. Counter-gated like receiveCredits(). The pointee lives
+     * in the channel until consumeFlitFrom(d) discards it; consume
+     * before stepping any other router.
+     */
+    const Flit *
+    peekFlitFrom(int d, Cycle now) const
+    {
+        if (pendFlitIn_[d].load(std::memory_order_relaxed) == 0)
+            return nullptr;
+        NOC_ASSERT(ports_[d].flitIn,
+                   "flit mirror set on a wireless port");
+        return ports_[d].flitIn->peekReady(now);
+    }
+
+    /** Discards the flit returned by peekFlitFrom(@p d). */
+    void
+    consumeFlitFrom(int d)
+    {
+        std::atomic<std::uint16_t> &pend = pendFlitIn_[d];
+        ports_[d].flitIn->dropFront();
+        pend.store(static_cast<std::uint16_t>(
+                       pend.load(std::memory_order_relaxed) - 1),
+                   std::memory_order_relaxed);
     }
 
     /**
@@ -286,7 +403,18 @@ class Router
     DirectionSet lookaheadCandidates(Direction outDir, const Flit &f) const;
 
     /** Records one SA global-stage outcome for the contention probes. */
-    void noteContention(bool rowInput, bool denied);
+    void
+    noteContention(bool rowInput, bool denied)
+    {
+        RatioStat &s = rowInput ? rowContention_ : colContention_;
+        if (denied)
+            s.hit();
+        else
+            s.miss();
+    }
+
+    /** Routing kind, cached to keep it off the virtual hot path. */
+    RoutingKind routingKind() const { return routingKind_; }
 
     /** True when the packet's destination node is off-line. */
     bool destinationDead(const Flit &f) const;
@@ -294,13 +422,50 @@ class Router
     /**
      * Counts a flit that leaves the network without being delivered
      * (fault drop at the source queue or in an input VC), keeping the
-     * network's drain ledger exact.
+     * network's drain ledger and flit-cycle residency totals exact.
      */
     void
-    retireFlit()
+    retireFlit(const Flit &f, Cycle now)
     {
-        if (ledger_)
+        if (ledger_) {
             ++ledger_->retired;
+            ledger_->flitCycles +=
+                static_cast<std::uint64_t>(now - f.createTime);
+        }
+    }
+
+    // --- devirtualized NIC fast path --------------------------------
+
+    /** True when the source queue has a flit ready to inject. */
+    bool
+    nicHasPending() const
+    {
+        return srcQueue_ ? !srcQueue_->empty()
+                         : (nic_ && nic_->hasPending());
+    }
+
+    /** Front of the source queue; only valid when nicHasPending(). */
+    const Flit &
+    nicPeekPending() const
+    {
+        return srcQueue_ ? srcQueue_->front() : nic_->peekPending();
+    }
+
+    /** Removes and returns the front of the source queue. */
+    Flit
+    nicPopPending()
+    {
+        return srcQueue_ ? srcQueue_->pop_front() : nic_->popPending();
+    }
+
+    /** Buffered-flit accounting for the idle-skip work counter; call
+     *  at every input-VC push / pop site. */
+    void noteFlitBuffered() { ++workItems_; }
+    void
+    noteFlitUnbuffered()
+    {
+        NOC_ASSERT(workItems_ > 0, "work counter underflow");
+        --workItems_;
     }
 
     /** Adjacent router behind @p d, or nullptr at a mesh edge. */
@@ -321,13 +486,45 @@ class Router
 
   private:
     NodeId id_;
+    /** Cached &faults_->state(id_) (or a shared healthy default). */
+    const NodeFaultState *fs_;
     PortIo ports_[kNumPorts];
     Router *neighbors_[kNumPorts] = {};
+    /** Neighbour active flags, set on send (idle-skip wake-up). */
+    std::atomic<std::uint8_t> *wake_[kNumPorts] = {};
+    /** Direct view of the NIC's source queue (may be null: test stubs). */
+    GrowRing<Flit> *srcQueue_ = nullptr;
+    /** Flits buffered in this router's input VCs (incremental). */
+    int workItems_ = 0;
+    /**
+     * In-flight entries on each incoming channel, mirrored into the
+     * receiver so hasLocalWork() and the receive loops read this
+     * router's own cache line instead of polling eight channel
+     * objects. The sender increments on send (see sendFlit /
+     * sendCredit); the receiver decrements on pop. The pentachromatic
+     * distance-2 phase schedule serialises every access — all senders
+     * into a node sit in phases distinct from each other and from the
+     * node itself — so relaxed load/store (never RMW) suffices; the
+     * atomic type keeps the cross-shard handoff tsan-clean.
+     */
+    std::atomic<std::uint16_t> pendFlitIn_[kNumCardinal] = {};
+    std::atomic<std::uint16_t> pendCreditIn_[kNumCardinal] = {};
+
+    /** Phase-serialised single-writer increment (no RMW needed). */
+    static void
+    bumpPend(std::atomic<std::uint16_t> &c)
+    {
+        c.store(static_cast<std::uint16_t>(
+                    c.load(std::memory_order_relaxed) + 1),
+                std::memory_order_relaxed);
+    }
     std::vector<OutputVc> outVc_; ///< [dir * slotsPerDir_ + slot]
     int slotsPerDir_ = 0;
     int outVcDepth_ = 0; ///< credits a quiescent slot holds
     RatioStat rowContention_;
     RatioStat colContention_;
+    /** routing_.kind(), resolved once (it is consulted per step). */
+    RoutingKind routingKind_;
 };
 
 } // namespace noc

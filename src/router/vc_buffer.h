@@ -1,11 +1,17 @@
 /**
  * @file
  * A virtual-channel FIFO buffer with a fixed depth.
+ *
+ * Backed by a fixed-capacity ring instead of a std::deque: a router
+ * carves all its VC slots out of one contiguous flit arena, so the
+ * buffers of a router are a single cache-friendly run of memory and a
+ * push never touches the heap. The buffer can also own its storage
+ * (standalone unit tests) — both forms behave identically.
  */
 #ifndef ROCOSIM_ROUTER_VC_BUFFER_H_
 #define ROCOSIM_ROUTER_VC_BUFFER_H_
 
-#include <deque>
+#include <memory>
 
 #include "common/flit.h"
 #include "common/log.h"
@@ -16,42 +22,82 @@ namespace noc {
 class VcBuffer
 {
   public:
-    explicit VcBuffer(int depth) : depth_(depth)
+    /** Owning form: allocates its own @p depth slots. */
+    explicit VcBuffer(int depth)
     {
         NOC_ASSERT(depth >= 1, "VC buffer depth must be positive");
+        owned_ = std::make_unique<Flit[]>(static_cast<std::size_t>(depth));
+        base_ = owned_.get();
+        depth_ = depth;
     }
 
-    bool empty() const { return q_.empty(); }
-    bool full() const { return static_cast<int>(q_.size()) >= depth_; }
-    int occupancy() const { return static_cast<int>(q_.size()); }
+    /** Arena form: a view over @p depth caller-owned slots at @p base. */
+    VcBuffer(Flit *base, int depth) : base_(base), depth_(depth)
+    {
+        NOC_ASSERT(base != nullptr && depth >= 1,
+                   "VC buffer depth must be positive");
+    }
+
+    bool empty() const { return size_ == 0; }
+    bool full() const { return size_ >= depth_; }
+    int occupancy() const { return size_; }
     int depth() const { return depth_; }
 
     void
     push(const Flit &f)
     {
         NOC_ASSERT(!full(), "VC buffer overflow: credit protocol broken");
-        q_.push_back(f);
+        base_[wrap(head_ + size_)] = f;
+        ++size_;
     }
 
     const Flit &
     front() const
     {
         NOC_ASSERT(!empty(), "front() on empty VC buffer");
-        return q_.front();
+        return base_[head_];
+    }
+
+    /** Mutable head slot: the switch stage rewrites vc/lookahead in
+     *  place before sending, then drops (zero-copy commit path). */
+    Flit &
+    front()
+    {
+        NOC_ASSERT(!empty(), "front() on empty VC buffer");
+        return base_[head_];
     }
 
     Flit
     pop()
     {
         NOC_ASSERT(!empty(), "pop() on empty VC buffer");
-        Flit f = q_.front();
-        q_.pop_front();
+        Flit f = base_[head_];
+        head_ = wrap(head_ + 1);
+        --size_;
         return f;
     }
 
+    /** Removes the head flit without copying it out. */
+    void
+    drop()
+    {
+        NOC_ASSERT(!empty(), "drop() on empty VC buffer");
+        head_ = wrap(head_ + 1);
+        --size_;
+    }
+
   private:
-    int depth_;
-    std::deque<Flit> q_;
+    int
+    wrap(int i) const
+    {
+        return i >= depth_ ? i - depth_ : i;
+    }
+
+    std::unique_ptr<Flit[]> owned_; ///< null in the arena form
+    Flit *base_ = nullptr;
+    int depth_ = 0;
+    int head_ = 0;
+    int size_ = 0;
 };
 
 } // namespace noc

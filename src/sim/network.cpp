@@ -1,5 +1,7 @@
 #include "sim/network.h"
 
+#include <cstdlib>
+
 #include "check/invariant.h"
 #include "router/generic/generic_router.h"
 #include "router/pathsensitive/ps_router.h"
@@ -48,6 +50,18 @@ Network::build(const std::vector<FaultSpec> &faults)
         trace_ = std::make_unique<TraceSchedule>(
             TraceSchedule::load(cfg_.traceFile, n));
     }
+
+    // Idle-skip state: everyone starts awake; the engines clear flags
+    // as routers quiesce. The env override serves the equivalence
+    // tests and benchmarks (NOC_IDLE_SKIP=0 forces every step).
+    idleSkip_ = cfg_.idleSkip;
+    if (const char *env = std::getenv("NOC_IDLE_SKIP"))
+        idleSkip_ = env[0] != '0';
+    active_ = std::make_unique<std::atomic<std::uint8_t>[]>(
+        static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i)
+        active_[i].store(1, std::memory_order_relaxed);
+
     routers_.reserve(static_cast<size_t>(n));
     nics_.reserve(static_cast<size_t>(n));
     for (NodeId id = 0; id < static_cast<NodeId>(n); ++id) {
@@ -55,8 +69,10 @@ Network::build(const std::vector<FaultSpec> &faults)
             makeRouter(id, cfg_, topo_, *routing_, faults_.get()));
         nics_.push_back(std::make_unique<Nic>(id, cfg_, topo_));
         routers_.back()->setNic(nics_.back().get());
+        routers_.back()->setNicQueue(&nics_.back()->sourceQueue());
         routers_.back()->setLedger(&ledger_);
         nics_.back()->setLedger(&ledger_);
+        nics_.back()->setWakeFlag(&active_[id]);
         if (trace_)
             nics_.back()->attachTrace(*trace_);
     }
@@ -66,18 +82,20 @@ Network::build(const std::vector<FaultSpec> &faults)
     // cycle: a flit granted at cycle t is received at t + hopDelay
     // (one cycle of ST, one of wire, landing in the input register).
     int flitLatency = cfg_.hopDelay;
+    // Two pairs per mesh edge; exact-reserve so the wire pointers the
+    // routers keep stay valid as the flat array fills.
+    const int w = cfg_.meshWidth, h = cfg_.meshHeight;
+    channels_.reserve(2 * static_cast<size_t>((w - 1) * h + w * (h - 1)));
     const Direction edgeDirs[2] = {Direction::East, Direction::North};
     for (NodeId a = 0; a < static_cast<NodeId>(n); ++a) {
         for (Direction d : edgeDirs) {
             auto b = topo_.neighbor(a, d);
             if (!b)
                 continue;
-            channels_.push_back(std::make_unique<ChannelPair>(
-                flitLatency, cfg_.creditDelay));
-            ChannelPair *ab = channels_.back().get(); // flits a -> b
-            channels_.push_back(std::make_unique<ChannelPair>(
-                flitLatency, cfg_.creditDelay));
-            ChannelPair *ba = channels_.back().get(); // flits b -> a
+            channels_.emplace_back(flitLatency, cfg_.creditDelay);
+            ChannelPair *ab = &channels_.back(); // flits a -> b
+            channels_.emplace_back(flitLatency, cfg_.creditDelay);
+            ChannelPair *ba = &channels_.back(); // flits b -> a
 
             PortIo aSide;
             aSide.flitOut = &ab->flits;
@@ -95,6 +113,8 @@ Network::build(const std::vector<FaultSpec> &faults)
 
             routers_[a]->setNeighbor(d, routers_[*b].get());
             routers_[*b]->setNeighbor(opposite(d), routers_[a].get());
+            routers_[a]->setWakeFlag(d, &active_[*b]);
+            routers_[*b]->setWakeFlag(opposite(d), &active_[a]);
         }
     }
 
@@ -102,6 +122,14 @@ Network::build(const std::vector<FaultSpec> &faults)
         Coord c = topo_.coord(id);
         phases_[stepPhase(c.x, c.y)].push_back(id);
     }
+    flatPhases_.reserve(static_cast<std::size_t>(n));
+    for (int ph = 0; ph < kNumStepPhases; ++ph) {
+        phaseOfs_[ph] = static_cast<std::uint32_t>(flatPhases_.size());
+        for (NodeId id : phases_[ph])
+            flatPhases_.push_back({routers_[id].get(), &active_[id]});
+    }
+    phaseOfs_[kNumStepPhases] =
+        static_cast<std::uint32_t>(flatPhases_.size());
 }
 
 void
@@ -124,13 +152,35 @@ Network::setObserver(obs::Recorder *obs)
 void
 Network::step(Cycle now, bool generationEnabled, bool measured)
 {
-    for (auto &nic : nics_) {
-        generatedBase1_ += static_cast<std::uint64_t>(
-            nic->generate(now, measured, generationEnabled));
+    // The NIC loop must run every cycle while traffic is generated —
+    // each Bernoulli source draws from its RNG stream per cycle — but
+    // disappears entirely in the drain phase.
+    if (generationEnabled) {
+        for (auto &nic : nics_) {
+            generatedBase1_ += static_cast<std::uint64_t>(
+                nic->generate(now, measured, true));
+        }
     }
-    for (const auto &phase : phases_) {
-        for (NodeId n : phase)
-            routers_[n]->step(now);
+    const PhaseEntry *entries = flatPhases_.data();
+    for (int ph = 0; ph < kNumStepPhases; ++ph) {
+        const std::uint32_t lo = phaseOfs_[ph];
+        const std::uint32_t hi = phaseOfs_[ph + 1];
+        stepsScheduled_ += hi - lo;
+        if (idleSkip_) {
+            for (std::uint32_t i = lo; i < hi; ++i) {
+                const PhaseEntry &e = entries[i];
+                if (!e.flag->load(std::memory_order_relaxed))
+                    continue; // provably a no-op (see DESIGN 12)
+                e.r->step(now);
+                ++stepsExecuted_;
+                if (!e.r->hasLocalWork())
+                    e.flag->store(0, std::memory_order_relaxed);
+            }
+        } else {
+            for (std::uint32_t i = lo; i < hi; ++i)
+                entries[i].r->step(now);
+            stepsExecuted_ += hi - lo;
+        }
     }
 }
 
@@ -141,7 +191,7 @@ Network::flitsInFlight() const
     for (const auto &r : routers_)
         n += r->bufferedFlits();
     for (const auto &ch : channels_)
-        n += static_cast<int>(ch->flits.inFlight());
+        n += static_cast<int>(ch.flits.inFlight());
     return n;
 }
 
@@ -233,6 +283,14 @@ Network::checkProtocolInvariants(Cycle now) const
     std::vector<int> flits, credits;
     for (NodeId n = 0; n < static_cast<NodeId>(numNodes()); ++n) {
         const Router &u = *routers_[n];
+
+        // The idle-skip occupancy mirrors must track the channels
+        // exactly — a drifting mirror silently starves a port.
+        NOC_INVARIANT(u.pendMirrorsConsistent(),
+                      check::InvariantKind::CreditConservation, now, n,
+                      Direction::Invalid, -1,
+                      "incoming-occupancy mirror out of sync with "
+                      "channel in-flight count");
 
         // Fault-state consistency (Table 3): RoCo recycles per
         // component and never goes whole-node dead through apply();

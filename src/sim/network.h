@@ -6,6 +6,8 @@
 #ifndef ROCOSIM_SIM_NETWORK_H_
 #define ROCOSIM_SIM_NETWORK_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
@@ -57,6 +59,36 @@ class Network
     Nic &nic(NodeId n) { return *nics_[n]; }
     const Nic &nic(NodeId n) const { return *nics_[n]; }
     int numNodes() const { return topo_.numNodes(); }
+
+    /**
+     * Whether the idle-skip fast path is active (cfg.idleSkip, or the
+     * NOC_IDLE_SKIP environment override read at construction).
+     */
+    bool idleSkipEnabled() const { return idleSkip_; }
+
+    /**
+     * Node @p n's active flag. Set by anyone routing an event toward
+     * the node (neighbour sends, local injection); cleared by the
+     * engine after a step leaves the router with no local work. The
+     * sharded engine reads/writes these same flags — relaxed atomics
+     * suffice because every cross-thread edge is ordered by its phase
+     * barrier; the flags only carry "wake up later", never data.
+     */
+    std::atomic<std::uint8_t> &activeFlag(NodeId n) { return active_[n]; }
+
+    /** Router steps actually executed (the skipped remainder of
+     *  cycles * nodes is the idle-skip win). */
+    std::uint64_t routerStepsExecuted() const { return stepsExecuted_; }
+    /** Router step opportunities seen by the engine. */
+    std::uint64_t routerStepsScheduled() const { return stepsScheduled_; }
+    /** Folds a shard worker's step counts in (sharded engine); the
+     *  skip decisions are bit-identical to serial, so the reduced
+     *  totals match the serial loop's. */
+    void addRouterSteps(std::uint64_t executed, std::uint64_t scheduled)
+    {
+        stepsExecuted_ += executed;
+        stepsScheduled_ += scheduled;
+    }
 
     /** Base-1 generation counter: 1 + packets generated so far. */
     std::uint64_t packetsGenerated() const { return generatedBase1_; }
@@ -131,14 +163,33 @@ class Network
     MeshTopology topo_;
     std::unique_ptr<RoutingAlgorithm> routing_;
     std::unique_ptr<FaultMap> faults_;
-    std::vector<std::unique_ptr<ChannelPair>> channels_;
+    /** Flat channel array, two pairs per mesh edge (exact-reserved so
+     *  the PortIo pointers handed to routers stay stable). */
+    std::vector<ChannelPair> channels_;
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::unique_ptr<TraceSchedule> trace_;
     std::uint64_t generatedBase1_ = 1;
     FlitLedger ledger_;
+    /** Per-node idle-skip flags (see activeFlag()). */
+    std::unique_ptr<std::atomic<std::uint8_t>[]> active_;
+    bool idleSkip_ = true;
+    std::uint64_t stepsExecuted_ = 0;
+    std::uint64_t stepsScheduled_ = 0;
     /** Router step order: node ids per schedule phase, ascending. */
     std::vector<NodeId> phases_[kNumStepPhases];
+    /**
+     * phases_ flattened for the serial engine's inner loop: raw router
+     * pointer + idle-skip flag per entry, contiguous across phases
+     * (phaseOfs_[p] .. phaseOfs_[p+1]). Avoids the unique_ptr table
+     * and per-phase vector indirections on the per-cycle path.
+     */
+    struct PhaseEntry {
+        Router *r;
+        std::atomic<std::uint8_t> *flag;
+    };
+    std::vector<PhaseEntry> flatPhases_;
+    std::uint32_t phaseOfs_[kNumStepPhases + 1] = {};
 };
 
 /** Instantiates the router microarchitecture selected by @p cfg. */

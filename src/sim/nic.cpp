@@ -87,6 +87,8 @@ Nic::enqueueWithId(NodeId dst, Cycle now, std::uint64_t pid, bool measured,
         ++injectedMeasured_;
     if (ledger_)
         ledger_->created += static_cast<std::uint64_t>(len);
+    if (wake_)
+        wake_->store(1, std::memory_order_relaxed);
 }
 
 const Flit &
@@ -100,9 +102,7 @@ Flit
 Nic::popPending()
 {
     NOC_ASSERT(!sourceQueue_.empty(), "pop on empty source queue");
-    Flit f = sourceQueue_.front();
-    sourceQueue_.pop_front();
-    return f;
+    return sourceQueue_.pop_front();
 }
 
 void
@@ -114,6 +114,8 @@ Nic::deliverFlit(const Flit &f, Cycle now)
     if (ledger_) {
         ++ledger_->retired;
         ledger_->lastDelivery = now;
+        ledger_->flitCycles +=
+            static_cast<std::uint64_t>(now - f.createTime);
     }
 
     NOC_OBS(if (obs_ && isHead(f.type))

@@ -10,12 +10,13 @@
 #ifndef ROCOSIM_SIM_NIC_H_
 #define ROCOSIM_SIM_NIC_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <unordered_map>
 
 #include "common/config.h"
 #include "common/flit.h"
+#include "common/ring.h"
 #include "common/stats.h"
 #include "router/router.h"
 #include "topology/mesh.h"
@@ -48,6 +49,16 @@ class Nic : public NicIf
 
     /** Attaches the trace recorder (may be null; see obs/obs.h). */
     void setObserver(obs::Recorder *obs) { obs_ = obs; }
+
+    /**
+     * Registers this node's idle-skip active flag: enqueuing a packet
+     * marks the router awake so injection is never skipped (see
+     * sim/network.h).
+     */
+    void setWakeFlag(std::atomic<std::uint8_t> *flag) { wake_ = flag; }
+
+    /** The source queue, for the router's devirtualized fast path. */
+    GrowRing<Flit> &sourceQueue() { return sourceQueue_; }
 
     /** Replays @p schedule entries for this node instead of the
      *  synthetic source (Trace traffic). */
@@ -98,7 +109,8 @@ class Nic : public NicIf
     std::unique_ptr<TraceReplayer> trace_;
     FlitLedger *ledger_ = nullptr;
     obs::Recorder *obs_ = nullptr;
-    std::deque<Flit> sourceQueue_;
+    std::atomic<std::uint8_t> *wake_ = nullptr;
+    GrowRing<Flit> sourceQueue_;
 
     /** Reassembly progress of packets ejecting here. */
     struct Arrival {

@@ -99,6 +99,19 @@ Simulator::run()
                                     net_.flitsInFlight() == 0),
                                "flit ledger out of sync with network "
                                "scan");
+                    // The idle-skip work counters must track the real
+                    // buffer occupancy exactly — a drifting counter
+                    // would silently freeze a router.
+                    for (int i = 0; i < net_.numNodes(); ++i) {
+                        const Router &r =
+                            net_.router(static_cast<NodeId>(i));
+                        NOC_ASSERT(r.workItems() == r.bufferedFlits(),
+                                   "idle-skip work counter out of sync "
+                                   "with buffered flits");
+                        NOC_ASSERT(r.pendMirrorsConsistent(),
+                                   "incoming-occupancy mirror out of "
+                                   "sync with channel in-flight count");
+                    }
                 }
 #endif
                 if (ctl.endCycle(now, net_.quiescent(),

@@ -12,11 +12,11 @@
 #define ROCOSIM_TOPOLOGY_CHANNEL_H_
 
 #include <cstdint>
-#include <deque>
 #include <optional>
 
 #include "common/flit.h"
 #include "common/log.h"
+#include "common/ring.h"
 #include "common/types.h"
 
 namespace noc {
@@ -40,6 +40,9 @@ class DelayChannel
     explicit DelayChannel(int latency) : latency_(latency)
     {
         NOC_ASSERT(latency >= 1, "channel latency must be >= 1");
+        // A wire holds at most latency flits plus the same-cycle burst
+        // of credits; pre-sizing keeps the cycle loop allocation-free.
+        queue_.reserve(static_cast<std::size_t>(latency) + 4);
     }
 
     /**
@@ -70,9 +73,43 @@ class DelayChannel
     {
         if (!ready(now))
             return std::nullopt;
-        T v = queue_.front().value;
-        queue_.pop_front();
+        std::optional<T> v(queue_.front().value);
+        queue_.drop_front();
         return v;
+    }
+
+    /**
+     * Zero-copy receive: the value due at @p now, or nullptr. The
+     * pointee lives in the delay line until dropFront() discards it;
+     * consume before the next send on this channel.
+     */
+    const T *
+    peekReady(Cycle now) const
+    {
+        if (!ready(now))
+            return nullptr;
+        return &queue_.front().value;
+    }
+
+    /** Discards the front entry (pairs with peekReady()). */
+    void dropFront() { queue_.drop_front(); }
+
+    /**
+     * Pops every value due at @p now in FIFO order into @p fn and
+     * returns how many were delivered (batched credit drain: one
+     * traversal instead of a ready-poll per pop).
+     */
+    template <typename Fn>
+    int
+    drainDue(Cycle now, Fn &&fn)
+    {
+        int n = 0;
+        while (ready(now)) {
+            fn(queue_.front().value);
+            queue_.drop_front();
+            ++n;
+        }
+        return n;
     }
 
     bool empty() const { return queue_.empty(); }
@@ -84,8 +121,7 @@ class DelayChannel
     void
     forEach(Fn &&fn) const
     {
-        for (const Entry &e : queue_)
-            fn(e.value);
+        queue_.forEach([&](const Entry &e) { fn(e.value); });
     }
 
   private:
@@ -95,7 +131,7 @@ class DelayChannel
     };
 
     int latency_;
-    std::deque<Entry> queue_;
+    GrowRing<Entry> queue_;
 };
 
 using FlitChannel = DelayChannel<Flit>;

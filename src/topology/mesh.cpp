@@ -10,43 +10,6 @@ MeshTopology::MeshTopology(int width, int height)
     NOC_ASSERT(width >= 1 && height >= 1, "degenerate mesh");
 }
 
-Coord
-MeshTopology::coord(NodeId id) const
-{
-    NOC_ASSERT(id < static_cast<NodeId>(numNodes()), "node id out of range");
-    return {static_cast<int>(id) % width_, static_cast<int>(id) / width_};
-}
-
-NodeId
-MeshTopology::node(Coord c) const
-{
-    NOC_ASSERT(contains(c), "coordinate outside mesh");
-    return static_cast<NodeId>(c.y * width_ + c.x);
-}
-
-bool
-MeshTopology::contains(Coord c) const
-{
-    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
-}
-
-std::optional<NodeId>
-MeshTopology::neighbor(NodeId id, Direction d) const
-{
-    NOC_ASSERT(isCardinal(d), "neighbor() requires a cardinal direction");
-    Coord c = coord(id);
-    switch (d) {
-      case Direction::North: ++c.y; break;
-      case Direction::South: --c.y; break;
-      case Direction::East: ++c.x; break;
-      case Direction::West: --c.x; break;
-      default: break;
-    }
-    if (!contains(c))
-        return std::nullopt;
-    return node(c);
-}
-
 bool
 MeshTopology::hasNeighbor(NodeId id, Direction d) const
 {

@@ -11,6 +11,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/log.h"
 #include "common/types.h"
 
 namespace noc {
@@ -26,17 +27,51 @@ class MeshTopology
     int numNodes() const { return width_ * height_; }
 
     /** Coordinate of @p id; asserts on out-of-range ids. */
-    Coord coord(NodeId id) const;
+    Coord
+    coord(NodeId id) const
+    {
+        NOC_ASSERT(id < static_cast<NodeId>(numNodes()),
+                   "node id out of range");
+        return {static_cast<int>(id) % width_,
+                static_cast<int>(id) / width_};
+    }
+
     /** Node at @p c; asserts when outside the mesh. */
-    NodeId node(Coord c) const;
+    NodeId
+    node(Coord c) const
+    {
+        NOC_ASSERT(contains(c), "coordinate outside mesh");
+        return static_cast<NodeId>(c.y * width_ + c.x);
+    }
+
     /** True when @p c lies inside the mesh. */
-    bool contains(Coord c) const;
+    bool
+    contains(Coord c) const
+    {
+        return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+    }
 
     /**
      * Neighbour of @p id in direction @p d, or std::nullopt at a mesh
      * edge. @p d must be cardinal.
      */
-    std::optional<NodeId> neighbor(NodeId id, Direction d) const;
+    std::optional<NodeId>
+    neighbor(NodeId id, Direction d) const
+    {
+        NOC_ASSERT(isCardinal(d),
+                   "neighbor() requires a cardinal direction");
+        Coord c = coord(id);
+        switch (d) {
+          case Direction::North: ++c.y; break;
+          case Direction::South: --c.y; break;
+          case Direction::East: ++c.x; break;
+          case Direction::West: --c.x; break;
+          default: break;
+        }
+        if (!contains(c))
+            return std::nullopt;
+        return node(c);
+    }
 
     /** True when @p id has a link in direction @p d. */
     bool hasNeighbor(NodeId id, Direction d) const;

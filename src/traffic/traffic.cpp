@@ -37,6 +37,7 @@ TrafficGenerator::TrafficGenerator(const SimConfig &cfg,
         // source stays silent.
         process_ = std::make_unique<BernoulliInjection>(0.0,
                                                         cfg.flitsPerPacket);
+        bernoulliRate_ = process_->packetRate();
         pattern_ = std::make_unique<UniformPattern>(topo);
         return;
     }
@@ -52,6 +53,7 @@ TrafficGenerator::TrafficGenerator(const SimConfig &cfg,
       default:
         process_ = std::make_unique<BernoulliInjection>(cfg.injectionRate,
                                                         cfg.flitsPerPacket);
+        bernoulliRate_ = process_->packetRate();
         break;
     }
 
@@ -82,18 +84,6 @@ TrafficGenerator::TrafficGenerator(const SimConfig &cfg,
         pattern_ = std::make_unique<UniformPattern>(topo);
         break;
     }
-}
-
-std::optional<NodeId>
-TrafficGenerator::maybeGenerate(Cycle now)
-{
-    if (!process_->fire(now, rng_))
-        return std::nullopt;
-    NodeId dst = pattern_->pick(src_, rng_);
-    if (dst == kInvalidNode)
-        return std::nullopt;
-    NOC_ASSERT(dst != src_, "pattern returned the source itself");
-    return dst;
 }
 
 } // namespace noc

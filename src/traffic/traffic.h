@@ -10,6 +10,7 @@
 #include <optional>
 
 #include "common/config.h"
+#include "common/log.h"
 #include "common/rng.h"
 #include "topology/mesh.h"
 #include "traffic/injection.h"
@@ -30,8 +31,27 @@ class TrafficGenerator
      * Destination of a packet generated during cycle @p now, or
      * std::nullopt when none. Patterns may suppress a firing (e.g. a
      * transpose diagonal node), in which case nothing is generated.
+     *
+     * Bernoulli sources (the default) fire through an inlined draw —
+     * this runs for every node on every generating cycle; rarer
+     * processes pay the virtual call. RNG consumption is identical on
+     * both paths (BernoulliInjection::fire is exactly nextBool(rate)).
      */
-    std::optional<NodeId> maybeGenerate(Cycle now);
+    std::optional<NodeId>
+    maybeGenerate(Cycle now)
+    {
+        if (bernoulliRate_ >= 0.0) {
+            if (!rng_.nextBool(bernoulliRate_))
+                return std::nullopt;
+        } else if (!process_->fire(now, rng_)) {
+            return std::nullopt;
+        }
+        NodeId dst = pattern_->pick(src_, rng_);
+        if (dst == kInvalidNode)
+            return std::nullopt;
+        NOC_ASSERT(dst != src_, "pattern returned the source itself");
+        return dst;
+    }
 
     /** Long-run offered load in packets/cycle from this node. */
     double packetRate() const { return process_->packetRate(); }
@@ -41,6 +61,8 @@ class TrafficGenerator
     Rng rng_;
     std::unique_ptr<InjectionProcess> process_;
     std::unique_ptr<DestinationPattern> pattern_;
+    /** Packet rate when process_ is Bernoulli, else -1 (virtual path). */
+    double bernoulliRate_ = -1.0;
 };
 
 /**

@@ -1,6 +1,7 @@
 /** @file Tests for the simulation driver. */
 #include <gtest/gtest.h>
 
+#include "fault/fault_injector.h"
 #include "sim/simulator.h"
 
 namespace noc {
@@ -127,6 +128,158 @@ TEST(SimulatorTest, ContentionProbesPopulatedUnderLoad)
     EXPECT_GT(r.rowContention, 0.0);
     EXPECT_GT(r.colContention, 0.0);
     EXPECT_LT(r.rowContention, 1.0);
+}
+
+// --------------------------------------------------- idle-skip equivalence
+
+/** Full result + ledger + engine counters of one run. */
+struct SkipObservation {
+    SimResult r;
+    FlitLedger ledger;
+    std::uint64_t stepsExecuted = 0;
+    std::uint64_t stepsScheduled = 0;
+};
+
+SkipObservation
+observeSkipRun(SimConfig cfg, const std::vector<FaultSpec> &faults,
+               bool idleSkip)
+{
+    cfg.idleSkip = idleSkip;
+    Simulator sim(cfg, faults);
+    SkipObservation out;
+    out.r = sim.run();
+    out.ledger = sim.network().ledger();
+    out.stepsExecuted = sim.network().routerStepsExecuted();
+    out.stepsScheduled = sim.network().routerStepsScheduled();
+    return out;
+}
+
+void
+expectSkipIdentical(const SkipObservation &on, const SkipObservation &off,
+                    const char *what)
+{
+    SCOPED_TRACE(what);
+    EXPECT_EQ(on.r.avgLatency, off.r.avgLatency);
+    EXPECT_EQ(on.r.latencyStddev, off.r.latencyStddev);
+    EXPECT_EQ(on.r.maxLatency, off.r.maxLatency);
+    EXPECT_EQ(on.r.p50Latency, off.r.p50Latency);
+    EXPECT_EQ(on.r.p99Latency, off.r.p99Latency);
+    EXPECT_EQ(on.r.throughputFlits, off.r.throughputFlits);
+    EXPECT_EQ(on.r.injected, off.r.injected);
+    EXPECT_EQ(on.r.delivered, off.r.delivered);
+    EXPECT_EQ(on.r.completion, off.r.completion);
+    EXPECT_EQ(on.r.energyPerPacketNj, off.r.energyPerPacketNj);
+    EXPECT_EQ(on.r.energy.totalPj(), off.r.energy.totalPj());
+    EXPECT_EQ(on.r.edp, off.r.edp);
+    EXPECT_EQ(on.r.pef, off.r.pef);
+    EXPECT_EQ(on.r.cycles, off.r.cycles);
+    EXPECT_EQ(on.r.timedOut, off.r.timedOut);
+    EXPECT_EQ(on.r.rowContention, off.r.rowContention);
+    EXPECT_EQ(on.r.colContention, off.r.colContention);
+    EXPECT_EQ(on.ledger.created, off.ledger.created);
+    EXPECT_EQ(on.ledger.retired, off.ledger.retired);
+    EXPECT_EQ(on.ledger.lastDelivery, off.ledger.lastDelivery);
+    EXPECT_EQ(on.ledger.flitCycles, off.ledger.flitCycles);
+}
+
+SimConfig
+skipMatrixConfig(RouterArch arch, RoutingKind routing)
+{
+    SimConfig cfg;
+    cfg.arch = arch;
+    cfg.routing = routing;
+    cfg.meshWidth = 5;
+    cfg.meshHeight = 5;
+    cfg.injectionRate = 0.15;
+    cfg.warmupPackets = 20;
+    cfg.measurePackets = 120;
+    // Faulted minimal routings never drain; the inactivity window must
+    // cut the run at the same cycle with and without idle-skip.
+    cfg.maxCycles = 6000;
+    cfg.seed = 0xFACE;
+    return cfg;
+}
+
+/**
+ * Idle-skip is provably a no-op per skipped step (DESIGN 12): the
+ * on/off runs must match in every result field and ledger counter for
+ * every architecture x routing, with and without Table-3 faults.  The
+ * executed-step counter must actually drop when skipping, so the fast
+ * path cannot silently disable itself and vacuously pass.
+ */
+TEST(SimulatorTest, IdleSkipEquivalenceMatrix)
+{
+    MeshTopology topo(5, 5);
+    std::vector<FaultSpec> critical = placeRandomFaults(
+        topo, FaultClass::RouterCentricCritical, 2, 3, 7);
+    std::vector<FaultSpec> noncritical = placeRandomFaults(
+        topo, FaultClass::MessageCentricNonCritical, 2, 3, 9);
+
+    const struct {
+        const char *label;
+        const std::vector<FaultSpec> *faults;
+    } faultRows[] = {{"fault-free", nullptr},
+                     {"2-critical", &critical},
+                     {"2-noncritical", &noncritical}};
+
+    bool skippedSomewhere = false;
+    for (RouterArch arch : {RouterArch::Generic, RouterArch::PathSensitive,
+                            RouterArch::Roco}) {
+        for (RoutingKind routing :
+             {RoutingKind::XY, RoutingKind::XYYX, RoutingKind::Adaptive}) {
+            for (const auto &row : faultRows) {
+                std::vector<FaultSpec> faults =
+                    row.faults ? *row.faults : std::vector<FaultSpec>{};
+                SimConfig cfg = skipMatrixConfig(arch, routing);
+                SkipObservation on = observeSkipRun(cfg, faults, true);
+                SkipObservation off = observeSkipRun(cfg, faults, false);
+                char what[96];
+                std::snprintf(what, sizeof what, "%s/%s/%s",
+                              toString(arch), toString(routing),
+                              row.label);
+                expectSkipIdentical(on, off, what);
+                // Off executes every scheduled step; on may skip.
+                EXPECT_EQ(off.stepsExecuted, off.stepsScheduled) << what;
+                EXPECT_LE(on.stepsExecuted, on.stepsScheduled) << what;
+                if (on.stepsExecuted < on.stepsScheduled)
+                    skippedSomewhere = true;
+            }
+        }
+    }
+    EXPECT_TRUE(skippedSomewhere)
+        << "idle-skip never skipped a step anywhere in the matrix";
+}
+
+/** The sharded engine honours idle-skip off: shards x skip matrix. */
+TEST(SimulatorTest, IdleSkipEquivalenceAcrossShards)
+{
+    MeshTopology topo(6, 6);
+    std::vector<FaultSpec> critical = placeRandomFaults(
+        topo, FaultClass::RouterCentricCritical, 2, 3, 11);
+
+    SimConfig cfg = skipMatrixConfig(RouterArch::Roco,
+                                     RoutingKind::Adaptive);
+    cfg.meshWidth = 6;
+    cfg.meshHeight = 6;
+    SkipObservation ref = observeSkipRun(cfg, critical, true);
+    for (int shards : {2, 4}) {
+        for (bool skip : {true, false}) {
+            SimConfig c = cfg;
+            c.shards = shards;
+            char what[64];
+            std::snprintf(what, sizeof what, "%d shards, skip %s", shards,
+                          skip ? "on" : "off");
+            SkipObservation got = observeSkipRun(c, critical, skip);
+            expectSkipIdentical(ref, got, what);
+            // The skip decisions themselves are part of the contract:
+            // the sharded engine must skip exactly the serial steps.
+            EXPECT_EQ(got.stepsScheduled, ref.stepsScheduled) << what;
+            if (skip)
+                EXPECT_EQ(got.stepsExecuted, ref.stepsExecuted) << what;
+            else
+                EXPECT_EQ(got.stepsExecuted, got.stepsScheduled) << what;
+        }
+    }
 }
 
 } // namespace

@@ -60,6 +60,77 @@ TEST(VcBufferDeathTest, UnderflowPanics)
     VcBuffer b(1);
     EXPECT_DEATH(b.pop(), "empty");
     EXPECT_DEATH((void)b.front(), "empty");
+    EXPECT_DEATH(b.drop(), "empty");
+}
+
+TEST(VcBufferTest, WrapAroundKeepsFifoOrderOverManyCycles)
+{
+    // Drive the head index around the ring far past one revolution;
+    // every full/empty boundary along the way must hold.
+    VcBuffer b(3);
+    std::uint16_t next = 0, expect = 0;
+    for (int round = 0; round < 40; ++round) {
+        while (!b.full())
+            b.push(makeFlit(1, next++));
+        EXPECT_TRUE(b.full());
+        EXPECT_EQ(b.occupancy(), 3);
+        while (!b.empty())
+            EXPECT_EQ(b.pop().flitSeq, expect++);
+        EXPECT_EQ(b.occupancy(), 0);
+        EXPECT_FALSE(b.full());
+    }
+    EXPECT_EQ(expect, next);
+}
+
+TEST(VcBufferTest, DropRemovesHeadLikePop)
+{
+    VcBuffer b(2);
+    b.push(makeFlit(1, 0));
+    b.push(makeFlit(1, 1));
+    b.drop();
+    EXPECT_EQ(b.occupancy(), 1);
+    EXPECT_EQ(b.front().flitSeq, 1);
+    b.drop();
+    EXPECT_TRUE(b.empty());
+    b.push(makeFlit(2, 7)); // reusable after draining via drop()
+    EXPECT_EQ(b.front().packetId, 2u);
+}
+
+TEST(VcBufferTest, MutableFrontRewritesHeadInPlace)
+{
+    // The zero-copy commit path rewrites vc/lookahead in the head slot
+    // before sending; the stored flit must reflect the mutation.
+    VcBuffer b(2);
+    b.push(makeFlit(1, 0));
+    b.front().vc = 2;
+    b.front().hops = 5;
+    const VcBuffer &cb = b;
+    EXPECT_EQ(cb.front().vc, 2);
+    EXPECT_EQ(cb.front().hops, 5);
+    EXPECT_EQ(b.pop().vc, 2);
+}
+
+TEST(VcBufferTest, ArenaFormBehavesLikeOwningForm)
+{
+    // Two views carved out of one caller-owned run of slots, as a
+    // router's flit arena does it: independent FIFOs, no cross-talk,
+    // wrap-around inside each view stays within its slots.
+    Flit arena[5];
+    VcBuffer a(arena, 2);
+    VcBuffer b(arena + 2, 3);
+    a.push(makeFlit(10, 0));
+    a.push(makeFlit(10, 1));
+    b.push(makeFlit(20, 0));
+    EXPECT_TRUE(a.full());
+    EXPECT_EQ(b.occupancy(), 1);
+    EXPECT_EQ(a.pop().packetId, 10u);
+    a.push(makeFlit(10, 2)); // wraps within a's two slots
+    EXPECT_EQ(b.front().packetId, 20u);
+    EXPECT_EQ(a.pop().flitSeq, 1);
+    EXPECT_EQ(a.pop().flitSeq, 2);
+    EXPECT_EQ(b.pop().packetId, 20u);
+    EXPECT_TRUE(a.empty());
+    EXPECT_TRUE(b.empty());
 }
 
 } // namespace

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Machine-checked phase-discipline annotations (DESIGN section 13).
+ *
+ * The simulator's determinism contract — sharded runs bit-identical to
+ * serial — rests on a single-writer discipline: every piece of
+ * cross-router state (the incoming-occupancy mirrors, the idle-skip
+ * flags, the shard epilogue's reduction fields) is written only from a
+ * specific sub-phase of the cycle, and the pentachromatic step
+ * schedule serialises those sub-phases across threads. These macros
+ * make that contract visible to `tools/noc_lint`, which rejects at
+ * lint time any write that bypasses the discipline (the runtime
+ * NOC_INVARIANT sweeps only catch a violation after it has corrupted
+ * a run).
+ *
+ * Phases (see DESIGN section 13 for the full contract):
+ *
+ *   recv     receive loops and injection pull: drain own channels,
+ *            decrement own occupancy mirrors, fill own VC buffers
+ *   alloc    VC / switch allocation: no mirror writes at all
+ *   send     sendFlit / sendCredit: the only code allowed to touch a
+ *            *neighbour's* mirrors and wake flag
+ *   inject   NIC traffic generation (pre-step, shard-local)
+ *   step     a whole-router step driver: composes the above, writes
+ *            no phase-guarded state directly
+ *   engine   the cycle drivers (Network::step, the shard workers):
+ *            idle-skip flags and step counters
+ *   epilogue the sharded engine's in-barrier epilogue: reductions and
+ *            run-control updates, strictly single-threaded
+ *   setup    construction / wiring; may initialise anything
+ *
+ * NOC_PHASE_FN(phase) annotates a function; NOC_PHASE_STATE(p1, ...)
+ * annotates a data member with the set of phases allowed to write it.
+ * Constructors of the owning class are implicitly `setup`. Under
+ * clang the macros expand to [[clang::annotate]] so the AST engine of
+ * noc_lint sees them; elsewhere they expand to nothing (they carry no
+ * codegen meaning). The portable noc_lint engine reads the macro
+ * tokens straight from the source text, so the checks run even where
+ * no Clang development headers exist.
+ */
+#ifndef ROCOSIM_COMMON_ANNOTATIONS_H_
+#define ROCOSIM_COMMON_ANNOTATIONS_H_
+
+#if defined(__clang__)
+#define NOC_PHASE_FN(phase) [[clang::annotate("noc_phase_fn:" #phase)]]
+#define NOC_PHASE_STATE(...) \
+    [[clang::annotate("noc_phase_state:" #__VA_ARGS__)]]
+#else
+#define NOC_PHASE_FN(phase)
+#define NOC_PHASE_STATE(...)
+#endif
+
+#endif // ROCOSIM_COMMON_ANNOTATIONS_H_

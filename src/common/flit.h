@@ -11,6 +11,7 @@
 #define ROCOSIM_COMMON_FLIT_H_
 
 #include <cstdint>
+#include <type_traits>
 
 #include "common/types.h"
 
@@ -71,6 +72,21 @@ struct Flit {
 
     std::uint8_t hops = 0; ///< routers traversed so far (stats only)
 };
+
+/**
+ * The zero-copy discipline (DESIGN section 12) moves flits as raw
+ * memcpy-able values: channel rings, VC buffers and the SoA arenas all
+ * assume a Flit is a small trivially-copyable record. A non-trivial
+ * member (or accidental growth past one cache line shared by two
+ * flits) would silently turn every hop into a constructor call, so the
+ * layout is pinned here rather than discovered in bench_throughput.
+ */
+static_assert(std::is_trivially_copyable_v<Flit>,
+              "Flit must stay a trivially-copyable value type: rings "
+              "and arenas move it with plain copies");
+static_assert(sizeof(Flit) <= 40,
+              "Flit grew past 40 bytes; two flits no longer share a "
+              "cache line — revisit DESIGN section 12 before accepting");
 
 /**
  * Network-wide flit lifecycle counters, maintained incrementally by the

@@ -307,9 +307,17 @@ checkMirrorAllocatorBoundedWait(const MirrorCheckOptions &opts)
             };
             // Every explored state is reachable (possibly via granted
             // edges), so a not-granted cycle anywhere is starvation.
+            // Visit states in id order: hash order would pick an
+            // arbitrary entry point into a cycle, making the rendered
+            // counterexample depend on the standard library.
+            std::vector<int> stateIds;
+            stateIds.reserve(stateOf.size());
+            for (const auto &kv : stateOf) // noc-lint:allow(det-unordered-iter) keys are sorted below
+                stateIds.push_back(kv.first);
+            std::sort(stateIds.begin(), stateIds.end());
             int b = 0;
-            for (const auto &kv : stateOf) {
-                b = std::max(b, dfs(kv.first));
+            for (int id : stateIds) {
+                b = std::max(b, dfs(id));
                 if (!cycle.empty()) {
                     b = -1;
                     break;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "check/invariant.h"
+#include "common/annotations.h"
 #include "obs/recorder.h"
 #include "par/barrier.h"
 #include "topology/partition.h"
@@ -33,8 +34,11 @@ struct Shared {
     std::vector<ShardCount> generated; // this cycle, per shard
     std::vector<ShardCount> stepsExec; // whole run, per shard
     std::vector<ShardCount> stepsSched;
+    NOC_PHASE_STATE(epilogue)
     Cycle now = 0;   // cycle the workers are about to run
+    NOC_PHASE_STATE(epilogue)
     bool stop = false;
+    NOC_PHASE_STATE(epilogue)
     FlitLedger totals; // reduction of ledgers, maintained in epilogue
 
     Shared(Network &n, const SimConfig &c, const ShardPlan &p,
@@ -55,6 +59,7 @@ struct Shared {
  * Simulator::run (probe cadence included) so the two drivers make
  * identical decisions at identical cycles.
  */
+NOC_PHASE_FN(epilogue)
 void
 epilogue(Shared &sh)
 {
@@ -114,6 +119,7 @@ epilogue(Shared &sh)
 }
 
 /** One worker's whole run: shard @p s of the plan. */
+NOC_PHASE_FN(engine)
 void
 work(Shared &sh, int s)
 {
@@ -190,6 +196,7 @@ effectiveShards(const SimConfig &cfg, int numNodes)
     return std::clamp(shards, 1, numNodes);
 }
 
+NOC_PHASE_FN(epilogue)
 RunOutcome
 runSharded(Network &net, const SimConfig &cfg, int shards,
            obs::Recorder *obs, RunControl &ctl)

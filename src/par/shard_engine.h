@@ -24,6 +24,7 @@
 #ifndef ROCOSIM_PAR_SHARD_ENGINE_H_
 #define ROCOSIM_PAR_SHARD_ENGINE_H_
 
+#include "common/annotations.h"
 #include "common/config.h"
 #include "sim/network.h"
 #include "sim/run_control.h"
@@ -47,6 +48,7 @@ struct RunOutcome {
  * @p obs may be null; when present it is switched to per-shard lanes
  * for the rest of its lifetime (summaries merge back losslessly).
  */
+NOC_PHASE_FN(epilogue)
 RunOutcome runSharded(Network &net, const SimConfig &cfg, int shards,
                       obs::Recorder *obs, RunControl &ctl);
 

@@ -151,7 +151,7 @@ GenericRouter::drainDropped(Cycle now)
                 ivc.buf.front().packetId != ivc.ctl.front().owner) {
                 continue;
             }
-            Flit f = ivc.buf.pop();
+            Flit f = ivc.buf.pop(); // noc-lint:allow(flit-copy) retire path, flit leaves the network
             noteFlitUnbuffered();
             retireFlit(f, now);
             NOC_OBS(if (obs_ && isHead(f.type))
@@ -212,14 +212,14 @@ GenericRouter::pullInjection(Cycle now)
 
     // Discard packets that can never leave the source (fault-blocked).
     if (front.packetId == droppingPacket_) {
-        Flit f = nicPopPending();
+        Flit f = nicPopPending(); // noc-lint:allow(flit-copy) source-drop retire
         retireFlit(f, now);
         if (isTail(f.type))
             droppingPacket_ = 0;
         return;
     }
     if (isHead(front.type) && permanentlyBlocked(front)) {
-        Flit f = nicPopPending();
+        Flit f = nicPopPending(); // noc-lint:allow(flit-copy) source-drop retire
         retireFlit(f, now);
         NOC_OBS(if (obs_)
                     obs_->record(obs::Stage::Drop, f, id(), now));
@@ -248,7 +248,7 @@ GenericRouter::pullInjection(Cycle now)
     if (target < 0 || vc(local, target).buf.full())
         return; // injection stalls this cycle
 
-    Flit f = nicPopPending();
+    Flit f = nicPopPending(); // noc-lint:allow(flit-copy) per-hop copy at injection
     f.vc = static_cast<std::uint8_t>(target);
     acceptFlit(local, f, now);
 }
@@ -457,7 +457,7 @@ GenericRouter::allocateSwitch(Cycle now)
         // Traverse.
         InputVc &ivc = vc(winPort, stage1[winPort]);
         PacketCtl ctl = ivc.ctl.front();
-        Flit f = ivc.buf.pop();
+        Flit f = ivc.buf.pop(); // noc-lint:allow(flit-copy) per-hop copy at traversal
         noteFlitUnbuffered();
         NOC_ASSERT(f.packetId == ctl.owner, "VC FIFO out of sync");
         ++act_.bufferReads;

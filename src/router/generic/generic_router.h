@@ -36,7 +36,7 @@ class GenericRouter : public Router
     GenericRouter(NodeId id, const SimConfig &cfg, const MeshTopology &topo,
                   const RoutingAlgorithm &routing, const FaultMap *faults);
 
-    void step(Cycle now) override;
+    NOC_PHASE_FN(step) void step(Cycle now) override;
     RouterArch arch() const override { return RouterArch::Generic; }
 
     /** Occupancy across all input VCs (tests / drain detection). */
@@ -72,14 +72,14 @@ class GenericRouter : public Router
         return in_[port * numVcs_ + v];
     }
 
-    void receiveFlits(Cycle now);
-    void pullInjection(Cycle now);
+    NOC_PHASE_FN(recv) void receiveFlits(Cycle now);
+    NOC_PHASE_FN(recv) void pullInjection(Cycle now);
     /** Buffer-write bookkeeping shared by link arrivals and injection. */
-    void acceptFlit(int port, const Flit &f, Cycle now);
-    void allocateVcs(Cycle now);
-    void allocateSwitch(Cycle now);
+    NOC_PHASE_FN(recv) void acceptFlit(int port, const Flit &f, Cycle now);
+    NOC_PHASE_FN(alloc) void allocateVcs(Cycle now);
+    NOC_PHASE_FN(alloc) void allocateSwitch(Cycle now);
     /** Drains discarded (fault-blocked) packets, one flit per cycle. */
-    void drainDropped(Cycle now);
+    NOC_PHASE_FN(recv) void drainDropped(Cycle now);
     /** True when no minimal next hop can ever serve @p head. */
     bool permanentlyBlocked(const Flit &head) const;
 

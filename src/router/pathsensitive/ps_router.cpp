@@ -123,7 +123,7 @@ PathSensitiveRouter::drainDropped(Cycle now)
             ivc.buf.front().packetId != ivc.ctl.front().owner) {
             continue;
         }
-        Flit f = ivc.buf.pop();
+        Flit f = ivc.buf.pop(); // noc-lint:allow(flit-copy) retire path, flit leaves the network
         noteFlitUnbuffered();
         retireFlit(f, now);
         NOC_OBS(if (obs_ && isHead(f.type))
@@ -221,7 +221,7 @@ PathSensitiveRouter::receiveFlits(Cycle now)
         if (f->lookahead == Direction::Local) {
             NOC_ASSERT(f->dst == id(), "early ejection at wrong node");
             ++act_.earlyEjections;
-            Flit ej = *f;
+            Flit ej = *f; // noc-lint:allow(flit-copy) ejection copy to the local port
             consumeFlitFrom(d);
             ++ej.hops;
             NOC_OBS(if (obs_)
@@ -245,7 +245,7 @@ PathSensitiveRouter::pullInjection(Cycle now)
     const Flit &front = nicPeekPending();
 
     if (front.packetId == droppingPacket_) {
-        Flit drop = nicPopPending();
+        Flit drop = nicPopPending(); // noc-lint:allow(flit-copy) fault-drop retire
         retireFlit(drop, now);
         if (isTail(drop.type))
             droppingPacket_ = 0;
@@ -264,7 +264,7 @@ PathSensitiveRouter::pullInjection(Cycle now)
             }
         }
         if (blocked) {
-            Flit drop = nicPopPending();
+            Flit drop = nicPopPending(); // noc-lint:allow(flit-copy) fault-drop retire
             retireFlit(drop, now);
             NOC_OBS(if (obs_)
                         obs_->record(obs::Stage::Drop, drop, id(), now));
@@ -275,7 +275,7 @@ PathSensitiveRouter::pullInjection(Cycle now)
     }
 
     int target = -1;
-    Flit f = front;
+    Flit f = front; // noc-lint:allow(flit-copy) per-hop copy at injection
     if (isHead(front.type)) {
         Quadrant q = quadrantOf(topo_, id(), front.dst,
                                 (front.packetId & 1) != 0);
@@ -527,7 +527,7 @@ PathSensitiveRouter::allocateSwitch(Cycle now)
 
         InputVc &ivc = vc(winQ, setWin[winQ]);
         PacketCtl ctl = ivc.ctl.front();
-        Flit f = ivc.buf.pop();
+        Flit f = ivc.buf.pop(); // noc-lint:allow(flit-copy) per-hop copy at traversal
         noteFlitUnbuffered();
         NOC_ASSERT(f.packetId == ctl.owner, "VC FIFO out of sync");
         ++act_.bufferReads;

@@ -40,7 +40,7 @@ class PathSensitiveRouter : public Router
                         const RoutingAlgorithm &routing,
                         const FaultMap *faults);
 
-    void step(Cycle now) override;
+    NOC_PHASE_FN(step) void step(Cycle now) override;
     RouterArch arch() const override { return RouterArch::PathSensitive; }
 
     /** Occupancy across all input VCs (tests / drain detection). */
@@ -94,14 +94,15 @@ class PathSensitiveRouter : public Router
 
     InputVc &vc(int q, int v) { return in_[q * numVcs_ + v]; }
 
-    void receiveFlits(Cycle now);
-    void pullInjection(Cycle now);
+    NOC_PHASE_FN(recv) void receiveFlits(Cycle now);
+    NOC_PHASE_FN(recv) void pullInjection(Cycle now);
+    NOC_PHASE_FN(recv)
     void bufferFlit(int q, int v, const Flit &f, Direction srcDir,
                     Cycle now);
-    void allocateVcs(Cycle now);
-    void allocateSwitch(Cycle now);
+    NOC_PHASE_FN(alloc) void allocateVcs(Cycle now);
+    NOC_PHASE_FN(alloc) void allocateSwitch(Cycle now);
     /** Drains discarded (fault-blocked) packets, one flit per cycle. */
-    void drainDropped(Cycle now);
+    NOC_PHASE_FN(recv) void drainDropped(Cycle now);
 
     /**
      * Downstream slots a head leaving via @p outDir may claim: the

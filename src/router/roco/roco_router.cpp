@@ -169,7 +169,7 @@ RocoRouter::drainDropped(Cycle now)
             ivc.buf.front().packetId != ivc.ctl.front().owner) {
             continue;
         }
-        Flit f = ivc.buf.pop();
+        Flit f = ivc.buf.pop(); // noc-lint:allow(flit-copy) retire path, flit leaves the network
         noteFlitUnbuffered();
         retireFlit(f, now);
         NOC_OBS(if (obs_ && isHead(f.type))
@@ -292,7 +292,7 @@ RocoRouter::receiveFlits(Cycle now)
             // Early ejection: straight off the demux to the PE.
             NOC_ASSERT(f->dst == id(), "early ejection at wrong node");
             ++act_.earlyEjections;
-            Flit ej = *f;
+            Flit ej = *f; // noc-lint:allow(flit-copy) ejection copy to the local port
             consumeFlitFrom(d);
             ++ej.hops;
             NOC_OBS(if (obs_)
@@ -324,10 +324,10 @@ RocoRouter::pullInjection(Cycle now)
     Module m{};
     int portIdx = -1;
     int slot = -1;
-    Flit f = front;
+    Flit f = front; // noc-lint:allow(flit-copy) per-hop copy at injection
 
     if (front.packetId == droppingPacket_) {
-        Flit drop = nicPopPending();
+        Flit drop = nicPopPending(); // noc-lint:allow(flit-copy) fault-drop retire
         retireFlit(drop, now);
         if (isTail(drop.type))
             droppingPacket_ = 0;
@@ -336,7 +336,7 @@ RocoRouter::pullInjection(Cycle now)
 
     if (isHead(front.type)) {
         if (destinationDead(front) || injectionBlocked(front)) {
-            Flit drop = nicPopPending();
+            Flit drop = nicPopPending(); // noc-lint:allow(flit-copy) fault-drop retire
             retireFlit(drop, now);
             NOC_OBS(if (obs_)
                         obs_->record(obs::Stage::Drop, drop, id(), now));

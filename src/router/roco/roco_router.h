@@ -42,7 +42,7 @@ class RocoRouter : public Router
     RocoRouter(NodeId id, const SimConfig &cfg, const MeshTopology &topo,
                const RoutingAlgorithm &routing, const FaultMap *faults);
 
-    void step(Cycle now) override;
+    NOC_PHASE_FN(step) void step(Cycle now) override;
     RouterArch arch() const override { return RouterArch::Roco; }
 
     /** Occupancy across all input VCs (tests / drain detection). */
@@ -108,17 +108,19 @@ class RocoRouter : public Router
     }
     InputVc &vc(Module m, int port, int v) { return in_[vcIndex(m, port, v)]; }
 
-    void receiveFlits(Cycle now);
-    void pullInjection(Cycle now);
-    void allocateVcs(Cycle now);
-    void allocateSwitch(Cycle now);
+    NOC_PHASE_FN(recv) void receiveFlits(Cycle now);
+    NOC_PHASE_FN(recv) void pullInjection(Cycle now);
+    NOC_PHASE_FN(alloc) void allocateVcs(Cycle now);
+    NOC_PHASE_FN(alloc) void allocateSwitch(Cycle now);
     /** Drains discarded (fault-blocked) packets, one flit per cycle. */
-    void drainDropped(Cycle now);
+    NOC_PHASE_FN(recv) void drainDropped(Cycle now);
     /** True when no injection path can ever serve @p head. */
     bool injectionBlocked(const Flit &head) const;
+    NOC_PHASE_FN(send)
     void commitGrant(Module m, const MirrorAllocator::Grant &g, Cycle now);
 
     /** Accepts a transit/injection flit into (module, port, vc). */
+    NOC_PHASE_FN(recv)
     void bufferFlit(Module m, int port, int v, const Flit &f,
                     Direction srcDir, Cycle now);
 

@@ -15,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/config.h"
 #include "common/flit.h"
 #include "common/ring.h"
@@ -45,7 +46,7 @@ class NicIf
     /** Front of the source queue; only valid when hasPending(). */
     virtual const Flit &peekPending() const = 0;
     /** Removes and returns the front of the source queue. */
-    virtual Flit popPending() = 0;
+    virtual Flit popPending() = 0; // noc-lint:allow(flit-copy) injection hand-off out of the ring
     /** Receives one ejected flit (the PE always sinks). */
     virtual void deliverFlit(const Flit &f, Cycle now) = 0;
 };
@@ -116,7 +117,7 @@ class Router
     Router &operator=(const Router &) = delete;
 
     /** Attaches the wires of cardinal port @p d. */
-    void connectPort(Direction d, const PortIo &io);
+    NOC_PHASE_FN(setup) void connectPort(Direction d, const PortIo &io);
     /** Attaches the processing element. */
     void setNic(NicIf *nic) { nic_ = nic; }
     /**
@@ -137,7 +138,7 @@ class Router
      */
     void setObserver(obs::Recorder *obs) { obs_ = obs; }
     /** Registers the adjacent router behind port @p d (handshake wires). */
-    void setNeighbor(Direction d, Router *r);
+    NOC_PHASE_FN(setup) void setNeighbor(Direction d, Router *r);
 
     /**
      * Registers the idle-skip wake flag of the router behind output
@@ -145,6 +146,7 @@ class Router
      * active so the engine's fast path never skips a router with an
      * event in flight toward it (see sim/network.h).
      */
+    NOC_PHASE_FN(setup)
     void
     setWakeFlag(Direction d, std::atomic<std::uint8_t> *flag)
     {
@@ -305,7 +307,7 @@ class Router
      * slots behind each cardinal output, each starting with
      * @p bufferDepth credits. Called from subclass constructors.
      */
-    void initOutputVcs(int slotsPerDir, int bufferDepth);
+    NOC_PHASE_FN(setup) void initOutputVcs(int slotsPerDir, int bufferDepth);
 
 
     OutputVc &
@@ -323,9 +325,10 @@ class Router
     int outputSlots() const { return slotsPerDir_; }
 
     /** Pushes @p f downstream on @p d and counts the link traversal. */
-    void sendFlit(Direction d, const Flit &f, Cycle now);
+    NOC_PHASE_FN(send) void sendFlit(Direction d, const Flit &f, Cycle now);
 
     /** Returns a credit for VC id @p vcId to the upstream on @p inDir. */
+    NOC_PHASE_FN(send)
     void sendCredit(Direction inDir, std::uint8_t vcId, Cycle now);
 
     /**
@@ -334,6 +337,7 @@ class Router
      * skipped without touching the channel object.
      */
     template <typename ApplyFn>
+    NOC_PHASE_FN(recv)
     void
     receiveCredits(Cycle now, ApplyFn &&apply)
     {
@@ -359,6 +363,7 @@ class Router
      * in the channel until consumeFlitFrom(d) discards it; consume
      * before stepping any other router.
      */
+    NOC_PHASE_FN(recv)
     const Flit *
     peekFlitFrom(int d, Cycle now) const
     {
@@ -370,6 +375,7 @@ class Router
     }
 
     /** Discards the flit returned by peekFlitFrom(@p d). */
+    NOC_PHASE_FN(recv)
     void
     consumeFlitFrom(int d)
     {
@@ -452,7 +458,7 @@ class Router
     }
 
     /** Removes and returns the front of the source queue. */
-    Flit
+    Flit // noc-lint:allow(flit-copy) injection hand-off out of the ring
     nicPopPending()
     {
         return srcQueue_ ? srcQueue_->pop_front() : nic_->popPending();
@@ -507,10 +513,16 @@ class Router
      * node itself — so relaxed load/store (never RMW) suffices; the
      * atomic type keeps the cross-shard handoff tsan-clean.
      */
+    NOC_PHASE_STATE(recv, send)
     std::atomic<std::uint16_t> pendFlitIn_[kNumCardinal] = {};
+    NOC_PHASE_STATE(recv, send)
     std::atomic<std::uint16_t> pendCreditIn_[kNumCardinal] = {};
+    static_assert(std::atomic<std::uint16_t>::is_always_lock_free,
+                  "occupancy mirrors must be plain lock-free stores; a "
+                  "locking atomic would serialise every shard on a mutex");
 
     /** Phase-serialised single-writer increment (no RMW needed). */
+    NOC_PHASE_FN(send)
     static void
     bumpPend(std::atomic<std::uint16_t> &c)
     {

@@ -67,11 +67,11 @@ class VcBuffer
         return base_[head_];
     }
 
-    Flit
+    Flit // noc-lint:allow(flit-copy) the one sanctioned copy out of the VC FIFO
     pop()
     {
         NOC_ASSERT(!empty(), "pop() on empty VC buffer");
-        Flit f = base_[head_];
+        Flit f = base_[head_]; // noc-lint:allow(flit-copy) same copy, FIFO slot is reused next push
         head_ = wrap(head_ + 1);
         --size_;
         return f;

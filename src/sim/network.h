@@ -9,8 +9,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <type_traits>
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/config.h"
 #include "fault/fault.h"
 #include "power/energy_model.h"
@@ -48,6 +50,7 @@ class Network
      * order canonical. The sharded engine (src/par) runs the identical
      * schedule, which keeps its results bit-identical to this loop.
      */
+    NOC_PHASE_FN(engine)
     void step(Cycle now, bool generationEnabled, bool measured);
 
     const MeshTopology &topology() const { return topo_; }
@@ -84,6 +87,7 @@ class Network
     /** Folds a shard worker's step counts in (sharded engine); the
      *  skip decisions are bit-identical to serial, so the reduced
      *  totals match the serial loop's. */
+    NOC_PHASE_FN(epilogue)
     void addRouterSteps(std::uint64_t executed, std::uint64_t scheduled)
     {
         stepsExecuted_ += executed;
@@ -94,6 +98,7 @@ class Network
     std::uint64_t packetsGenerated() const { return generatedBase1_; }
 
     /** Folds externally-counted generated packets in (sharded engine). */
+    NOC_PHASE_FN(epilogue)
     void addGenerated(std::uint64_t n) { generatedBase1_ += n; }
 
     /** Trace traffic: true once every node's schedule has replayed. */
@@ -122,6 +127,7 @@ class Network
     void bindNodeLedger(NodeId n, FlitLedger *l);
 
     /** Overwrites the master ledger with reduced shard totals. */
+    NOC_PHASE_FN(epilogue)
     void setLedgerTotals(const FlitLedger &l) { ledger_ = l; }
 
     /**
@@ -157,7 +163,7 @@ class Network
     void checkProtocolInvariants(Cycle now) const;
 
   private:
-    void build(const std::vector<FaultSpec> &faults);
+    NOC_PHASE_FN(setup) void build(const std::vector<FaultSpec> &faults);
 
     SimConfig cfg_;
     MeshTopology topo_;
@@ -169,12 +175,15 @@ class Network
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::unique_ptr<TraceSchedule> trace_;
+    NOC_PHASE_STATE(engine, epilogue)
     std::uint64_t generatedBase1_ = 1;
     FlitLedger ledger_;
     /** Per-node idle-skip flags (see activeFlag()). */
     std::unique_ptr<std::atomic<std::uint8_t>[]> active_;
     bool idleSkip_ = true;
+    NOC_PHASE_STATE(engine, epilogue)
     std::uint64_t stepsExecuted_ = 0;
+    NOC_PHASE_STATE(engine, epilogue)
     std::uint64_t stepsScheduled_ = 0;
     /** Router step order: node ids per schedule phase, ascending. */
     std::vector<NodeId> phases_[kNumStepPhases];
@@ -188,6 +197,10 @@ class Network
         Router *r;
         std::atomic<std::uint8_t> *flag;
     };
+    static_assert(std::is_trivially_copyable_v<PhaseEntry> &&
+                      sizeof(PhaseEntry) == 2 * sizeof(void *),
+                  "PhaseEntry is the serial engine's inner-loop stride; "
+                  "keep it two raw pointers, nothing else");
     std::vector<PhaseEntry> flatPhases_;
     std::uint32_t phaseOfs_[kNumStepPhases + 1] = {};
 };

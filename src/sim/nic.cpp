@@ -98,7 +98,7 @@ Nic::peekPending() const
     return sourceQueue_.front();
 }
 
-Flit
+Flit // noc-lint:allow(flit-copy) ring hand-off, slot is recycled
 Nic::popPending()
 {
     NOC_ASSERT(!sourceQueue_.empty(), "pop on empty source queue");

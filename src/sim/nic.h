@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/config.h"
 #include "common/flit.h"
 #include "common/ring.h"
@@ -42,6 +43,7 @@ class Nic : public NicIf
      * identical whether the NICs run serially or sharded across
      * threads (src/par).
      */
+    NOC_PHASE_FN(inject)
     int generate(Cycle now, bool measured, bool generationEnabled);
 
     /** Attaches the network-wide flit lifecycle counters (may be null). */
@@ -78,8 +80,8 @@ class Nic : public NicIf
     // NicIf
     bool hasPending() const override { return !sourceQueue_.empty(); }
     const Flit &peekPending() const override;
-    Flit popPending() override;
-    void deliverFlit(const Flit &f, Cycle now) override;
+    Flit popPending() override; // noc-lint:allow(flit-copy) ring hand-off
+    NOC_PHASE_FN(recv) void deliverFlit(const Flit &f, Cycle now) override;
 
     // Statistics
     std::uint64_t injectedPackets() const { return injected_; }
@@ -97,6 +99,7 @@ class Nic : public NicIf
 
   private:
     /** Enqueues one packet with an already-assigned id. */
+    NOC_PHASE_FN(inject)
     void enqueueWithId(NodeId dst, Cycle now, std::uint64_t pid,
                        bool measured, bool yxOrder);
 

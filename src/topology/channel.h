@@ -13,6 +13,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 
 #include "common/flit.h"
 #include "common/log.h"
@@ -25,6 +26,10 @@ namespace noc {
 struct Credit {
     std::uint8_t vc = 0;
 };
+static_assert(std::is_trivially_copyable_v<Credit> &&
+                  sizeof(Credit) == 1,
+              "Credit is one wire byte; the delay-line rings copy it "
+              "by value every hop");
 
 /**
  * Single-reader single-writer delay line.

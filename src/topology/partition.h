@@ -38,11 +38,31 @@ namespace noc {
 inline constexpr int kNumStepPhases = 5;
 
 /** Schedule phase of mesh coordinate (x, y); see the file header. */
-inline int
+inline constexpr int
 stepPhase(int x, int y)
 {
     return (x + 2 * y) % kNumStepPhases;
 }
+
+/**
+ * Compile-time spot checks of the distance-2 property the whole
+ * sharded engine rests on: no node shares a phase with any node at
+ * Manhattan distance 1 or 2 (the footprint of one router step). The
+ * file header proves it for the general case; these pin the formula
+ * against an accidental edit of stepPhase.
+ */
+static_assert(stepPhase(2, 3) != stepPhase(3, 3) &&     // distance 1
+                  stepPhase(2, 3) != stepPhase(2, 4) &&
+                  stepPhase(2, 3) != stepPhase(4, 3) && // distance 2
+                  stepPhase(2, 3) != stepPhase(2, 5) &&
+                  stepPhase(2, 3) != stepPhase(3, 4) &&
+                  stepPhase(2, 3) != stepPhase(1, 2),
+              "stepPhase no longer separates the distance-2 "
+              "neighbourhood; the pentachromatic schedule is broken");
+static_assert(stepPhase(0, 0) == stepPhase(5, 0) &&
+                  stepPhase(0, 0) == stepPhase(1, 2),
+              "stepPhase must tile with period (5,0)/(1,2): same-phase "
+              "nodes sit at Manhattan distance >= 3");
 
 class ShardPlan
 {

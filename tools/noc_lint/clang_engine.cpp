@@ -1,0 +1,308 @@
+// Clang libTooling engine for the phase-discipline rule family.
+//
+// Reads the [[clang::annotate("noc_phase_fn:<p>")]] and
+// [[clang::annotate("noc_phase_state:<p1>, <p2>")]] attributes that
+// src/common/annotations.h expands to under clang, then walks every
+// function body and flags:
+//
+//   * writes to phase-guarded members from a function annotated with a
+//     phase outside the member's allowed set  -> phase-cross-write
+//   * writes to phase-guarded members from a function with no phase
+//     annotation at all (constructors are implicitly "setup")
+//                                             -> phase-unguarded-write
+//
+// Cross-router access is left to the portable engine: the sanctioned
+// neighbour APIs are identified by name, which the token engine does
+// just as precisely.
+//
+// This TU is only compiled when CMake found Clang dev packages AND
+// -DNOC_LINT_CLANG_ENGINE=ON; everything else in noc_lint builds
+// without any LLVM dependency.
+
+#include "clang_engine.h"
+
+#include <clang/AST/Attr.h>
+#include <clang/AST/RecursiveASTVisitor.h>
+#include <clang/Frontend/CompilerInstance.h>
+#include <clang/Frontend/FrontendAction.h>
+#include <clang/Tooling/CompilationDatabase.h>
+#include <clang/Tooling/Tooling.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+
+namespace noclint {
+namespace {
+
+constexpr const char kFnPrefix[] = "noc_phase_fn:";
+constexpr const char kStatePrefix[] = "noc_phase_state:";
+
+std::string
+annotationOf(const clang::Decl *d, const char *prefix)
+{
+    for (const auto *attr : d->specific_attrs<clang::AnnotateAttr>()) {
+        const std::string text = attr->getAnnotation().str();
+        if (text.rfind(prefix, 0) == 0)
+            return text.substr(std::string(prefix).size());
+    }
+    return {};
+}
+
+std::set<std::string>
+splitPhases(const std::string &list)
+{
+    std::set<std::string> out;
+    std::string cur;
+    for (char c : list + ",") {
+        if (c == ',') {
+            if (!cur.empty())
+                out.insert(cur);
+            cur.clear();
+        } else if (c != ' ' && c != '\t') {
+            cur += c;
+        }
+    }
+    return out;
+}
+
+std::string
+joinPhases(const std::set<std::string> &phases)
+{
+    std::string out;
+    for (const auto &p : phases)
+        out += (out.empty() ? "" : ", ") + p;
+    return out;
+}
+
+class PhaseVisitor : public clang::RecursiveASTVisitor<PhaseVisitor> {
+public:
+    PhaseVisitor(clang::ASTContext &ctx, std::vector<Diag> &diags)
+        : ctx_(ctx), diags_(diags)
+    {
+    }
+
+    bool
+    TraverseFunctionDecl(clang::FunctionDecl *fd)
+    {
+        return traverseWithPhase(fd);
+    }
+
+    bool
+    TraverseCXXMethodDecl(clang::CXXMethodDecl *md)
+    {
+        return traverseWithPhase(md);
+    }
+
+    bool
+    TraverseCXXConstructorDecl(clang::CXXConstructorDecl *cd)
+    {
+        // Constructors are implicitly setup-phase: may write anything.
+        const SavedFn saved = fn_;
+        fn_ = {cd, "setup"};
+        const bool ok =
+            clang::RecursiveASTVisitor<PhaseVisitor>::TraverseCXXConstructorDecl(
+                cd);
+        fn_ = saved;
+        return ok;
+    }
+
+    bool
+    VisitBinaryOperator(clang::BinaryOperator *bo)
+    {
+        if (bo->isAssignmentOp())
+            checkWrite(bo->getLHS());
+        return true;
+    }
+
+    bool
+    VisitUnaryOperator(clang::UnaryOperator *uo)
+    {
+        if (uo->isIncrementDecrementOp())
+            checkWrite(uo->getSubExpr());
+        return true;
+    }
+
+    bool
+    VisitCXXOperatorCallExpr(clang::CXXOperatorCallExpr *ce)
+    {
+        // Compound assignment through overloaded operators (e.g. the
+        // std::atomic += used by the occupancy mirrors).
+        const auto op = ce->getOperator();
+        if (ce->getNumArgs() >= 1 &&
+            (op == clang::OO_Equal || op == clang::OO_PlusEqual ||
+             op == clang::OO_MinusEqual || op == clang::OO_PlusPlus ||
+             op == clang::OO_MinusMinus))
+            checkWrite(ce->getArg(0));
+        return true;
+    }
+
+    bool
+    VisitCXXMemberCallExpr(clang::CXXMemberCallExpr *ce)
+    {
+        // Mutating atomic methods count as writes to the object.
+        const auto *method = ce->getMethodDecl();
+        if (!method)
+            return true;
+        const std::string name = method->getNameAsString();
+        if (name == "store" || name == "exchange" ||
+            name.rfind("fetch_", 0) == 0 ||
+            name.rfind("compare_exchange", 0) == 0)
+            checkWrite(ce->getImplicitObjectArgument());
+        return true;
+    }
+
+private:
+    struct SavedFn {
+        const clang::FunctionDecl *decl = nullptr;
+        std::string phase; // empty = unannotated
+    };
+
+    template <typename FnDecl>
+    bool
+    traverseWithPhase(FnDecl *fd)
+    {
+        const SavedFn saved = fn_;
+        fn_ = {fd, annotationOf(fd, kFnPrefix)};
+        const bool ok =
+            clang::RecursiveASTVisitor<PhaseVisitor>::TraverseFunctionDecl(fd);
+        fn_ = saved;
+        return ok;
+    }
+
+    // Peel casts/subscripts/references off an lvalue until the member
+    // (if any) at its root is visible.
+    const clang::MemberExpr *
+    rootMember(const clang::Expr *e) const
+    {
+        while (e) {
+            e = e->IgnoreParenImpCasts();
+            if (const auto *sub = clang::dyn_cast<clang::ArraySubscriptExpr>(e)) {
+                e = sub->getBase();
+                continue;
+            }
+            if (const auto *me = clang::dyn_cast<clang::MemberExpr>(e))
+                return me;
+            return nullptr;
+        }
+        return nullptr;
+    }
+
+    void
+    checkWrite(const clang::Expr *lhs)
+    {
+        if (!fn_.decl || fn_.phase == "setup")
+            return;
+        const clang::MemberExpr *me = rootMember(lhs);
+        if (!me)
+            return;
+        const auto *field =
+            clang::dyn_cast<clang::FieldDecl>(me->getMemberDecl());
+        if (!field)
+            return;
+        const std::string guard = annotationOf(field, kStatePrefix);
+        if (guard.empty())
+            return;
+        const std::set<std::string> allowed = splitPhases(guard);
+
+        const clang::SourceManager &sm = ctx_.getSourceManager();
+        const clang::SourceLocation loc = me->getExprLoc();
+        if (sm.isInSystemHeader(loc))
+            return;
+        Diag d;
+        d.file = sm.getFilename(loc).str();
+        d.line = static_cast<int>(sm.getSpellingLineNumber(loc));
+        d.col = static_cast<int>(sm.getSpellingColumnNumber(loc));
+
+        std::ostringstream msg;
+        if (fn_.phase.empty()) {
+            d.rule = "phase-unguarded-write";
+            msg << "write to phase-guarded '" << field->getNameAsString()
+                << "' (allowed phases: " << joinPhases(allowed) << ") from '"
+                << fn_.decl->getQualifiedNameAsString()
+                << "', which has no NOC_PHASE_FN annotation";
+        } else if (!allowed.count(fn_.phase)) {
+            d.rule = "phase-cross-write";
+            msg << "'" << fn_.decl->getQualifiedNameAsString() << "' (phase "
+                << fn_.phase << ") writes phase-guarded '"
+                << field->getNameAsString()
+                << "' (allowed phases: " << joinPhases(allowed) << ")";
+        } else {
+            return;
+        }
+        d.message = msg.str();
+        diags_.push_back(d);
+    }
+
+    clang::ASTContext &ctx_;
+    std::vector<Diag> &diags_;
+    SavedFn fn_;
+};
+
+class PhaseConsumer : public clang::ASTConsumer {
+public:
+    explicit PhaseConsumer(std::vector<Diag> &diags) : diags_(diags) {}
+
+    void
+    HandleTranslationUnit(clang::ASTContext &ctx) override
+    {
+        PhaseVisitor v(ctx, diags_);
+        v.TraverseDecl(ctx.getTranslationUnitDecl());
+    }
+
+private:
+    std::vector<Diag> &diags_;
+};
+
+class PhaseAction : public clang::ASTFrontendAction {
+public:
+    explicit PhaseAction(std::vector<Diag> &diags) : diags_(diags) {}
+
+    std::unique_ptr<clang::ASTConsumer>
+    CreateASTConsumer(clang::CompilerInstance &, llvm::StringRef) override
+    {
+        return std::make_unique<PhaseConsumer>(diags_);
+    }
+
+private:
+    std::vector<Diag> &diags_;
+};
+
+class PhaseActionFactory : public clang::tooling::FrontendActionFactory {
+public:
+    explicit PhaseActionFactory(std::vector<Diag> &diags) : diags_(diags) {}
+
+    std::unique_ptr<clang::FrontendAction>
+    create() override
+    {
+        return std::make_unique<PhaseAction>(diags_);
+    }
+
+private:
+    std::vector<Diag> &diags_;
+};
+
+} // namespace
+
+std::vector<Diag>
+runClangPhaseChecks(const std::vector<std::string> &paths,
+                    const std::string &buildDir)
+{
+    std::string err;
+    auto db = clang::tooling::CompilationDatabase::loadFromDirectory(buildDir,
+                                                                     err);
+    std::vector<Diag> diags;
+    if (!db) {
+        diags.push_back({buildDir, 0, 0, "read-error",
+                         "no compile database: " + err});
+        return diags;
+    }
+    clang::tooling::ClangTool tool(*db, paths);
+    PhaseActionFactory factory(diags);
+    tool.run(&factory);
+    return diags;
+}
+
+} // namespace noclint

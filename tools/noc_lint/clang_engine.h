@@ -1,0 +1,21 @@
+// AST-accurate phase-discipline checks built on clang libTooling.
+// Only compiled when NOC_LINT_WITH_CLANG is defined (CMake option
+// NOC_LINT_CLANG_ENGINE + Clang dev packages found); the portable
+// engine in lint_core.cpp covers the same rules everywhere else.
+#pragma once
+
+#include "lint_core.h"
+
+#include <string>
+#include <vector>
+
+namespace noclint {
+
+// Runs the phase-family checks over `paths` using the compile database
+// in `buildDir`. Returns AST-verified diagnostics in the same Diag
+// vocabulary as the portable engine (phase-cross-write,
+// phase-unguarded-write, cross-router-access).
+std::vector<Diag> runClangPhaseChecks(const std::vector<std::string> &paths,
+                                      const std::string &buildDir);
+
+} // namespace noclint

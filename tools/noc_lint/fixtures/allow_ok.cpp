@@ -1,0 +1,17 @@
+// Fixture: a sanctioned violation with a same-line allow comment.
+// Expected: zero diagnostics (the flit copy is suppressed and the
+// suppression is used, so no stale-allow either).
+struct Flit {
+    unsigned long id = 0;
+};
+
+struct Ring {
+    Flit slots[4];
+};
+
+unsigned long
+take(Ring &r)
+{
+    Flit f = r.slots[0]; // noc-lint:allow(flit-copy) sanctioned hand-off
+    return f.id;
+}

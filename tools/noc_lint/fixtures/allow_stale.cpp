@@ -1,0 +1,8 @@
+// Fixture: an allow comment that suppresses nothing.
+// Expected: exactly one noc-lint-stale-allow.
+int
+clean()
+{
+    // noc-lint:allow(det-rand) nothing random here any more
+    return 42;
+}

@@ -1,0 +1,29 @@
+// Fixture: reaching into a neighbouring router's private state outside
+// the sanctioned APIs. Expected: exactly one noc-lint-cross-router-access
+// (the send-phase mirror bump is sanctioned and must NOT be flagged).
+#define NOC_PHASE_FN(phase)
+#define NOC_PHASE_STATE(...)
+
+struct Router {
+    NOC_PHASE_STATE(recv, send) int pendFlitIn_[4] = {};
+    int workItems_ = 0;
+    Router *neighbors_[4] = {};
+
+    Router *neighbor(int d) const { return neighbors_[d]; }
+
+    NOC_PHASE_FN(send)
+    void
+    sendFlit(int d)
+    {
+        Router *nb = neighbors_[d];
+        nb->pendFlitIn_[0] += 1; // ok: send-phase occupancy mirror
+    }
+
+    NOC_PHASE_FN(alloc)
+    void
+    allocate(int d)
+    {
+        Router *nb = neighbors_[d];
+        nb->workItems_ = 0; // BAD: bypasses the neighbour API
+    }
+};

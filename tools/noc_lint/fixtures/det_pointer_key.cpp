@@ -1,0 +1,7 @@
+// Fixture: pointer-valued ordering key.
+// Expected: exactly one noc-lint-det-pointer-key.
+#include <map>
+
+struct Router;
+
+std::map<Router *, int> rank_; // BAD: order follows the allocator

@@ -1,0 +1,9 @@
+// Fixture: libc randomness outside common/rng.*.
+// Expected: exactly one noc-lint-det-rand.
+#include <cstdlib>
+
+int
+jitter()
+{
+    return rand() % 8; // BAD: not seed-reproducible
+}

@@ -1,0 +1,12 @@
+// Fixture: iterating an unordered container in result-affecting code.
+// Expected: exactly one noc-lint-det-unordered-iter.
+#include <unordered_map>
+
+unsigned long
+sum(const std::unordered_map<unsigned, unsigned> &load)
+{
+    unsigned long t = 0;
+    for (const auto &kv : load) // BAD: hash-order leaks into the result
+        t += kv.second;
+    return t;
+}

@@ -1,0 +1,10 @@
+// Fixture: default-constructed std random engine.
+// Expected: exactly one noc-lint-det-unseeded-rng.
+#include <random>
+
+unsigned
+draw()
+{
+    std::mt19937 gen; // BAD: implementation-defined default seed
+    return gen();
+}

@@ -1,0 +1,11 @@
+// Fixture: wall-clock read in simulation code.
+// Expected: exactly one noc-lint-det-wallclock.
+#include <chrono>
+
+long long
+stamp()
+{
+    return std::chrono::steady_clock::now() // BAD: wall time in results
+        .time_since_epoch()
+        .count();
+}

@@ -1,0 +1,21 @@
+// Fixture: an unsanctioned Flit copy.
+// Expected: exactly one noc-lint-flit-copy. The pointer and reference
+// uses must NOT be flagged.
+struct Flit {
+    unsigned long id = 0;
+    unsigned payload = 0;
+};
+
+struct Buf {
+    Flit slots[4];
+    const Flit &front() const { return slots[0]; }
+};
+
+unsigned long
+peekId(Buf &b)
+{
+    const Flit &r = b.front(); // ok: reference, no copy
+    const Flit *p = &r;        // ok: pointer, no copy
+    Flit f = b.front();        // BAD: second copy on the hop
+    return f.id + p->id;
+}

@@ -1,0 +1,9 @@
+// Fixture: a by-value Flit return in an interface.
+// Expected: exactly one noc-lint-flit-copy on the declaration.
+struct Flit {
+    unsigned long id = 0;
+};
+
+struct Ring {
+    Flit pop(); // BAD: by-value return forces a copy at every call site
+};

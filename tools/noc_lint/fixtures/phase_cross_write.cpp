@@ -1,0 +1,22 @@
+// Fixture: a send-phase function writing recv-guarded state.
+// Expected: exactly one noc-lint-phase-cross-write on the marked line.
+#define NOC_PHASE_FN(phase)
+#define NOC_PHASE_STATE(...)
+
+struct R {
+    NOC_PHASE_STATE(recv) int inCount_ = 0;
+
+    NOC_PHASE_FN(recv)
+    void
+    onRecv()
+    {
+        inCount_ += 1; // ok: recv writes recv-guarded state
+    }
+
+    NOC_PHASE_FN(send)
+    void
+    onSend()
+    {
+        inCount_ = 7; // BAD: send-phase write to recv-guarded state
+    }
+};

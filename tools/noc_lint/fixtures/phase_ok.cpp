@@ -1,0 +1,33 @@
+// Fixture: a correctly annotated router slice.
+// Expected: zero diagnostics.
+#define NOC_PHASE_FN(phase)
+#define NOC_PHASE_STATE(...)
+
+struct Router {
+    NOC_PHASE_STATE(recv, send) int pendFlitIn_[4] = {};
+    NOC_PHASE_STATE(alloc) int grants_ = 0;
+    Router *neighbors_[4] = {};
+
+    NOC_PHASE_FN(recv)
+    void
+    receiveFlits()
+    {
+        pendFlitIn_[0] -= 1;
+    }
+
+    NOC_PHASE_FN(alloc)
+    void
+    allocateSwitch()
+    {
+        grants_ += 1;
+    }
+
+    NOC_PHASE_FN(send)
+    void
+    sendFlit(int d)
+    {
+        Router *nb = neighbors_[d];
+        nb->pendFlitIn_[0] += 1; // sanctioned occupancy mirror
+        pendFlitIn_[1] = 0;      // own state, send is an allowed phase
+    }
+};

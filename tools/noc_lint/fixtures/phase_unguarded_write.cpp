@@ -1,0 +1,27 @@
+// Fixture: an unannotated function writing phase-guarded state.
+// Expected: exactly one noc-lint-phase-unguarded-write. The ctor write
+// is implicitly setup and must NOT be flagged.
+#define NOC_PHASE_FN(phase)
+#define NOC_PHASE_STATE(...)
+
+struct Shared {
+    NOC_PHASE_STATE(epilogue) unsigned long total = 0;
+
+    Shared()
+    {
+        total = 0; // ok: constructors are implicitly setup
+    }
+
+    NOC_PHASE_FN(epilogue)
+    void
+    fold(unsigned long v)
+    {
+        total += v; // ok
+    }
+
+    void
+    reset()
+    {
+        total = 0; // BAD: no NOC_PHASE_FN annotation
+    }
+};

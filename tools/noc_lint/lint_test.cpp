@@ -1,0 +1,264 @@
+// Tests for the noc_lint portable engine: each fixture must produce
+// exactly its expected diagnostics, the real source tree must come back
+// clean, and the suppression / baseline machinery must behave.
+
+#include "lint_core.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+using noclint::Diag;
+using noclint::RunResult;
+
+namespace {
+
+std::string
+fixture(const std::string &name)
+{
+    return std::string(NOC_LINT_FIXTURE_DIR) + "/" + name;
+}
+
+RunResult
+runFixture(const std::string &name)
+{
+    return noclint::runPortable({fixture(name)});
+}
+
+std::string
+dump(const std::vector<Diag> &diags)
+{
+    std::ostringstream os;
+    for (const auto &d : diags)
+        os << "  " << noclint::formatDiag(d) << "\n";
+    return os.str();
+}
+
+// Expect exactly one diagnostic of `rule` on `line` of the fixture.
+void
+expectSingle(const std::string &name, const std::string &rule, int line)
+{
+    RunResult r = runFixture(name);
+    ASSERT_EQ(r.diags.size(), 1u)
+        << name << " diagnostics:\n"
+        << dump(r.diags);
+    EXPECT_EQ(r.diags[0].rule, rule) << dump(r.diags);
+    EXPECT_EQ(r.diags[0].line, line) << dump(r.diags);
+}
+
+} // namespace
+
+TEST(Fixtures, PhaseCrossWrite)
+{
+    expectSingle("phase_cross_write.cpp", "phase-cross-write", 20);
+}
+
+TEST(Fixtures, PhaseUnguardedWrite)
+{
+    expectSingle("phase_unguarded_write.cpp", "phase-unguarded-write", 25);
+}
+
+TEST(Fixtures, CrossRouterAccess)
+{
+    expectSingle("cross_router_access.cpp", "cross-router-access", 27);
+}
+
+TEST(Fixtures, DetUnorderedIter)
+{
+    expectSingle("det_unordered_iter.cpp", "det-unordered-iter", 9);
+}
+
+TEST(Fixtures, DetRand)
+{
+    expectSingle("det_rand.cpp", "det-rand", 8);
+}
+
+TEST(Fixtures, DetWallclock)
+{
+    expectSingle("det_wallclock.cpp", "det-wallclock", 8);
+}
+
+TEST(Fixtures, DetPointerKey)
+{
+    expectSingle("det_pointer_key.cpp", "det-pointer-key", 7);
+}
+
+TEST(Fixtures, DetUnseededRng)
+{
+    expectSingle("det_unseeded_rng.cpp", "det-unseeded-rng", 8);
+}
+
+TEST(Fixtures, FlitCopy)
+{
+    expectSingle("flit_copy.cpp", "flit-copy", 19);
+}
+
+TEST(Fixtures, FlitReturn)
+{
+    expectSingle("flit_return.cpp", "flit-copy", 8);
+}
+
+TEST(Fixtures, AllowOk)
+{
+    RunResult r = runFixture("allow_ok.cpp");
+    EXPECT_TRUE(r.diags.empty()) << dump(r.diags);
+    ASSERT_EQ(r.suppressed.size(), 1u);
+    EXPECT_EQ(r.suppressed[0].rule, "flit-copy");
+}
+
+TEST(Fixtures, AllowStale)
+{
+    expectSingle("allow_stale.cpp", "stale-allow", 6);
+    RunResult r = runFixture("allow_stale.cpp");
+    EXPECT_NE(r.diags[0].message.find("remove dead allow"),
+              std::string::npos)
+        << r.diags[0].message;
+}
+
+TEST(Fixtures, PhaseOk)
+{
+    RunResult r = runFixture("phase_ok.cpp");
+    EXPECT_TRUE(r.diags.empty()) << dump(r.diags);
+}
+
+// Each fixture exercises exactly one rule; together they must cover
+// every rule the engine knows about (except read-error, which is not a
+// source-level rule).
+TEST(Fixtures, CoverEveryRule)
+{
+    std::vector<std::string> hit;
+    for (const auto &e : fs::directory_iterator(NOC_LINT_FIXTURE_DIR)) {
+        RunResult r = noclint::runPortable({e.path().string()});
+        for (const auto &d : r.diags)
+            hit.push_back(d.rule);
+        for (const auto &d : r.suppressed)
+            hit.push_back(d.rule);
+    }
+    for (const auto &rule : noclint::ruleIds()) {
+        EXPECT_NE(std::find(hit.begin(), hit.end(), rule), hit.end())
+            << "no fixture triggers rule " << rule;
+    }
+}
+
+// The real tree must be clean: every genuine finding has either been
+// fixed or carries an explicit noc-lint:allow() at the sanctioned site.
+TEST(Tree, SourceTreeIsClean)
+{
+    std::vector<std::string> paths;
+    const fs::path root(NOC_LINT_SOURCE_DIR);
+    for (const auto &e : fs::recursive_directory_iterator(root / "src")) {
+        if (!e.is_regular_file())
+            continue;
+        const std::string ext = e.path().extension().string();
+        if (ext == ".h" || ext == ".cpp")
+            paths.push_back(e.path().string());
+    }
+    for (const auto &e : fs::directory_iterator(root / "examples")) {
+        if (e.is_regular_file() && e.path().extension() == ".cpp")
+            paths.push_back(e.path().string());
+    }
+    std::sort(paths.begin(), paths.end());
+    ASSERT_FALSE(paths.empty());
+
+    RunResult r = noclint::runPortable(paths);
+    EXPECT_TRUE(r.diags.empty())
+        << "noc_lint findings on the tree:\n"
+        << dump(r.diags);
+}
+
+TEST(Suppression, SameLineAndLineAbove)
+{
+    std::vector<Diag> diags = {
+        {"f.cpp", 10, 5, "det-rand", "m"},
+        {"f.cpp", 21, 5, "flit-copy", "m"},
+        {"f.cpp", 30, 5, "det-rand", "m"},
+    };
+    std::vector<noclint::AllowComment> allows = {
+        {"f.cpp", 10, {"det-rand"}, false},  // same line
+        {"f.cpp", 20, {"flit-copy"}, false}, // line above
+        {"f.cpp", 40, {"det-rand"}, false},  // matches nothing -> stale
+    };
+    RunResult out = noclint::applySuppressions(diags, allows);
+    ASSERT_EQ(out.diags.size(), 2u) << dump(out.diags);
+    EXPECT_EQ(out.diags[0].rule, "det-rand");
+    EXPECT_EQ(out.diags[0].line, 30);
+    EXPECT_EQ(out.diags[1].rule, "stale-allow");
+    EXPECT_EQ(out.diags[1].line, 40);
+    ASSERT_EQ(out.suppressed.size(), 2u);
+}
+
+TEST(Suppression, RuleMustMatch)
+{
+    std::vector<Diag> diags = {{"f.cpp", 10, 5, "det-rand", "m"}};
+    std::vector<noclint::AllowComment> allows = {
+        {"f.cpp", 10, {"flit-copy"}, false}};
+    RunResult out = noclint::applySuppressions(diags, allows);
+    // The diag survives and the allow is stale. Both land on line 10;
+    // the stale-allow (column 1) sorts first.
+    ASSERT_EQ(out.diags.size(), 2u) << dump(out.diags);
+    EXPECT_EQ(out.diags[0].rule, "stale-allow");
+    EXPECT_EQ(out.diags[1].rule, "det-rand");
+}
+
+TEST(Suppression, CollectParsesMultiRuleComment)
+{
+    const std::string text =
+        "int a; // noc-lint:allow(det-rand, flit-copy) two at once\n";
+    auto allows = noclint::collectAllowComments("x.cpp", text);
+    ASSERT_EQ(allows.size(), 1u);
+    EXPECT_EQ(allows[0].line, 1);
+    ASSERT_EQ(allows[0].rules.size(), 2u);
+    EXPECT_EQ(allows[0].rules[0], "det-rand");
+    EXPECT_EQ(allows[0].rules[1], "flit-copy");
+}
+
+TEST(Baseline, LoadSkipsCommentsAndBlanks)
+{
+    const fs::path tmp =
+        fs::temp_directory_path() / "noc_lint_baseline_test.txt";
+    {
+        std::ofstream os(tmp);
+        os << "# comment\n\n";
+        os << "src/a.cpp:10:5: warning: msg [noc-lint-det-rand]\n";
+    }
+    auto entries = noclint::loadBaseline(tmp.string());
+    fs::remove(tmp);
+    ASSERT_EQ(entries.size(), 1u);
+    EXPECT_NE(entries[0].find("det-rand"), std::string::npos);
+}
+
+TEST(Baseline, CompareSplitsFreshFixedMatched)
+{
+    std::vector<Diag> diags = {
+        {"src/a.cpp", 10, 5, "det-rand", "msg"},
+        {"src/b.cpp", 3, 1, "flit-copy", "msg"},
+    };
+    std::vector<std::string> baseline = {
+        noclint::formatDiag(diags[0]),
+        "src/gone.cpp:1:1: warning: old [noc-lint-det-rand]",
+    };
+    noclint::BaselineCompare c = noclint::compareBaseline(diags, baseline);
+    ASSERT_EQ(c.matched.size(), 1u);
+    ASSERT_EQ(c.fresh.size(), 1u);
+    EXPECT_NE(c.fresh[0].find("flit-copy"), std::string::npos);
+    ASSERT_EQ(c.fixed.size(), 1u);
+    EXPECT_NE(c.fixed[0].find("gone.cpp"), std::string::npos);
+}
+
+// The checked-in baseline must stay empty: new findings are fixed or
+// allow-listed at the site, never parked.
+TEST(Baseline, CheckedInBaselineIsEmpty)
+{
+    const std::string path =
+        std::string(NOC_LINT_SOURCE_DIR) + "/tools/noc_lint/baseline.txt";
+    auto entries = noclint::loadBaseline(path);
+    EXPECT_TRUE(entries.empty())
+        << "tools/noc_lint/baseline.txt has " << entries.size()
+        << " parked findings; fix them or allow-list at the site";
+}

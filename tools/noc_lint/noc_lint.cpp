@@ -1,0 +1,98 @@
+/**
+ * @file
+ * noc_lint command line: runs the project-specific checks over the
+ * given sources and compares against a baseline.
+ *
+ *   noc_lint [options] file...
+ *     --baseline FILE      compare findings against FILE (new = fail,
+ *                          fixed = informational)
+ *     --update-baseline    print the current findings in baseline form
+ *                          to stdout and exit 0
+ *     --list-rules         print every rule id and exit
+ *     --verbose            also print suppressed findings
+ *
+ * Exit status: 0 when no finding is outside the baseline, 1 otherwise,
+ * 2 on usage errors. Output format matches tools/run_clang_tidy.sh:
+ * one machine-readable line per diagnostic.
+ */
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "lint_core.h"
+
+int
+main(int argc, char **argv)
+{
+    std::string baselinePath;
+    bool updateBaseline = false;
+    bool verbose = false;
+    std::vector<std::string> files;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--baseline" && i + 1 < argc) {
+            baselinePath = argv[++i];
+        } else if (arg == "--update-baseline") {
+            updateBaseline = true;
+        } else if (arg == "--list-rules") {
+            for (const std::string &r : noclint::ruleIds())
+                std::printf("noc-lint-%s\n", r.c_str());
+            return 0;
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf("usage: noc_lint [--baseline FILE] "
+                        "[--update-baseline] [--list-rules] [--verbose] "
+                        "file...\n");
+            return 0;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "noc_lint: unknown option %s\n",
+                         arg.c_str());
+            return 2;
+        } else {
+            files.push_back(arg);
+        }
+    }
+    if (files.empty()) {
+        std::fprintf(stderr, "noc_lint: no input files\n");
+        return 2;
+    }
+
+    noclint::RunResult res = noclint::runPortable(files);
+
+    if (updateBaseline) {
+        for (const noclint::Diag &d : res.diags)
+            std::printf("%s\n", noclint::formatDiag(d).c_str());
+        return 0;
+    }
+
+    if (verbose) {
+        for (const noclint::Diag &d : res.suppressed)
+            std::printf("suppressed: %s\n",
+                        noclint::formatDiag(d).c_str());
+    }
+
+    std::vector<std::string> baseline =
+        noclint::loadBaseline(baselinePath);
+    noclint::BaselineCompare cmp =
+        noclint::compareBaseline(res.diags, baseline);
+
+    for (const std::string &l : cmp.matched)
+        std::printf("baselined: %s\n", l.c_str());
+    for (const std::string &l : cmp.fixed)
+        std::printf("fixed (remove from baseline): %s\n", l.c_str());
+    for (const std::string &l : cmp.fresh)
+        std::printf("%s\n", l.c_str());
+
+    if (!cmp.fresh.empty()) {
+        std::fprintf(stderr,
+                     "noc_lint: %zu new finding(s) not in baseline\n",
+                     cmp.fresh.size());
+        return 1;
+    }
+    std::printf("noc_lint: clean (%zu baselined, %zu suppressed at "
+                "sanctioned sites)\n",
+                cmp.matched.size(), res.suppressed.size());
+    return 0;
+}

@@ -1,0 +1,55 @@
+#!/bin/sh
+# Runs noc_lint (the project-specific phase/determinism/flit checker)
+# over the library sources. Mirrors tools/run_clang_tidy.sh: one stable
+# line per diagnostic, compared inside the binary against
+# tools/noc_lint/baseline.txt; fresh findings fail the run (exit 1),
+# fixed-since-baseline entries are reported informationally.
+#
+#   tools/noc_lint/run_noc_lint.sh [build-dir]        lint against baseline
+#   tools/noc_lint/run_noc_lint.sh --update-baseline [build-dir]
+#                                                     regenerate the baseline
+#
+# The build dir defaults to ./build. If the noc_lint binary is missing
+# there, the script tries to build just that target; if there is no
+# build tree at all it degrades to a notice and exits 0 so machines
+# without a configured tree do not fail the lint step.
+set -eu
+
+repo=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
+baseline="$repo/tools/noc_lint/baseline.txt"
+
+update=0
+if [ "${1:-}" = "--update-baseline" ]; then
+    update=1
+    shift
+fi
+build=${1:-"$repo/build"}
+
+bin="$build/tools/noc_lint/noc_lint"
+if [ ! -x "$bin" ]; then
+    if [ -f "$build/CMakeCache.txt" ]; then
+        cmake --build "$build" --target noc_lint -j >/dev/null
+    else
+        echo "run_noc_lint: no build tree in $build; skipping lint" >&2
+        echo "configure first: cmake -B build -S ." >&2
+        exit 0
+    fi
+fi
+
+# Same scope as run_clang_tidy.sh, plus headers: noc_lint parses files
+# directly (no compile database), so headers are first-class inputs.
+files=$(find "$repo/src" \( -name '*.cpp' -o -name '*.h' \) | sort
+        find "$repo/examples" -name '*.cpp' | sort)
+
+rel=$(printf '%s\n' $files | sed "s|^$repo/||")
+
+if [ "$update" = 1 ]; then
+    # --update-baseline prints current findings in baseline form.
+    # shellcheck disable=SC2086
+    (cd "$repo" && "$bin" --update-baseline $rel) >"$baseline"
+    echo "run_noc_lint: baseline updated ($(grep -c . "$baseline" || true) findings)"
+    exit 0
+fi
+
+# shellcheck disable=SC2086  # word-splitting the file list is the point
+cd "$repo" && exec "$bin" --baseline "$baseline" $rel

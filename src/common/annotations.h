@@ -37,6 +37,34 @@
  * codegen meaning). The portable noc_lint engine reads the macro
  * tokens straight from the source text, so the checks run even where
  * no Clang development headers exist.
+ *
+ * Ownership vocabulary (DESIGN section 14). On top of the phase set,
+ * every annotated member declares *who may reach it across the shard
+ * boundary*, which is what the distance-2 colouring actually protects:
+ *
+ *   NOC_OWNED_STATE(p1, ...)   router-private: written only through
+ *                              the owning object, from that object's
+ *                              phase-annotated methods. A write rooted
+ *                              at any other object is an ownership
+ *                              violation (noc-lint own-cross-write)
+ *                              even when the phase matches.
+ *   NOC_SHARED_ATOMIC(p1, ...) crosses the shard boundary by design
+ *                              (the occupancy mirrors): must be
+ *                              std::atomic (own-nonatomic-shared) and
+ *                              reachable from a neighbour only through
+ *                              the sanctioned mirror / reserveInputVc
+ *                              APIs (cross-router-access).
+ *   NOC_EPILOGUE_STATE         written only by the sharded engine's
+ *                              in-barrier epilogue (or setup); any
+ *                              other phase writing it escapes the
+ *                              single-threaded window the barrier
+ *                              release/acquire pair publishes
+ *                              (own-epilogue-escape).
+ *
+ * The dynamic counterpart is src/par/race_check.h: under
+ * -DNOC_RACE_CHECK=ON the engines log per-step access records for the
+ * owned/shared footprints and validate after every superstep that the
+ * schedule kept them disjoint.
  */
 #ifndef ROCOSIM_COMMON_ANNOTATIONS_H_
 #define ROCOSIM_COMMON_ANNOTATIONS_H_
@@ -45,9 +73,18 @@
 #define NOC_PHASE_FN(phase) [[clang::annotate("noc_phase_fn:" #phase)]]
 #define NOC_PHASE_STATE(...) \
     [[clang::annotate("noc_phase_state:" #__VA_ARGS__)]]
+#define NOC_OWNED_STATE(...) \
+    [[clang::annotate("noc_owned_state:" #__VA_ARGS__)]]
+#define NOC_SHARED_ATOMIC(...) \
+    [[clang::annotate("noc_shared_atomic:" #__VA_ARGS__)]]
+#define NOC_EPILOGUE_STATE \
+    [[clang::annotate("noc_epilogue_state:epilogue")]]
 #else
 #define NOC_PHASE_FN(phase)
 #define NOC_PHASE_STATE(...)
+#define NOC_OWNED_STATE(...)
+#define NOC_SHARED_ATOMIC(...)
+#define NOC_EPILOGUE_STATE
 #endif
 
 #endif // ROCOSIM_COMMON_ANNOTATIONS_H_

@@ -48,6 +48,27 @@ class SpinBarrier
     void
     arriveAndWait(Fn &&epilogue)
     {
+        // Ordering argument (audited in DESIGN section 14; the
+        // ShardBarrierTest tsan suite exercises every edge):
+        //
+        //   * the relaxed epoch read needs no ordering: it only picks
+        //     the value the subsequent acquire loads compare against,
+        //     and epoch_ is monotonic, so a stale read can only make
+        //     the waiter spin one extra iteration.
+        //   * arrived_.fetch_add must be acq_rel. The release half
+        //     publishes this worker's phase writes (router state,
+        //     race-checker lanes) to the last arriver that runs the
+        //     epilogue; the acquire half makes the last arriver's RMW
+        //     the sync point that sees *every* earlier party's writes
+        //     before the epilogue reads them.
+        //   * the arrived_ reset can be relaxed: only the epilogue
+        //     runner writes it while all other parties are parked, and
+        //     the epoch release below sequences it before any later
+        //     fetch_add from the released waiters.
+        //   * epoch_.store(release) / epoch_.load(acquire) is the
+        //     hand-off that publishes everything the single-threaded
+        //     epilogue wrote (sh.now / sh.stop / sh.totals — the
+        //     NOC_EPILOGUE_STATE members) to every waiter's next cycle.
         std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
         if (arrived_.fetch_add(1, std::memory_order_acq_rel) + 1 ==
             parties_) {
@@ -79,6 +100,11 @@ class SpinBarrier
     const bool spinFriendly_;
     std::atomic<int> arrived_{0};
     std::atomic<std::uint64_t> epoch_{0};
+    static_assert(std::atomic<int>::is_always_lock_free &&
+                      std::atomic<std::uint64_t>::is_always_lock_free,
+                  "a locking atomic would let the arrival RMW block "
+                  "while peers spin on the epoch — the barrier's "
+                  "forward-progress argument assumes lock-free both");
 };
 
 } // namespace noc::par

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic BSP-aware race checker for the shard schedule
+ * (DESIGN section 14).
+ *
+ * The sharded engine is data-race-free only because the pentachromatic
+ * step schedule (topology/partition.h) guarantees that two routers
+ * stepped in the same phase have disjoint footprints: a step touches
+ * the router's own state, plus each existing neighbour's
+ * reserveInputVc book-keeping, occupancy mirrors and wake flag. TSan
+ * can observe a violation only when two threads actually collide on
+ * the same run; this checker validates the *schedule invariant* itself
+ * — it logs an (object-id, phase, shard, cycle) access record for
+ * every footprint element of every executed step and, after each
+ * superstep, asserts that every conflicting pair is either
+ * same-shard-sequenced on one actor or a sanctioned commuting atomic.
+ * That catches a broken colouring even in a single-threaded run, where
+ * TSan structurally cannot.
+ *
+ * The checker class is always compiled (the seeded-bug fixture ctests
+ * drive it directly in every build); the engine hooks that feed it are
+ * compiled only under -DNOC_RACE_CHECK=ON and are runtime-gated by the
+ * NOC_RACE_CHECK environment variable ("0" disables, default on —
+ * mirroring the NOC_INVARIANT gate).
+ */
+#ifndef ROCOSIM_PAR_RACE_CHECK_H_
+#define ROCOSIM_PAR_RACE_CHECK_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/annotations.h"
+#include "common/types.h"
+
+#if defined(NOC_RACE_CHECK_HOOKS) && NOC_RACE_CHECK_HOOKS
+#define NOC_RACE_CHECK_BUILT 1
+#else
+#define NOC_RACE_CHECK_BUILT 0
+#endif
+
+namespace noc::par {
+
+/** What a footprint element is, which decides how accesses commute. */
+enum class AccessClass : std::uint8_t {
+    Owned,   ///< the stepped router's private pipeline state
+    Reserve, ///< a neighbour's input-VC reservation (reserveInputVc)
+    Mirror,  ///< a neighbour's occupancy mirror (pendFlitIn_/CreditIn_)
+    Wake,    ///< a neighbour's idle-skip wake flag (commuting store)
+};
+
+/** One logged access to owned/shared state within a superstep. */
+struct AccessRecord {
+    std::int32_t object = 0;  ///< stable object id (see objectName())
+    NodeId actor = 0;         ///< router whose step made the access
+    std::uint8_t phase = 0;   ///< schedule phase the step ran in
+    AccessClass cls = AccessClass::Owned;
+    std::uint16_t shard = 0;  ///< shard the access executed on
+    bool atomicOp = true;     ///< false models a non-atomic access
+};
+
+class RaceChecker
+{
+  public:
+    /** Checks a @p width x @p height mesh. */
+    RaceChecker(int width, int height);
+
+    /** Sizes the per-shard record lanes; call before the first cycle
+     *  (and again when the shard count changes). */
+    void beginRun(int shards);
+
+    /**
+     * Logs the full footprint of one executed router step: the
+     * router's own state, plus reservation/mirror/wake records for
+     * every existing neighbour. Thread-safe as long as each shard only
+     * logs into its own lane — exactly the engine's discipline.
+     */
+    void noteStep(NodeId n, int phase, int shard);
+
+    /** Logs one raw record (fixture tests and custom engine hooks). */
+    void noteAccess(const AccessRecord &rec, int shard);
+
+    /**
+     * End of superstep @p now: merges the lanes, validates that every
+     * same-(object, phase) pair of records from distinct actors is a
+     * commuting wake-flag store, and that every mirror access was
+     * atomic. Must run single-threaded (the serial loop between
+     * cycles, or the sharded engine's in-barrier epilogue). Clears the
+     * lanes for the next cycle.
+     */
+    NOC_PHASE_FN(epilogue)
+    void endCycle(Cycle now);
+
+    /** When set, endCycle prints and aborts on the first finding
+     *  instead of accumulating (the env-created checker's mode). */
+    void setFailFast(bool on) { failFast_ = on; }
+
+    /** Accumulated findings, in deterministic order (capped; see
+     *  findingsTotal() for the uncapped count). */
+    const std::vector<std::string> &findings() const { return findings_; }
+    std::uint64_t findingsTotal() const { return findingsTotal_; }
+
+    std::uint64_t recordsLogged() const { return recordsLogged_; }
+    std::uint64_t cyclesChecked() const { return cyclesChecked_; }
+
+    /** NOC_RACE_CHECK env gate: only "0" disables; default on. */
+    static bool enabledFromEnv();
+
+    /** Human name of an object id ("router 7's private state", ...). */
+    std::string objectName(std::int32_t object) const;
+
+  private:
+    static constexpr std::size_t kMaxFindings = 64;
+
+    void addFinding(std::string msg);
+
+    int width_;
+    int height_;
+    int numNodes_;
+    bool failFast_ = false;
+    std::vector<std::vector<AccessRecord>> lanes_;
+    std::vector<AccessRecord> merged_; ///< endCycle scratch
+    std::vector<std::string> findings_;
+    std::uint64_t findingsTotal_ = 0;
+    std::uint64_t recordsLogged_ = 0;
+    std::uint64_t cyclesChecked_ = 0;
+};
+
+} // namespace noc::par
+
+#endif // ROCOSIM_PAR_RACE_CHECK_H_

@@ -34,11 +34,11 @@ struct Shared {
     std::vector<ShardCount> generated; // this cycle, per shard
     std::vector<ShardCount> stepsExec; // whole run, per shard
     std::vector<ShardCount> stepsSched;
-    NOC_PHASE_STATE(epilogue)
+    NOC_EPILOGUE_STATE
     Cycle now = 0;   // cycle the workers are about to run
-    NOC_PHASE_STATE(epilogue)
+    NOC_EPILOGUE_STATE
     bool stop = false;
-    NOC_PHASE_STATE(epilogue)
+    NOC_EPILOGUE_STATE
     FlitLedger totals; // reduction of ledgers, maintained in epilogue
 
     Shared(Network &n, const SimConfig &c, const ShardPlan &p,
@@ -63,6 +63,13 @@ NOC_PHASE_FN(epilogue)
 void
 epilogue(Shared &sh)
 {
+#if NOC_RACE_CHECK_BUILT
+    // Superstep validation runs here because the epilogue is the one
+    // single-threaded window per cycle: every worker's lane writes are
+    // published by its barrier arrival (acq_rel on the counter).
+    if (par::RaceChecker *race = sh.net.raceChecker())
+        race->endCycle(sh.now);
+#endif
     std::uint64_t gen = 0;
     for (ShardCount &g : sh.generated) {
         gen += g.value;
@@ -127,6 +134,11 @@ work(Shared &sh, int s)
     const ShardPlan &plan = sh.plan;
     const bool idleSkip = net.idleSkipEnabled();
     std::uint64_t stepsExec = 0, stepsSched = 0;
+#if NOC_RACE_CHECK_BUILT
+    // Each shard logs only into its own lane; the barrier publishes
+    // the lanes to the epilogue's endCycle validation.
+    par::RaceChecker *const race = net.raceChecker();
+#endif
     for (;;) {
         // Cycle state is stable between barriers: the epilogue is the
         // only writer and it runs inside the previous barrier.
@@ -160,12 +172,21 @@ work(Shared &sh, int s)
                         continue;
                     net.router(n).step(now);
                     ++stepsExec;
+#if NOC_RACE_CHECK_BUILT
+                    if (race)
+                        race->noteStep(n, ph, s);
+#endif
                     if (!net.router(n).hasLocalWork())
                         flag.store(0, std::memory_order_relaxed);
                 }
             } else {
-                for (NodeId n : nodes)
+                for (NodeId n : nodes) {
                     net.router(n).step(now);
+#if NOC_RACE_CHECK_BUILT
+                    if (race)
+                        race->noteStep(n, ph, s);
+#endif
+                }
                 stepsExec += nodes.size();
             }
             if (ph + 1 < kNumStepPhases)
@@ -203,6 +224,13 @@ runSharded(Network &net, const SimConfig &cfg, int shards,
 {
     ShardPlan plan(cfg.meshWidth, cfg.meshHeight, shards);
     Shared sh(net, cfg, plan, ctl, obs);
+
+#if NOC_RACE_CHECK_BUILT
+    // Re-lane the race checker for this shard count (the serial
+    // attach sized it for one lane).
+    if (par::RaceChecker *race = net.raceChecker())
+        race->beginRun(plan.shards());
+#endif
 
     // Per-shard ledgers keep flit-lifecycle counting lock-free; the
     // epilogue reduces them, and the master ledger is restored (with

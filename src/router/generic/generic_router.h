@@ -103,9 +103,11 @@ class GenericRouter : public Router
     std::vector<Flit> flitPool_;
     /** PacketCtl records of all input VCs, depth_+1 apiece. */
     std::vector<PacketCtl> ctlPool_;
+    NOC_OWNED_STATE(recv, alloc, send)
     std::vector<InputVc> in_;          ///< [port * numVcs_ + vc]
     /** Wormhole-order invariant trackers, one per input VC. */
     std::vector<check::WormholeOrderTracker> order_;
+    NOC_OWNED_STATE(recv, alloc, send)
     std::vector<OutputVc> localOut_;   ///< PE-side output VCs (inf credits)
     Crossbar xbar_;
     /**
@@ -115,11 +117,13 @@ class GenericRouter : public Router
      */
     FlitChannel ejectPipe_;
 
+    NOC_OWNED_STATE(recv)
     std::uint64_t droppingPacket_ = 0; ///< source packet being discarded
     /**
      * Packets in Drop stage across all input VCs. drainDropped() scans
      * every VC; fault-free runs (the common case) skip it entirely.
      */
+    NOC_OWNED_STATE(recv, alloc)
     int dropPending_ = 0;
 
     /** One input VC's request in a VA round (scratch, see vaReqs_). */

@@ -55,6 +55,7 @@ class PathSensitiveRouter : public Router
     /** Sentinel output slot: flit ejects at the next router, no VC. */
     static constexpr int kEjectSlot = -2;
 
+    NOC_PHASE_FN(alloc)
     bool reserveInputVc(int slotId, Direction fromDir,
                         std::uint64_t packetId, bool probeOnly,
                         int &freeSpace) override;
@@ -119,6 +120,7 @@ class PathSensitiveRouter : public Router
     std::vector<Flit> flitPool_;
     /** PacketCtl records of all input VCs, depth_+1 apiece. */
     std::vector<PacketCtl> ctlPool_;
+    NOC_OWNED_STATE(recv, alloc, send)
     std::vector<InputVc> in_; ///< [quadrant * numVcs_ + vc]
     /** Wormhole-order invariant trackers, one per input VC. */
     std::vector<check::WormholeOrderTracker> order_;
@@ -126,11 +128,13 @@ class PathSensitiveRouter : public Router
     std::vector<RoundRobinArbiter> vaArb_; ///< [dir * 4v + slot]
     std::vector<RoundRobinArbiter> saSet_; ///< stage 1, per path set
     std::vector<RoundRobinArbiter> saOut_; ///< stage 2, per output
+    NOC_OWNED_STATE(recv)
     std::uint64_t droppingPacket_ = 0; ///< source packet being discarded
     /**
      * Packets in Drop stage across all input VCs. drainDropped() scans
      * every VC; fault-free runs (the common case) skip it entirely.
      */
+    NOC_OWNED_STATE(recv, alloc)
     int dropPending_ = 0;
 
     /** One input VC's request in a VA round (scratch, see vaReqs_). */

@@ -51,6 +51,7 @@ class RocoRouter : public Router
     /** The Table 1 layout in force. */
     const RocoVcConfig &vcConfig() const { return vcCfg_; }
 
+    NOC_PHASE_FN(alloc)
     bool reserveInputVc(int slotId, Direction fromDir,
                         std::uint64_t packetId, bool probeOnly,
                         int &freeSpace) override;
@@ -146,6 +147,7 @@ class RocoRouter : public Router
     std::vector<Flit> flitPool_;
     /** PacketCtl records of all input VCs, depth_+1 apiece. */
     std::vector<PacketCtl> ctlPool_;
+    NOC_OWNED_STATE(recv, alloc, send)
     std::vector<InputVc> in_; ///< [(module*2+port)*v + vc]
     /**
      * Bit i set iff in_[i].ctl is non-empty. The allocation, drain and
@@ -153,18 +155,22 @@ class RocoRouter : public Router
      * load a router holds one or two packets, so the scans shrink to
      * the VCs that can actually act.
      */
+    NOC_OWNED_STATE(recv, send)
     std::uint32_t ctlMask_ = 0;
     /** Wormhole-order invariant trackers, one per input VC. */
     std::vector<check::WormholeOrderTracker> order_;
     Crossbar xbar_[2];        ///< one 2x2 per module
     MirrorAllocator sa_[2];
     std::vector<RoundRobinArbiter> vaArb_; ///< [dir * 4v + slot]
+    NOC_OWNED_STATE(step, alloc)
     bool vaBusy_[2] = {false, false}; ///< VA arbiters used this cycle
+    NOC_OWNED_STATE(recv)
     std::uint64_t droppingPacket_ = 0; ///< source packet being discarded
     /**
      * Packets in Drop stage across all input VCs. drainDropped() scans
      * every VC; fault-free runs (the common case) skip it entirely.
      */
+    NOC_OWNED_STATE(recv, alloc)
     int dropPending_ = 0;
 
     /** One input VC's request in a VA round (scratch, see vaReqs_). */

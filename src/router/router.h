@@ -210,7 +210,14 @@ class Router
      * The reservation clears when the packet's tail flit is written
      * into the buffer. Default implementation panics (the generic
      * router keeps classic per-link VC state).
+     *
+     * Runs inside the *upstream* router's alloc phase — it is the one
+     * sanctioned way a step reaches into a neighbour's NOC_OWNED_STATE,
+     * which is why the step schedule must keep same-phase routers at
+     * Manhattan distance >= 3 (see topology/partition.h and the
+     * NOC_RACE_CHECK validator in par/race_check.h).
      */
+    NOC_PHASE_FN(alloc)
     virtual bool reserveInputVc(int slotId, Direction fromDir,
                                 std::uint64_t packetId, bool probeOnly,
                                 int &freeSpace);
@@ -512,10 +519,19 @@ class Router
      * into a node sit in phases distinct from each other and from the
      * node itself — so relaxed load/store (never RMW) suffices; the
      * atomic type keeps the cross-shard handoff tsan-clean.
+     *
+     * Ordering argument, spelled out: within one phase each mirror
+     * slot has exactly one live accessor (the slot is per incoming
+     * direction, so two senders into the same node never share one),
+     * which makes every access single-threaded-sequenced; across
+     * phases the shard engine's barrier provides the release/acquire
+     * edge, so relaxed suffices and no fence is needed here. The
+     * NOC_RACE_CHECK dynamic checker re-verifies the single-accessor
+     * claim every superstep (see par/race_check.h).
      */
-    NOC_PHASE_STATE(recv, send)
+    NOC_SHARED_ATOMIC(recv, send)
     std::atomic<std::uint16_t> pendFlitIn_[kNumCardinal] = {};
-    NOC_PHASE_STATE(recv, send)
+    NOC_SHARED_ATOMIC(recv, send)
     std::atomic<std::uint16_t> pendCreditIn_[kNumCardinal] = {};
     static_assert(std::atomic<std::uint16_t>::is_always_lock_free,
                   "occupancy mirrors must be plain lock-free stores; a "

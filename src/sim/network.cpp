@@ -162,6 +162,9 @@ Network::step(Cycle now, bool generationEnabled, bool measured)
         }
     }
     const PhaseEntry *entries = flatPhases_.data();
+#if NOC_RACE_CHECK_BUILT
+    par::RaceChecker *const race = race_;
+#endif
     for (int ph = 0; ph < kNumStepPhases; ++ph) {
         const std::uint32_t lo = phaseOfs_[ph];
         const std::uint32_t hi = phaseOfs_[ph + 1];
@@ -173,15 +176,28 @@ Network::step(Cycle now, bool generationEnabled, bool measured)
                     continue; // provably a no-op (see DESIGN 12)
                 e.r->step(now);
                 ++stepsExecuted_;
+#if NOC_RACE_CHECK_BUILT
+                if (race)
+                    race->noteStep(e.r->id(), ph, 0);
+#endif
                 if (!e.r->hasLocalWork())
                     e.flag->store(0, std::memory_order_relaxed);
             }
         } else {
-            for (std::uint32_t i = lo; i < hi; ++i)
+            for (std::uint32_t i = lo; i < hi; ++i) {
                 entries[i].r->step(now);
+#if NOC_RACE_CHECK_BUILT
+                if (race)
+                    race->noteStep(entries[i].r->id(), ph, 0);
+#endif
+            }
             stepsExecuted_ += hi - lo;
         }
     }
+#if NOC_RACE_CHECK_BUILT
+    if (race)
+        race->endCycle(now);
+#endif
 }
 
 int

@@ -15,6 +15,7 @@
 #include "common/annotations.h"
 #include "common/config.h"
 #include "fault/fault.h"
+#include "par/race_check.h"
 #include "power/energy_model.h"
 #include "router/router.h"
 #include "routing/routing.h"
@@ -78,6 +79,14 @@ class Network
      * barrier; the flags only carry "wake up later", never data.
      */
     std::atomic<std::uint8_t> &activeFlag(NodeId n) { return active_[n]; }
+
+    /**
+     * Attaches the shard-ownership race checker (null detaches). The
+     * engines only feed it in NOC_RACE_CHECK builds; attaching is
+     * always legal (see par/race_check.h).
+     */
+    void setRaceChecker(par::RaceChecker *rc) { race_ = rc; }
+    par::RaceChecker *raceChecker() const { return race_; }
 
     /** Router steps actually executed (the skipped remainder of
      *  cycles * nodes is the idle-skip win). */
@@ -175,16 +184,27 @@ class Network
     std::vector<std::unique_ptr<Router>> routers_;
     std::vector<std::unique_ptr<Nic>> nics_;
     std::unique_ptr<TraceSchedule> trace_;
-    NOC_PHASE_STATE(engine, epilogue)
+    NOC_OWNED_STATE(engine, epilogue)
     std::uint64_t generatedBase1_ = 1;
     FlitLedger ledger_;
-    /** Per-node idle-skip flags (see activeFlag()). */
+    /**
+     * Per-node idle-skip flags (see activeFlag()). Cross-shard by
+     * design, so they must stay lock-free atomics: the relaxed
+     * set/clear protocol only carries "wake up later", never data, and
+     * a lock here would serialise every sender.
+     */
     std::unique_ptr<std::atomic<std::uint8_t>[]> active_;
+    static_assert(std::atomic<std::uint8_t>::is_always_lock_free,
+                  "idle-skip wake flags are stored by neighbouring "
+                  "shards mid-phase; a locking fallback would deadlock "
+                  "the spin barrier's forward-progress assumption");
     bool idleSkip_ = true;
-    NOC_PHASE_STATE(engine, epilogue)
+    NOC_OWNED_STATE(engine, epilogue)
     std::uint64_t stepsExecuted_ = 0;
-    NOC_PHASE_STATE(engine, epilogue)
+    NOC_OWNED_STATE(engine, epilogue)
     std::uint64_t stepsScheduled_ = 0;
+    /** Shard-ownership race checker, when attached (see race_check.h). */
+    par::RaceChecker *race_ = nullptr;
     /** Router step order: node ids per schedule phase, ascending. */
     std::vector<NodeId> phases_[kNumStepPhases];
     /**

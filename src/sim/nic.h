@@ -108,6 +108,7 @@ class Nic : public NicIf
     TrafficGenerator traffic_;
     Rng rng_; ///< per-packet choices (XY-YX order)
     std::uint64_t idStride_; ///< nodes in the mesh (id stream step)
+    NOC_OWNED_STATE(inject)
     std::uint64_t genSeq_ = 0; ///< packets this NIC has generated
     std::unique_ptr<TraceReplayer> trace_;
     FlitLedger *ledger_ = nullptr;
@@ -120,15 +121,24 @@ class Nic : public NicIf
         int flitsSeen = 0;
         bool measured = false;
     };
+    NOC_OWNED_STATE(recv)
     std::unordered_map<std::uint64_t, Arrival> arrivals_;
     /** Measured-flag of packets this NIC injected (keyed by id bit). */
+    NOC_OWNED_STATE(inject)
     std::uint64_t injected_ = 0;
+    NOC_OWNED_STATE(inject)
     std::uint64_t injectedMeasured_ = 0;
+    NOC_OWNED_STATE(recv)
     std::uint64_t delivered_ = 0;
+    NOC_OWNED_STATE(recv)
     std::uint64_t deliveredMeasured_ = 0;
+    NOC_OWNED_STATE(recv)
     std::uint64_t deliveredFlits_ = 0;
+    NOC_OWNED_STATE(recv)
     RunningStat latency_;
+    NOC_OWNED_STATE(recv)
     Histogram histogram_{2.0, 1024};
+    NOC_OWNED_STATE(recv)
     Cycle lastDelivery_ = 0;
 };
 

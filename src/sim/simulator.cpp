@@ -53,6 +53,22 @@ Simulator::run()
     Cycle now = 0;
     int shards = par::effectiveShards(cfg_, net_.numNodes());
 
+#if NOC_RACE_CHECK_BUILT
+    // Shard-ownership race checker (par/race_check.h): compiled in by
+    // -DNOC_RACE_CHECK=ON, runtime-gated by the NOC_RACE_CHECK env var
+    // ("0" disables). A checker attached programmatically (tests)
+    // takes precedence and keeps its own fail-fast policy.
+    std::unique_ptr<par::RaceChecker> race;
+    if (net_.raceChecker() == nullptr &&
+        par::RaceChecker::enabledFromEnv()) {
+        race = std::make_unique<par::RaceChecker>(cfg_.meshWidth,
+                                                  cfg_.meshHeight);
+        race->beginRun(1); // runSharded re-lanes for shards > 1
+        race->setFailFast(true);
+        net_.setRaceChecker(race.get());
+    }
+#endif
+
     if (shards > 1) {
         // Sharded bulk-synchronous engine: bit-identical to the serial
         // loop below for any shard count (see par/shard_engine.h).
@@ -124,6 +140,16 @@ Simulator::run()
 #if NOC_INVARIANTS_BUILT
     if (check::invariantsEnabled())
         net_.checkProtocolInvariants(now); // final audit at drain
+#endif
+
+#if NOC_RACE_CHECK_BUILT
+    if (race) {
+        // Fail-fast already aborted inside endCycle on any finding;
+        // this assert also covers a zero-cycle run's bookkeeping.
+        NOC_ASSERT(race->findingsTotal() == 0,
+                   "NOC_RACE_CHECK findings escaped the per-cycle gate");
+        net_.setRaceChecker(nullptr);
+    }
 #endif
 
     SimResult r;

@@ -67,6 +67,7 @@ class Simulator
                        const std::vector<FaultSpec> &faults = {});
 
     /** Runs to completion and returns the aggregated results. */
+    NOC_PHASE_FN(engine)
     SimResult run();
 
     Network &network() { return net_; }

@@ -30,6 +30,7 @@
 
 #include <vector>
 
+#include "common/annotations.h"
 #include "common/types.h"
 
 namespace noc {
@@ -74,6 +75,7 @@ class ShardPlan
      * factorisation with the smallest worst-case shard; falls back to
      * contiguous id ranges when no rectangular grid fits.
      */
+    NOC_PHASE_FN(setup)
     ShardPlan(int width, int height, int shards);
 
     int shards() const { return shards_; }
@@ -99,11 +101,19 @@ class ShardPlan
     }
 
   private:
+    // The plan is immutable after construction: every shard thread
+    // reads it concurrently, so ownership is pinned to setup.
+    NOC_OWNED_STATE(setup)
     int width_;
+    NOC_OWNED_STATE(setup)
     int height_;
+    NOC_OWNED_STATE(setup)
     int shards_;
+    NOC_OWNED_STATE(setup)
     std::vector<int> shardOf_;
+    NOC_OWNED_STATE(setup)
     std::vector<std::vector<NodeId>> nodes_;
+    NOC_OWNED_STATE(setup)
     std::vector<std::vector<NodeId>> phaseNodes_;
 };
 

@@ -185,6 +185,54 @@ TEST(ShardBarrierTest, EpilogueRunsOncePerCycleSingleThreaded)
     EXPECT_EQ(epilogues, kCycles);
 }
 
+TEST(ShardBarrierTest, EpilogueHandoffPublishesPlainState)
+{
+    // Mirrors the engine's Shared block (now / stop / totals, all
+    // NOC_EPILOGUE_STATE): the epilogue writes *plain* non-atomic
+    // fields and every worker reads them right after release — only
+    // the epoch's release/acquire pair makes this race-free, which is
+    // exactly what the tsan CI job verifies here.
+    struct PlainShared {
+        std::uint64_t now = 0;
+        std::uint64_t totals = 0;
+        bool stop = false;
+    };
+    constexpr int kParties = 4;
+    constexpr std::uint64_t kCycles = 1500;
+    par::SpinBarrier barrier(kParties);
+    PlainShared sh;
+    std::vector<std::uint64_t> contrib(kParties, 0);
+
+    auto work = [&](int me) {
+        for (;;) {
+            contrib[static_cast<std::size_t>(me)] +=
+                static_cast<std::uint64_t>(me) + 1;
+            barrier.arriveAndWait([&] {
+                sh.now += 1;
+                std::uint64_t sum = 0;
+                for (std::uint64_t v : contrib)
+                    sum += v;
+                sh.totals = sum;
+                if (sh.now == kCycles)
+                    sh.stop = true;
+            });
+            // Plain reads of epilogue state, published by the epoch.
+            EXPECT_EQ(sh.totals, sh.now * (1 + 2 + 3 + 4));
+            if (sh.stop)
+                break;
+        }
+    };
+
+    std::vector<std::thread> threads;
+    for (int t = 1; t < kParties; ++t)
+        threads.emplace_back(work, t);
+    work(0);
+    for (std::thread &t : threads)
+        t.join();
+    EXPECT_EQ(sh.now, kCycles);
+    EXPECT_EQ(sh.totals, kCycles * (1 + 2 + 3 + 4));
+}
+
 // ------------------------------------------------------------ equivalence
 
 struct RunObservation {

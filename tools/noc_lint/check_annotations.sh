@@ -1,9 +1,10 @@
 #!/bin/sh
-# CI guard: every pipeline-stage source under src/par and src/router
-# must opt into the phase vocabulary (include common/annotations.h and
-# carry at least one NOC_PHASE_FN). A new router or shard-engine file
-# with no annotations at all would silently escape the phase-discipline
-# checks, because noc_lint only judges functions it knows the phase of.
+# CI guard: every pipeline-stage source under src/par, src/router,
+# src/sim and src/topology must opt into the phase vocabulary (include
+# common/annotations.h and carry at least one NOC_PHASE_FN). A new
+# router, engine or NIC file with no annotations at all would silently
+# escape the phase-discipline and ownership checks, because noc_lint
+# only judges functions it knows the phase of.
 #
 # Headers that define no member functions (pure data/config) are
 # exempt via the allowlist below.
@@ -16,6 +17,11 @@ repo=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
 # touch per-cycle router state.
 allow='
 src/par/barrier.h
+src/sim/run_control.h
+src/topology/channel.h
+src/topology/channel.cpp
+src/topology/mesh.h
+src/topology/mesh.cpp
 src/router/arbiter.h
 src/router/arbiter.cpp
 src/router/crossbar.h
@@ -31,7 +37,8 @@ src/router/pathsensitive/pef.cpp
 '
 
 fail=0
-for f in $(find "$repo/src/par" "$repo/src/router" \
+for f in $(find "$repo/src/par" "$repo/src/router" "$repo/src/sim" \
+               "$repo/src/topology" \
                \( -name '*.h' -o -name '*.cpp' \) | sort); do
     rel=${f#"$repo/"}
     case "$allow" in

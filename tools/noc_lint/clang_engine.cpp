@@ -28,17 +28,22 @@
 #include <clang/Tooling/CompilationDatabase.h>
 #include <clang/Tooling/Tooling.h>
 
+#include <algorithm>
 #include <map>
 #include <memory>
 #include <set>
 #include <sstream>
 #include <string>
+#include <tuple>
 
 namespace noclint {
 namespace {
 
 constexpr const char kFnPrefix[] = "noc_phase_fn:";
 constexpr const char kStatePrefix[] = "noc_phase_state:";
+constexpr const char kOwnedPrefix[] = "noc_owned_state:";
+constexpr const char kSharedPrefix[] = "noc_shared_atomic:";
+constexpr const char kEpiloguePrefix[] = "noc_epilogue_state:";
 
 std::string
 annotationOf(const clang::Decl *d, const char *prefix)
@@ -154,6 +159,33 @@ public:
         return true;
     }
 
+    bool
+    VisitFieldDecl(clang::FieldDecl *fd)
+    {
+        // NOC_SHARED_ATOMIC declaration check: the member's type must
+        // actually be std::atomic (own-nonatomic-shared).
+        if (annotationOf(fd, kSharedPrefix).empty())
+            return true;
+        const std::string ty = fd->getType().getAsString();
+        if (ty.find("atomic") != std::string::npos)
+            return true;
+        const clang::SourceManager &sm = ctx_.getSourceManager();
+        const clang::SourceLocation loc = fd->getLocation();
+        if (sm.isInSystemHeader(loc))
+            return true;
+        Diag d;
+        d.file = sm.getFilename(loc).str();
+        d.line = static_cast<int>(sm.getSpellingLineNumber(loc));
+        d.col = static_cast<int>(sm.getSpellingColumnNumber(loc));
+        d.rule = "own-nonatomic-shared";
+        d.message = "NOC_SHARED_ATOMIC member '" + fd->getNameAsString() +
+                    "' is not declared std::atomic; two shards access "
+                    "it in the same cycle, so the mirror hand-off is "
+                    "undefined without atomic load/store";
+        diags_.push_back(d);
+        return true;
+    }
+
 private:
     struct SavedFn {
         const clang::FunctionDecl *decl = nullptr;
@@ -190,6 +222,38 @@ private:
         return nullptr;
     }
 
+    // Peel the member expression's base down to its root object: the
+    // implicit/explicit `this`, a DeclRefExpr, or whatever else anchors
+    // the access chain (subscripts and nested members are seen through,
+    // including std::vector's operator[]).
+    const clang::Expr *
+    baseRoot(const clang::MemberExpr *me) const
+    {
+        const clang::Expr *e = me->getBase();
+        while (e) {
+            e = e->IgnoreParenImpCasts();
+            if (const auto *sub =
+                    clang::dyn_cast<clang::ArraySubscriptExpr>(e)) {
+                e = sub->getBase();
+                continue;
+            }
+            if (const auto *m = clang::dyn_cast<clang::MemberExpr>(e)) {
+                e = m->getBase();
+                continue;
+            }
+            if (const auto *oc =
+                    clang::dyn_cast<clang::CXXOperatorCallExpr>(e)) {
+                if (oc->getOperator() == clang::OO_Subscript &&
+                    oc->getNumArgs() >= 1) {
+                    e = oc->getArg(0);
+                    continue;
+                }
+            }
+            return e;
+        }
+        return nullptr;
+    }
+
     void
     checkWrite(const clang::Expr *lhs)
     {
@@ -202,7 +266,18 @@ private:
             clang::dyn_cast<clang::FieldDecl>(me->getMemberDecl());
         if (!field)
             return;
-        const std::string guard = annotationOf(field, kStatePrefix);
+        std::string guard = annotationOf(field, kStatePrefix);
+        bool owned = false, epilogue = false;
+        if (guard.empty()) {
+            guard = annotationOf(field, kOwnedPrefix);
+            owned = !guard.empty();
+        }
+        if (guard.empty())
+            guard = annotationOf(field, kSharedPrefix);
+        if (guard.empty()) {
+            guard = annotationOf(field, kEpiloguePrefix);
+            epilogue = !guard.empty();
+        }
         if (guard.empty())
             return;
         const std::set<std::string> allowed = splitPhases(guard);
@@ -217,6 +292,43 @@ private:
         d.col = static_cast<int>(sm.getSpellingColumnNumber(loc));
 
         std::ostringstream msg;
+        if (owned) {
+            // Ownership crosses the shard wall regardless of phase.
+            const clang::Expr *root = baseRoot(me);
+            if (root && !clang::isa<clang::CXXThisExpr>(root)) {
+                std::string rootName = "a foreign object";
+                if (const auto *dr =
+                        clang::dyn_cast<clang::DeclRefExpr>(root))
+                    rootName = "'" + dr->getDecl()->getNameAsString() + "'";
+                d.rule = "own-cross-write";
+                msg << "'" << fn_.decl->getQualifiedNameAsString()
+                    << "' writes owner-private '" << field->getNameAsString()
+                    << "' through foreign object " << rootName
+                    << "; NOC_OWNED_STATE may only be written by its "
+                       "owning router/shard (cross-shard traffic goes "
+                       "through reserveInputVc or the atomic mirrors)";
+                d.message = msg.str();
+                diags_.push_back(d);
+                return;
+            }
+        }
+        if (allowed.count(fn_.phase))
+            return;
+        if (epilogue) {
+            d.rule = "own-epilogue-escape";
+            msg << "NOC_EPILOGUE_STATE '" << field->getNameAsString()
+                << "' written from '" << fn_.decl->getQualifiedNameAsString()
+                << "'";
+            if (fn_.phase.empty())
+                msg << ", which has no NOC_PHASE_FN annotation";
+            else
+                msg << " (phase " << fn_.phase << ")";
+            msg << "; epilogue state is only safe inside the "
+                   "single-threaded barrier epilogue that publishes it";
+            d.message = msg.str();
+            diags_.push_back(d);
+            return;
+        }
         if (fn_.phase.empty()) {
             d.rule = "phase-unguarded-write";
             msg << "write to phase-guarded '" << field->getNameAsString()
@@ -302,6 +414,18 @@ runClangPhaseChecks(const std::vector<std::string> &paths,
     clang::tooling::ClangTool tool(*db, paths);
     PhaseActionFactory factory(diags);
     tool.run(&factory);
+    // Header declarations (the own-nonatomic-shared field check) are
+    // visited once per including TU; collapse the duplicates.
+    auto key = [](const Diag &d) {
+        return std::tie(d.file, d.line, d.col, d.rule, d.message);
+    };
+    std::sort(diags.begin(), diags.end(),
+              [&](const Diag &a, const Diag &b) { return key(a) < key(b); });
+    diags.erase(std::unique(diags.begin(), diags.end(),
+                            [&](const Diag &a, const Diag &b) {
+                                return key(a) == key(b);
+                            }),
+                diags.end());
     return diags;
 }
 

@@ -1,0 +1,23 @@
+// Fixture: epilogue-only state written outside the barrier epilogue.
+// Expected: exactly one noc-lint-own-epilogue-escape on the marked line.
+#define NOC_PHASE_FN(phase)
+#define NOC_EPILOGUE_STATE
+
+struct Shared {
+    NOC_EPILOGUE_STATE unsigned long now = 0;
+    NOC_EPILOGUE_STATE bool stop = false;
+};
+
+NOC_PHASE_FN(epilogue)
+void
+epilogue(Shared &sh)
+{
+    sh.now += 1; // ok: the in-barrier epilogue owns this state
+}
+
+NOC_PHASE_FN(send)
+void
+worker(Shared &sh)
+{
+    sh.stop = true; // BAD: a worker phase writes epilogue-only state
+}

@@ -1,0 +1,8 @@
+// Fixture: a NOC_SHARED_ATOMIC member declared as a plain integer.
+// Expected: exactly one noc-lint-own-nonatomic-shared on the marked line.
+#define NOC_SHARED_ATOMIC(...)
+
+struct R {
+    NOC_SHARED_ATOMIC(recv, send) std::atomic<int> pendFlitIn_[4]; // ok
+    NOC_SHARED_ATOMIC(recv, send) unsigned pendCreditIn_[4]; // BAD: plain
+};

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <set>
@@ -265,8 +266,15 @@ lex(const std::string &src, const std::string &path,
 // ---------------------------------------------------------------------
 
 struct StateInfo {
+    /**
+     * Which annotation guarded the member. Phase gives the plain phase
+     * discipline; the ownership kinds layer extra rules on top
+     * (own-cross-write / own-nonatomic-shared / own-epilogue-escape).
+     */
+    enum Kind { Phase, Owned, SharedAtomic, Epilogue };
     std::set<std::string> phases;
     std::string owner;
+    Kind kind = Phase;
 };
 
 struct Registry {
@@ -425,42 +433,64 @@ registerFile(const std::string &path, const std::vector<Token> &t,
              Registry &reg)
 {
     ClassTracker cls;
+    // Member name: last depth-0 identifier before ; = or {.
+    auto memberName = [&t](std::size_t j) {
+        std::string name;
+        while (j < t.size()) {
+            const std::string &v = t[j].text;
+            if (v == ";" || v == "=" || v == "{")
+                break;
+            if (v == "<") {
+                j = skipTemplate(t, j);
+                continue;
+            }
+            if (v == "[") {
+                j = skipBalanced(t, j);
+                continue;
+            }
+            if (t[j].kind == 'i')
+                name = v;
+            ++j;
+        }
+        return name;
+    };
     for (std::size_t i = 0; i < t.size(); ++i) {
         cls.onToken(t, i);
         if (t[i].kind != 'i')
             continue;
         const std::string &s = t[i].text;
 
-        if (s == "NOC_PHASE_STATE" && tok(t, i + 1).text == "(") {
+        bool parenState = (s == "NOC_PHASE_STATE" ||
+                           s == "NOC_OWNED_STATE" ||
+                           s == "NOC_SHARED_ATOMIC") &&
+                          tok(t, i + 1).text == "(";
+        if (parenState) {
             std::size_t end = skipBalanced(t, i + 1);
             StateInfo info;
             info.owner = cls.current();
+            info.kind = s == "NOC_OWNED_STATE" ? StateInfo::Owned
+                        : s == "NOC_SHARED_ATOMIC"
+                            ? StateInfo::SharedAtomic
+                            : StateInfo::Phase;
             for (std::size_t k = i + 2; k + 1 < end; ++k) {
                 if (t[k].kind == 'i')
                     info.phases.insert(t[k].text);
             }
-            // Member name: last depth-0 identifier before ; = or {.
-            std::string name;
-            std::size_t j = end;
-            while (j < t.size()) {
-                const std::string &v = t[j].text;
-                if (v == ";" || v == "=" || v == "{")
-                    break;
-                if (v == "<") {
-                    j = skipTemplate(t, j);
-                    continue;
-                }
-                if (v == "[") {
-                    j = skipBalanced(t, j);
-                    continue;
-                }
-                if (t[j].kind == 'i')
-                    name = v;
-                ++j;
-            }
+            std::string name = memberName(end);
             if (!name.empty())
                 reg.states[name] = std::move(info);
             i = end - 1;
+            continue;
+        }
+        if (s == "NOC_EPILOGUE_STATE") {
+            // Object-like macro: no argument list, phase is implied.
+            StateInfo info;
+            info.owner = cls.current();
+            info.kind = StateInfo::Epilogue;
+            info.phases.insert("epilogue");
+            std::string name = memberName(i + 1);
+            if (!name.empty())
+                reg.states[name] = std::move(info);
             continue;
         }
         if (s == "NOC_PHASE_FN" && tok(t, i + 1).text == "(") {
@@ -694,15 +724,54 @@ struct Analyzer {
 
         const StateInfo &info = reg.states.at(member);
         bool ctor = !fn.memberOf.empty() && fn.name == fn.memberOf;
-        if (ctor || fn.phase == "setup" || info.phases.count(fn.phase))
+        if (ctor || fn.phase == "setup")
             return;
+
+        std::string where = fn.memberOf.empty()
+                                ? fn.name
+                                : fn.memberOf + "::" + fn.name;
+
+        // Owner-private state written through a foreign object: the
+        // write crosses the shard-ownership wall no matter what phase
+        // the writer runs in (aliases resolve to this-rooted members,
+        // so only explicit foreign roots land here).
+        if (info.kind == StateInfo::Owned) {
+            std::size_t root = chainStart(i);
+            const Token &rt = tok(t, root);
+            if (root < i && rt.kind == 'i' && rt.text != "this") {
+                diag(i, "own-cross-write",
+                     "'" + where + "' writes owner-private '" + member +
+                         "' through foreign object '" + rt.text +
+                         "'; NOC_OWNED_STATE may only be written by its "
+                         "owning router/shard (cross-shard traffic goes "
+                         "through reserveInputVc or the atomic mirrors)");
+                return;
+            }
+        }
+
+        if (info.phases.count(fn.phase))
+            return;
+
+        // Epilogue-only state written while the workers may be running:
+        // the barrier's release/acquire hand-off is the only thing that
+        // makes these members race-free, so any write outside the
+        // in-barrier epilogue escapes the single-threaded window.
+        if (info.kind == StateInfo::Epilogue) {
+            std::string from =
+                fn.phase.empty()
+                    ? "'" + where + "', which has no NOC_PHASE_FN annotation"
+                    : "'" + where + "' (phase " + fn.phase + ")";
+            diag(i, "own-epilogue-escape",
+                 "NOC_EPILOGUE_STATE '" + member + "' written from " +
+                     from +
+                     "; epilogue state is only safe inside the "
+                     "single-threaded barrier epilogue that publishes it");
+            return;
+        }
 
         std::string phases;
         for (const std::string &p : info.phases)
             phases += (phases.empty() ? "" : ", ") + p;
-        std::string where = fn.memberOf.empty()
-                                ? fn.name
-                                : fn.memberOf + "::" + fn.name;
         if (fn.phase.empty()) {
             diag(i, "phase-unguarded-write",
                  "write to phase-guarded '" + member +
@@ -713,6 +782,42 @@ struct Analyzer {
                  "'" + where + "' (phase " + fn.phase +
                      ") writes phase-guarded '" + member +
                      "' (allowed phases: " + phases + ")");
+        }
+    }
+
+    /**
+     * At a NOC_SHARED_ATOMIC annotation: the declared member's type
+     * must spell std::atomic somewhere before the declarator ends —
+     * the whole point of the annotation is that two shards touch the
+     * member concurrently, which is undefined for a plain scalar.
+     */
+    void
+    checkSharedAtomicDecl(std::size_t i)
+    {
+        std::size_t end = skipBalanced(t, i + 1);
+        bool hasAtomic = false;
+        std::string name;
+        std::size_t j = end;
+        while (j < t.size()) {
+            const std::string &v = t[j].text;
+            if (v == ";" || v == "=" || v == "{")
+                break;
+            if (v == "atomic" || v == "atomic_flag")
+                hasAtomic = true;
+            if (v == "[") {
+                j = skipBalanced(t, j);
+                continue;
+            }
+            if (t[j].kind == 'i')
+                name = v;
+            ++j;
+        }
+        if (!hasAtomic && !name.empty()) {
+            diag(i, "own-nonatomic-shared",
+                 "NOC_SHARED_ATOMIC member '" + name +
+                     "' is not declared std::atomic; two shards access "
+                     "it in the same cycle, so the mirror hand-off is "
+                     "undefined without atomic load/store");
         }
     }
 
@@ -1004,11 +1109,16 @@ struct Analyzer {
             if (t[i].kind != 'i')
                 continue;
 
-            if ((s == "NOC_PHASE_STATE" || s == "NOC_PHASE_FN") &&
+            if ((s == "NOC_PHASE_STATE" || s == "NOC_PHASE_FN" ||
+                 s == "NOC_OWNED_STATE" || s == "NOC_SHARED_ATOMIC") &&
                 tok(t, i + 1).text == "(") {
+                if (s == "NOC_SHARED_ATOMIC")
+                    checkSharedAtomicDecl(i);
                 i = skipBalanced(t, i + 1) - 1;
                 continue;
             }
+            if (s == "NOC_EPILOGUE_STATE")
+                continue; // object-like marker, not an access
 
             if (fnStack.empty() && i >= suppressHeadUntil &&
                 tok(t, i + 1).text == "(" && !kCtrlKeywords.count(s) &&
@@ -1060,10 +1170,86 @@ ruleIds()
 {
     static const std::vector<std::string> ids = {
         "phase-cross-write", "phase-unguarded-write", "cross-router-access",
+        "own-cross-write",   "own-nonatomic-shared",  "own-epilogue-escape",
         "det-unordered-iter", "det-rand",            "det-unseeded-rng",
         "det-wallclock",      "det-pointer-key",      "flit-copy",
         "stale-allow"};
     return ids;
+}
+
+void
+writeSarif(const std::vector<Diag> &diags, std::ostream &os)
+{
+    auto esc = [](const std::string &s) {
+        std::string out;
+        out.reserve(s.size());
+        for (char c : s) {
+            switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\r': out += "\\r"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x",
+                                  static_cast<unsigned>(
+                                      static_cast<unsigned char>(c)));
+                    out += buf;
+                } else {
+                    out.push_back(c);
+                }
+            }
+        }
+        return out;
+    };
+
+    os << "{\n"
+       << "  \"$schema\": "
+          "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+       << "  \"version\": \"2.1.0\",\n"
+       << "  \"runs\": [\n"
+       << "    {\n"
+       << "      \"tool\": {\n"
+       << "        \"driver\": {\n"
+       << "          \"name\": \"noc-lint\",\n"
+       << "          \"informationUri\": "
+          "\"tools/noc_lint/README.md\",\n"
+       << "          \"rules\": [\n";
+    const std::vector<std::string> &ids = ruleIds();
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+        os << "            {\"id\": \"" << esc(ids[i]) << "\"}"
+           << (i + 1 < ids.size() ? "," : "") << "\n";
+    }
+    os << "          ]\n"
+       << "        }\n"
+       << "      },\n"
+       << "      \"results\": [\n";
+    for (std::size_t i = 0; i < diags.size(); ++i) {
+        const Diag &d = diags[i];
+        os << "        {\n"
+           << "          \"ruleId\": \"" << esc(d.rule) << "\",\n"
+           << "          \"level\": \"warning\",\n"
+           << "          \"message\": {\"text\": \"" << esc(d.message)
+           << "\"},\n"
+           << "          \"locations\": [\n"
+           << "            {\n"
+           << "              \"physicalLocation\": {\n"
+           << "                \"artifactLocation\": {\"uri\": \""
+           << esc(d.file) << "\"},\n"
+           << "                \"region\": {\"startLine\": "
+           << (d.line > 0 ? d.line : 1)
+           << ", \"startColumn\": " << (d.col > 0 ? d.col : 1) << "}\n"
+           << "              }\n"
+           << "            }\n"
+           << "          ]\n"
+           << "        }" << (i + 1 < diags.size() ? "," : "") << "\n";
+    }
+    os << "      ]\n"
+       << "    }\n"
+       << "  ]\n"
+       << "}\n";
 }
 
 std::string

@@ -27,6 +27,11 @@
  *   phase-cross-write      write from a function in a different phase
  *   phase-unguarded-write  write from a function with no phase at all
  *   cross-router-access    neighbour deref outside the sanctioned API
+ *   own-cross-write        NOC_OWNED_STATE written through a foreign
+ *                          object (ownership crosses the shard wall)
+ *   own-nonatomic-shared   NOC_SHARED_ATOMIC member not std::atomic
+ *   own-epilogue-escape    NOC_EPILOGUE_STATE written outside the
+ *                          single-threaded barrier epilogue
  *   det-unordered-iter     iteration over unordered_{map,set}
  *   det-rand               libc / std randomness outside common/rng
  *   det-unseeded-rng       default-constructed std random engine
@@ -38,6 +43,7 @@
 #ifndef NOC_LINT_CORE_H_
 #define NOC_LINT_CORE_H_
 
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -89,6 +95,14 @@ RunResult applySuppressions(std::vector<Diag> diags,
 /** Collects allow comments from one file's text. */
 std::vector<AllowComment> collectAllowComments(const std::string &path,
                                                const std::string &text);
+
+/**
+ * Emits @p diags as a SARIF 2.1.0 log (one run, driver "noc-lint",
+ * every rule id listed) so CI can upload the results to code scanning.
+ * An empty diagnostic list still produces a valid log with an empty
+ * results array.
+ */
+void writeSarif(const std::vector<Diag> &diags, std::ostream &os);
 
 /** Baseline = sorted formatDiag lines; missing file = empty. */
 std::vector<std::string> loadBaseline(const std::string &path);

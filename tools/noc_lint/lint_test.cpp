@@ -104,6 +104,73 @@ TEST(Fixtures, FlitReturn)
     expectSingle("flit_return.cpp", "flit-copy", 8);
 }
 
+TEST(Fixtures, OwnCrossWrite)
+{
+    expectSingle("own_cross_write.cpp", "own-cross-write", 20);
+    RunResult r = runFixture("own_cross_write.cpp");
+    EXPECT_NE(r.diags[0].message.find("foreign object 'other'"),
+              std::string::npos)
+        << r.diags[0].message;
+}
+
+TEST(Fixtures, OwnEpilogueEscape)
+{
+    expectSingle("own_epilogue_escape.cpp", "own-epilogue-escape", 22);
+    RunResult r = runFixture("own_epilogue_escape.cpp");
+    EXPECT_NE(r.diags[0].message.find("phase send"), std::string::npos)
+        << r.diags[0].message;
+}
+
+TEST(Fixtures, OwnNonatomicShared)
+{
+    expectSingle("own_nonatomic_shared.cpp", "own-nonatomic-shared", 7);
+    RunResult r = runFixture("own_nonatomic_shared.cpp");
+    EXPECT_NE(r.diags[0].message.find("pendCreditIn_"), std::string::npos)
+        << r.diags[0].message;
+}
+
+// The ownership rules ride the same allow/stale machinery as the rest.
+TEST(Suppression, OwnershipRulesUseAllowMachinery)
+{
+    std::vector<Diag> diags = {
+        {"f.cpp", 10, 5, "own-cross-write", "m"}};
+    std::vector<noclint::AllowComment> allows = {
+        {"f.cpp", 9, {"own-cross-write"}, false},
+        {"f.cpp", 30, {"own-epilogue-escape"}, false}, // stale
+    };
+    RunResult out = noclint::applySuppressions(diags, allows);
+    ASSERT_EQ(out.diags.size(), 1u) << dump(out.diags);
+    EXPECT_EQ(out.diags[0].rule, "stale-allow");
+    ASSERT_EQ(out.suppressed.size(), 1u);
+    EXPECT_EQ(out.suppressed[0].rule, "own-cross-write");
+}
+
+TEST(Sarif, EmitsValidLogWithResults)
+{
+    std::vector<Diag> diags = {
+        {"src/a.cpp", 10, 5, "own-cross-write", "msg with \"quotes\""}};
+    std::ostringstream os;
+    noclint::writeSarif(diags, os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"version\": \"2.1.0\""), std::string::npos);
+    EXPECT_NE(s.find("\"name\": \"noc-lint\""), std::string::npos);
+    EXPECT_NE(s.find("\"ruleId\": \"own-cross-write\""), std::string::npos);
+    EXPECT_NE(s.find("msg with \\\"quotes\\\""), std::string::npos);
+    EXPECT_NE(s.find("\"startLine\": 10"), std::string::npos);
+    // Every rule id is declared in the driver block.
+    for (const auto &rule : noclint::ruleIds())
+        EXPECT_NE(s.find("{\"id\": \"" + rule + "\"}"), std::string::npos)
+            << rule;
+}
+
+TEST(Sarif, EmptyRunStillValid)
+{
+    std::ostringstream os;
+    noclint::writeSarif({}, os);
+    const std::string s = os.str();
+    EXPECT_NE(s.find("\"results\": [\n      ]"), std::string::npos) << s;
+}
+
 TEST(Fixtures, AllowOk)
 {
     RunResult r = runFixture("allow_ok.cpp");

@@ -10,12 +10,17 @@
  *                          to stdout and exit 0
  *     --list-rules         print every rule id and exit
  *     --verbose            also print suppressed findings
+ *     --sarif FILE         additionally write the (post-suppression)
+ *                          findings as SARIF 2.1.0 to FILE; a clean run
+ *                          still writes a valid log with zero results,
+ *                          so CI can upload unconditionally
  *
  * Exit status: 0 when no finding is outside the baseline, 1 otherwise,
  * 2 on usage errors. Output format matches tools/run_clang_tidy.sh:
  * one machine-readable line per diagnostic.
  */
 #include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -25,6 +30,7 @@ int
 main(int argc, char **argv)
 {
     std::string baselinePath;
+    std::string sarifPath;
     bool updateBaseline = false;
     bool verbose = false;
     std::vector<std::string> files;
@@ -33,6 +39,8 @@ main(int argc, char **argv)
         std::string arg = argv[i];
         if (arg == "--baseline" && i + 1 < argc) {
             baselinePath = argv[++i];
+        } else if (arg == "--sarif" && i + 1 < argc) {
+            sarifPath = argv[++i];
         } else if (arg == "--update-baseline") {
             updateBaseline = true;
         } else if (arg == "--list-rules") {
@@ -44,7 +52,7 @@ main(int argc, char **argv)
         } else if (arg == "--help" || arg == "-h") {
             std::printf("usage: noc_lint [--baseline FILE] "
                         "[--update-baseline] [--list-rules] [--verbose] "
-                        "file...\n");
+                        "[--sarif FILE] file...\n");
             return 0;
         } else if (!arg.empty() && arg[0] == '-') {
             std::fprintf(stderr, "noc_lint: unknown option %s\n",
@@ -60,6 +68,16 @@ main(int argc, char **argv)
     }
 
     noclint::RunResult res = noclint::runPortable(files);
+
+    if (!sarifPath.empty()) {
+        std::ofstream out(sarifPath);
+        if (!out) {
+            std::fprintf(stderr, "noc_lint: cannot write %s\n",
+                         sarifPath.c_str());
+            return 2;
+        }
+        noclint::writeSarif(res.diags, out);
+    }
 
     if (updateBaseline) {
         for (const noclint::Diag &d : res.diags)

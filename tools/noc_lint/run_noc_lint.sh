@@ -9,6 +9,9 @@
 #   tools/noc_lint/run_noc_lint.sh --update-baseline [build-dir]
 #                                                     regenerate the baseline
 #
+# NOC_LINT_SARIF=<path> additionally writes the findings as a SARIF
+# 2.1.0 log (valid even when clean) for the CI code-scanning upload.
+#
 # The build dir defaults to ./build. If the noc_lint binary is missing
 # there, the script tries to build just that target; if there is no
 # build tree at all it degrades to a notice and exits 0 so machines
@@ -51,5 +54,10 @@ if [ "$update" = 1 ]; then
     exit 0
 fi
 
+sarif=""
+if [ -n "${NOC_LINT_SARIF:-}" ]; then
+    sarif="--sarif ${NOC_LINT_SARIF}"
+fi
+
 # shellcheck disable=SC2086  # word-splitting the file list is the point
-cd "$repo" && exec "$bin" --baseline "$baseline" $rel
+cd "$repo" && exec "$bin" --baseline "$baseline" $sarif $rel

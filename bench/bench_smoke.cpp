@@ -209,6 +209,15 @@ shardRun(SimConfig cfg, const std::vector<FaultSpec> &faults, int shards)
 bool
 shardRunsIdentical(const ShardRun &a, const ShardRun &b)
 {
+    // Per-class packet counts are part of the identity gate: open-loop
+    // traffic books everything under class 0, service runs spread
+    // across all four, and either way a shard mis-binning a flit's
+    // class must fail the bench even when the aggregates still match.
+    for (int c = 0; c < kNumMsgClasses; ++c) {
+        if (a.ledger.createdByClass[c] != b.ledger.createdByClass[c] ||
+            a.ledger.retiredByClass[c] != b.ledger.retiredByClass[c])
+            return false;
+    }
     return a.r.avgLatency == b.r.avgLatency &&
            a.r.maxLatency == b.r.maxLatency &&
            a.r.p99Latency == b.r.p99Latency &&

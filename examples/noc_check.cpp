@@ -11,6 +11,12 @@
  *                            tables and print their counterexample
  *                            cycles (exits 0 when every broken table is
  *                            correctly rejected)
+ *   noc_check --service      audit the closed-loop service layer: prove
+ *                            the protocol-deadlock avoidance scheme each
+ *                            shipped arch x routing combination resolves
+ *                            to, then confirm the prover rejects the
+ *                            shared-pool and forced-RoCo-partition
+ *                            schemes with counterexample cycles
  *
  * Exit status: 0 when every audited configuration has the expected
  * verdict, 1 otherwise.
@@ -20,7 +26,9 @@
 #include <string>
 
 #include "check/deadlock.h"
+#include "common/config.h"
 #include "common/types.h"
+#include "svc/protocol.h"
 #include "topology/mesh.h"
 
 using namespace noc;
@@ -108,6 +116,81 @@ auditBroken(int width, int height)
     return failures == 0 ? 0 : 1;
 }
 
+/**
+ * Audits the closed-loop service layer.  Every shipped arch x routing
+ * combination must prove deadlock-free under the avoidance scheme its
+ * config resolves to, and the two known-unsound schemes (shared pool;
+ * the class partition forced onto RoCo's module-keyed injection
+ * classes) must be rejected with concrete counterexample cycles.
+ */
+int
+auditService(int width, int height)
+{
+    MeshTopology topo(width, height);
+    std::printf("noc_check: %dx%d mesh, closed-loop service protocol "
+                "layer\n\n",
+                width, height);
+
+    constexpr RouterArch kServiceArchs[] = {
+        RouterArch::Generic, RouterArch::Roco, RouterArch::PathSensitive};
+
+    int failures = 0;
+    for (RouterArch arch : kServiceArchs) {
+        for (RoutingKind kind : kRoutings) {
+            SimConfig cfg;
+            cfg.meshWidth = width;
+            cfg.meshHeight = height;
+            cfg.arch = arch;
+            cfg.routing = kind;
+            cfg.svc.enabled = true;
+            check::ProofResult r = check::proveService(cfg);
+            std::printf("  scheme=%-16s %s\n",
+                        svc::toString(svc::resolveScheme(cfg)),
+                        r.summary().c_str());
+            if (!r.deadlockFree) {
+                std::printf("%s", r.renderCycle().c_str());
+                ++failures;
+            }
+        }
+    }
+
+    struct UnsoundCase {
+        const char *name;
+        check::ProofResult result;
+    };
+    const UnsoundCase cases[] = {
+        {"generic/XYYX with requests and replies in one shared VC pool",
+         check::proveServiceGeneric(topo, RoutingKind::XYYX, 3,
+                                    svc::AvoidanceScheme::SharedPool)},
+        {"RoCo/XYYX with the class partition forced (module-keyed "
+         "injection classes share InjYx between straight-column "
+         "requests and replies)",
+         check::proveServiceRoco(
+             topo, RoutingKind::XYYX,
+             check::RocoCheckOptions::shipped(RoutingKind::XYYX),
+             svc::AvoidanceScheme::ClassPartition)},
+    };
+    std::printf("\n  known-unsound schemes (must be rejected):\n");
+    for (const UnsoundCase &c : cases) {
+        std::printf("  case: %s\n  %s\n", c.name,
+                    c.result.summary().c_str());
+        if (c.result.deadlockFree) {
+            std::printf("  ERROR: prover failed to reject this "
+                        "scheme\n\n");
+            ++failures;
+        } else {
+            std::printf("%s\n", c.result.renderCycle().c_str());
+        }
+    }
+
+    std::printf("%s\n",
+                failures == 0
+                    ? "All service configurations proved protocol-"
+                      "deadlock-free."
+                    : "SERVICE PROTOCOL AUDIT FAILED.");
+    return failures == 0 ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -116,9 +199,12 @@ main(int argc, char **argv)
     int width = 8;
     int height = 8;
     bool broken = false;
+    bool service = false;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--broken") == 0) {
             broken = true;
+        } else if (std::strcmp(argv[i], "--service") == 0) {
+            service = true;
         } else if (std::strcmp(argv[i], "--mesh") == 0 && i + 1 < argc) {
             if (std::sscanf(argv[++i], "%dx%d", &width, &height) != 2 ||
                 width < 2 || height < 2) {
@@ -127,11 +213,13 @@ main(int argc, char **argv)
                 return 2;
             }
         } else {
-            std::fprintf(stderr,
-                         "usage: noc_check [--mesh WxH] [--broken]\n");
+            std::fprintf(stderr, "usage: noc_check [--mesh WxH] "
+                                 "[--broken] [--service]\n");
             return 2;
         }
     }
+    if (service)
+        return auditService(width, height);
     return broken ? auditBroken(width, height)
                   : auditShipped(width, height);
 }

@@ -20,11 +20,19 @@
  *     --threads <n>                  worker-thread budget; without
  *                                    --shards the run shards itself up
  *                                    to this many ways
+ *     --service                      closed-loop request/reply service
+ *                                    (src/svc): finite-MSHR endpoints,
+ *                                    QoS tiers, per-class stats
+ *     --mshrs <n>                    outstanding-request window per node
+ *     --service-latency <n>          request-delivery -> reply delay
+ *     --high-frac <f>                fraction of requests in the high
+ *                                    (latency) QoS tier
  *     --csv                          machine-readable one-line output
  *     --csv-header                   print the CSV column names
  *
  *   e.g. rocosim_cli --arch roco --routing adaptive --rate 0.25
  *        rocosim_cli --arch generic --faults 2 --fault-class critical
+ *        rocosim_cli --arch generic --routing xyyx --service --rate 0.1
  */
 #include <cstdio>
 #include <cstdlib>
@@ -130,6 +138,14 @@ main(int argc, char **argv)
         }
         else if (a == "--shards") cfg.shards = std::atoi(need(i).c_str());
         else if (a == "--threads") threads = std::atoi(need(i).c_str());
+        else if (a == "--service") cfg.svc.enabled = true;
+        else if (a == "--mshrs")
+            cfg.svc.mshrsPerNode = std::atoi(need(i).c_str());
+        else if (a == "--service-latency")
+            cfg.svc.serviceLatency = std::strtoull(need(i).c_str(),
+                                                   nullptr, 10);
+        else if (a == "--high-frac")
+            cfg.svc.highTierFraction = std::atof(need(i).c_str());
         else if (a == "--csv") csv = true;
         else if (a == "--csv-header") {
             std::puts("arch,routing,traffic,rate,faults,latency,p50,"
@@ -189,6 +205,27 @@ main(int argc, char **argv)
                 r.energyPerPacketNj,
                 100.0 * r.energy.dynamicPj() / r.energy.totalPj());
     std::printf("  EDP / PEF    %8.2f / %.2f\n", r.edp, r.pef);
+    if (cfg.svc.enabled) {
+        std::printf("  service      %llu replies | %llu window-deferred "
+                    "| %llu timeouts | drained @ cycle %llu\n",
+                    static_cast<unsigned long long>(r.replyCount),
+                    static_cast<unsigned long long>(r.mshrThrottled),
+                    static_cast<unsigned long long>(r.svcTimeouts),
+                    static_cast<unsigned long long>(r.drainCycles));
+        for (const SimResult::ClassResult &c : r.classes) {
+            std::printf("    %-9s %6llu pkts | lat %7.2f (p99 %7.1f)",
+                        c.name,
+                        static_cast<unsigned long long>(c.delivered),
+                        c.avgLatency, c.p99Latency);
+            if (c.rttCount > 0)
+                std::printf(" | rtt %7.2f (p99 %7.1f) | %llu SLO "
+                            "misses",
+                            c.avgRtt, c.p99Rtt,
+                            static_cast<unsigned long long>(
+                                c.sloViolations));
+            std::puts("");
+        }
+    }
     if (r.timedOut)
         std::puts("  (run hit the cycle budget: saturated or blocked)");
     return 0;

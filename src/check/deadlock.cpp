@@ -170,7 +170,13 @@ ProofResult::summary() const
                       "cycle in the CDG",
                       toString(arch), toString(routing), cycle.size());
     }
-    return buf;
+    std::string out = buf;
+    if (!scheme.empty()) {
+        out += " [protocol: ";
+        out += scheme;
+        out += ']';
+    }
+    return out;
 }
 
 std::string
@@ -311,6 +317,239 @@ provePathSensitive(const MeshTopology &topo, RoutingKind kind,
 }
 
 ProofResult
+proveServiceGeneric(const MeshTopology &topo, RoutingKind kind,
+                    int vcsPerPort, svc::AvoidanceScheme scheme)
+{
+    NOC_ASSERT(vcsPerPort >= 1 && vcsPerPort * kNumPorts <= 64,
+               "generic VC count out of prover range");
+    int slots = kNumPorts * vcsPerPort;
+    Cdg graph(topo.numNodes() * slots);
+    bool partition = scheme == svc::AvoidanceScheme::ClassPartition;
+    bool protocol = scheme != svc::AvoidanceScheme::EndpointReserve;
+    auto mask = [&](Direction port, bool yx) {
+        return genericSvcSlotMask(kind, static_cast<int>(port), vcsPerPort,
+                                  yx, partition);
+    };
+    // Reply-injection slots are route-independent for the generic
+    // router: the Local VCs of the reply class's allowed flavours.
+    std::uint64_t replyInj = 0;
+    for (int rf = 0; rf < flavorsOf(kind); ++rf) {
+        bool ryx = rf == 1;
+        if (partition && !ryx)
+            continue;
+        replyInj |= mask(Direction::Local, ryx);
+    }
+    // Request class: network edges plus, at the final hop, the
+    // protocol-dependence edge arrival-at-dst -> reply-injection-at-dst.
+    walkPairs(topo, kind,
+              [&](NodeId n, Direction arrival, Direction out, NodeId nn,
+                  const Flit &f) {
+                  if (partition && f.yxOrder)
+                      return; // requests are pinned to XY
+                  std::uint64_t u = mask(arrival, f.yxOrder);
+                  std::uint64_t v = mask(opposite(out), f.yxOrder);
+                  addMaskEdges(graph, n * slots, u, nn * slots, v);
+                  if (protocol && nn == f.dst)
+                      addMaskEdges(graph, nn * slots, v, nn * slots,
+                                   replyInj);
+              });
+    // Reply class: network edges only; replies are consumed
+    // unconditionally at the requester, so their dst slots stay sinks.
+    walkPairs(topo, kind,
+              [&](NodeId n, Direction arrival, Direction out, NodeId nn,
+                  const Flit &f) {
+                  if (partition && !f.yxOrder)
+                      return; // replies are pinned to YX
+                  std::uint64_t u = mask(arrival, f.yxOrder);
+                  std::uint64_t v = mask(opposite(out), f.yxOrder);
+                  addMaskEdges(graph, n * slots, u, nn * slots, v);
+              });
+    ProofResult r;
+    r.arch = RouterArch::Generic;
+    r.routing = kind;
+    r.scheme = svc::toString(scheme);
+    return finish(std::move(r), graph, topo, slots,
+                  [=](int s) { return genericSlotName(vcsPerPort, s); });
+}
+
+ProofResult
+proveServiceRoco(const MeshTopology &topo, RoutingKind kind,
+                 const RocoCheckOptions &opts, svc::AvoidanceScheme scheme)
+{
+    Cdg graph(topo.numNodes() * kRocoSlots);
+    auto routing = makeRouting(kind, topo);
+    bool partition = scheme == svc::AvoidanceScheme::ClassPartition;
+    bool protocol = scheme != svc::AvoidanceScheme::EndpointReserve;
+    // Reply injection at a RoCo node is route-dependent: the injection
+    // class (InjXy / InjYx) follows the module serving the reply's
+    // first hop, so the mask unions over the reply's route candidates.
+    auto replyInjMask = [&](NodeId server, NodeId requester) {
+        std::uint64_t m = 0;
+        for (int rf = 0; rf < flavorsOf(kind); ++rf) {
+            bool ryx = rf == 1;
+            if (partition && !ryx)
+                continue;
+            Flit rp;
+            rp.src = server;
+            rp.dst = requester;
+            rp.yxOrder = ryx;
+            for (Direction d : routing->route(server, rp))
+                m |= rocoSlotMask(opts, kind, Direction::Local, d, ryx);
+        }
+        return m;
+    };
+    // Request class. RoCo heads early-eject, so the protocol edge
+    // originates at the *last-held* slot (penultimate router).
+    walkPairs(topo, kind,
+              [&](NodeId n, Direction arrival, Direction out, NodeId nn,
+                  const Flit &f) {
+                  if (partition && f.yxOrder)
+                      return;
+                  std::uint64_t u =
+                      rocoSlotMask(opts, kind, arrival, out, f.yxOrder);
+                  if (!u)
+                      return;
+                  if (nn == f.dst) {
+                      if (protocol)
+                          addMaskEdges(graph, n * kRocoSlots, u,
+                                       nn * kRocoSlots,
+                                       replyInjMask(nn, f.src));
+                      return;
+                  }
+                  DirectionSet la = routing->route(nn, f);
+                  for (Direction d2 : la) {
+                      std::uint64_t v = rocoSlotMask(opts, kind,
+                                                     opposite(out), d2,
+                                                     f.yxOrder);
+                      addMaskEdges(graph, n * kRocoSlots, u,
+                                   nn * kRocoSlots, v);
+                  }
+              });
+    // Reply class: base network edges, flavour-restricted.
+    walkPairs(topo, kind,
+              [&](NodeId n, Direction arrival, Direction out, NodeId nn,
+                  const Flit &f) {
+                  if (partition && !f.yxOrder)
+                      return;
+                  if (nn == f.dst)
+                      return; // early ejection, unconditional
+                  std::uint64_t u =
+                      rocoSlotMask(opts, kind, arrival, out, f.yxOrder);
+                  if (!u)
+                      return;
+                  DirectionSet la = routing->route(nn, f);
+                  for (Direction d2 : la) {
+                      std::uint64_t v = rocoSlotMask(opts, kind,
+                                                     opposite(out), d2,
+                                                     f.yxOrder);
+                      addMaskEdges(graph, n * kRocoSlots, u,
+                                   nn * kRocoSlots, v);
+                  }
+              });
+    ProofResult r;
+    r.arch = RouterArch::Roco;
+    r.routing = kind;
+    r.scheme = svc::toString(scheme);
+    return finish(std::move(r), graph, topo, kRocoSlots,
+                  [&](int s) { return rocoSlotName(opts.table, s); });
+}
+
+ProofResult
+proveServicePathSensitive(const MeshTopology &topo, RoutingKind kind,
+                          int vcsPerPort, svc::AvoidanceScheme scheme)
+{
+    if (scheme == svc::AvoidanceScheme::EndpointReserve) {
+        // No protocol edges and the pools are class-blind: the proof
+        // is exactly the network-layer one.
+        ProofResult r = provePathSensitive(topo, kind, vcsPerPort);
+        r.scheme = svc::toString(scheme);
+        return r;
+    }
+    // SharedPool (and a forced ClassPartition, which the quadrant
+    // pools cannot express): both classes share every pool, protocol
+    // edges included in the strict and the escape graph alike.
+    NOC_ASSERT(vcsPerPort >= 1 && vcsPerPort * kNumQuadrants <= 64,
+               "PS VC count out of prover range");
+    int slots = kNumQuadrants * vcsPerPort;
+    Cdg strict(topo.numNodes() * slots);
+    Cdg escape(topo.numNodes() * slots);
+    walkPairs(topo, kind,
+              [&](NodeId n, Direction arrival, Direction out, NodeId nn,
+                  const Flit &f) {
+                  (void)arrival;
+                  Quadrant q0 = quadrantOf(topo, n, f.dst, false);
+                  Quadrant q1 = quadrantOf(topo, n, f.dst, true);
+                  bool finalHop = nn == f.dst;
+                  std::uint64_t vStrict = 0;
+                  std::uint64_t vEscape = 0;
+                  if (finalHop) {
+                      // Protocol edge targets: the reply (dst -> src)
+                      // injects into its own destination pools.
+                      Quadrant r0 = quadrantOf(topo, nn, f.src, false);
+                      Quadrant r1 = quadrantOf(topo, nn, f.src, true);
+                      vStrict = psPoolMask(r0, vcsPerPort) |
+                                psPoolMask(r1, vcsPerPort);
+                      vEscape = psPoolMask(
+                          canonicalQuadrant(topo, nn, f.src), vcsPerPort);
+                  } else {
+                      Quadrant d0 = quadrantOf(topo, nn, f.dst, false);
+                      Quadrant d1 = quadrantOf(topo, nn, f.dst, true);
+                      vStrict = psPoolMask(d0, vcsPerPort) |
+                                psPoolMask(d1, vcsPerPort);
+                      vEscape = psPoolMask(
+                          canonicalQuadrant(topo, nn, f.dst), vcsPerPort);
+                  }
+                  const Quadrant pools[2] = {q0, q1};
+                  int numPools = q0 == q1 ? 1 : 2;
+                  for (int i = 0; i < numPools; ++i) {
+                      Quadrant q = pools[i];
+                      if (!quadrantServes(q, out))
+                          continue;
+                      std::uint64_t u = psPoolMask(q, vcsPerPort);
+                      addMaskEdges(strict, n * slots, u, nn * slots,
+                                   vStrict);
+                      addMaskEdges(escape, n * slots, u, nn * slots,
+                                   vEscape);
+                  }
+              });
+    ProofResult r;
+    r.arch = RouterArch::PathSensitive;
+    r.routing = kind;
+    r.scheme = svc::toString(scheme);
+    r = finish(std::move(r), strict, topo, slots,
+               [=](int s) { return psSlotName(vcsPerPort, s); });
+    if (r.deadlockFree)
+        return r;
+    if (escape.findCycle().empty()) {
+        r.deadlockFree = true;
+        r.viaEscape = true;
+    }
+    return r;
+}
+
+ProofResult
+proveService(const SimConfig &cfg)
+{
+    constexpr int kMaxProofDim = 12;
+    MeshTopology topo(std::min(cfg.meshWidth, kMaxProofDim),
+                      std::min(cfg.meshHeight, kMaxProofDim));
+    svc::AvoidanceScheme scheme = svc::resolveScheme(cfg);
+    switch (cfg.arch) {
+      case RouterArch::Roco:
+        return proveServiceRoco(topo, cfg.routing,
+                                RocoCheckOptions::shipped(cfg.routing),
+                                scheme);
+      case RouterArch::Generic:
+        return proveServiceGeneric(topo, cfg.routing, cfg.vcsPerPort,
+                                   scheme);
+      case RouterArch::PathSensitive:
+        return proveServicePathSensitive(topo, cfg.routing, cfg.vcsPerPort,
+                                         scheme);
+    }
+    fatal("unknown router architecture in service deadlock prover");
+}
+
+ProofResult
 prove(const SimConfig &cfg)
 {
     // Dependencies are local and translation-invariant, so any cycle in
@@ -354,11 +593,17 @@ validateConfigOrDie(const SimConfig &cfg)
         (static_cast<std::uint64_t>(std::min(cfg.meshWidth, 12)) << 32) |
         (static_cast<std::uint64_t>(std::min(cfg.meshHeight, 12)) << 16) |
         static_cast<std::uint64_t>(cfg.vcsPerPort);
+    if (cfg.svc.enabled) {
+        // Service mode proves a different (augmented) graph per
+        // avoidance scheme; keep those proofs distinct in the memo.
+        key |= 1ull << 36;
+        key |= static_cast<std::uint64_t>(svc::resolveScheme(cfg)) << 37;
+    }
 
     std::lock_guard<std::mutex> lock(mu);
     if (proven.contains(key))
         return;
-    ProofResult r = prove(cfg);
+    ProofResult r = cfg.svc.enabled ? proveService(cfg) : prove(cfg);
     if (!r.deadlockFree) {
         std::fprintf(stderr, "%s\n%s", r.summary().c_str(),
                      r.renderCycle().c_str());

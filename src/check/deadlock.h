@@ -37,6 +37,7 @@
 #include "common/config.h"
 #include "common/types.h"
 #include "router/roco/vc_config.h"
+#include "svc/protocol.h"
 #include "topology/mesh.h"
 
 namespace noc::check {
@@ -65,6 +66,12 @@ struct ProofResult {
     std::size_t edges = 0;
     /** Counterexample cycle (closing edge back to front() implicit). */
     std::vector<CycleNode> cycle;
+    /**
+     * Protocol-deadlock avoidance scheme the proof was run under
+     * ("class-partition", "endpoint-reserve", "shared-pool"); empty
+     * for the network-only proofs.
+     */
+    std::string scheme;
 
     /** One-line verdict, e.g. for the noc_check audit table. */
     std::string summary() const;
@@ -78,6 +85,42 @@ ProofResult proveGeneric(const MeshTopology &topo, RoutingKind kind,
                          int vcsPerPort);
 ProofResult provePathSensitive(const MeshTopology &topo,
                                RoutingKind kind, int vcsPerPort);
+
+/**
+ * Service-mode proofs: the network CDG of *both* message classes plus
+ * protocol-dependence edges (request arrival at its destination ⇒
+ * reply injection there), modelling a pessimistic endpoint that will
+ * not consume a request until its reply is injectable. The scheme
+ * selects the avoidance argument under proof:
+ *
+ *  - EndpointReserve omits the protocol edges: the finite MSHR window
+ *    plus unconditional reply consumption discharges them outside the
+ *    graph, so the proof reduces to the network CDG over both classes.
+ *  - ClassPartition restricts requests to the XY flavour and replies
+ *    to YX *and keeps the protocol edges*: acyclicity then is the
+ *    structural end-to-end partition argument. Only sound for the
+ *    generic router — RoCo's module-keyed injection classes let
+ *    straight-line XY requests share InjYx with replies, and the
+ *    prover exhibits that cycle when the scheme is forced.
+ *  - SharedPool keeps the protocol edges with no restriction; the
+ *    prover produces the textbook request/reply counterexample.
+ */
+ProofResult proveServiceGeneric(const MeshTopology &topo, RoutingKind kind,
+                                int vcsPerPort,
+                                svc::AvoidanceScheme scheme);
+ProofResult proveServiceRoco(const MeshTopology &topo, RoutingKind kind,
+                             const RocoCheckOptions &opts,
+                             svc::AvoidanceScheme scheme);
+ProofResult proveServicePathSensitive(const MeshTopology &topo,
+                                      RoutingKind kind, int vcsPerPort,
+                                      svc::AvoidanceScheme scheme);
+
+/**
+ * Proves @p cfg's service-mode protocol layer with the scheme the
+ * config actually resolves to (svc::resolveScheme). Same 12x12
+ * surrogate rule as prove().
+ */
+ProofResult proveService(const SimConfig &cfg);
 
 /**
  * Proves the (arch, routing, mesh, VC) combination of @p cfg with the

@@ -99,6 +99,22 @@ genericSlotMask(RoutingKind kind, int port, int vcsPerPort, bool yxOrder)
 }
 
 std::uint64_t
+genericSvcSlotMask(RoutingKind kind, int port, int vcsPerPort, bool yxOrder,
+                   bool classPartition)
+{
+    if (!classPartition ||
+        port != static_cast<int>(Direction::Local))
+        return genericSlotMask(kind, port, vcsPerPort, yxOrder);
+    // Service-mode injection partition: pullInjection() reserves the
+    // last Local VC for replies (YX order) and the rest for requests
+    // (XY order), extending the XYYX order split to the one port the
+    // open-loop rule leaves shared.
+    std::uint64_t all = ((1ull << vcsPerPort) - 1) << (port * vcsPerPort);
+    std::uint64_t last = 1ull << (port * vcsPerPort + vcsPerPort - 1);
+    return yxOrder ? last : all & ~last;
+}
+
+std::uint64_t
 psPoolMask(Quadrant q, int vcsPerPort)
 {
     return ((1ull << vcsPerPort) - 1) << (static_cast<int>(q) * vcsPerPort);

@@ -100,6 +100,16 @@ std::uint64_t rocoSlotMask(const RocoCheckOptions &o, RoutingKind kind,
 std::uint64_t genericSlotMask(RoutingKind kind, int port, int vcsPerPort,
                               bool yxOrder);
 
+/**
+ * Service-mode variant: with the request/reply class partition in
+ * force, the Local (injection) VCs are split by dimension order too —
+ * replies (YX) own the last Local VC, requests (XY) the rest —
+ * mirroring the generic router's svc-gated pullInjection() rule.
+ * Falls back to genericSlotMask when @p classPartition is off.
+ */
+std::uint64_t genericSvcSlotMask(RoutingKind kind, int port, int vcsPerPort,
+                                 bool yxOrder, bool classPartition);
+
 /** All slots of one Path-Sensitive quadrant pool. */
 std::uint64_t psPoolMask(Quadrant q, int vcsPerPort);
 

@@ -69,6 +69,21 @@ SimConfig::validate() const
         fatal("maxCycles must be positive");
     if (shards < 0)
         fatal("shards must be >= 0 (0 = auto via NOC_SHARDS)");
+    if (svc.enabled) {
+        if (svc.highTierFraction < 0.0 || svc.highTierFraction > 1.0)
+            fatal("svc.highTierFraction must be in [0,1]");
+        if (svc.mshrsPerNode < 1 || svc.mshrsPerNode > 4096)
+            fatal("svc.mshrsPerNode out of range [1,4096]");
+        if (svc.serviceLatency < 1)
+            fatal("svc.serviceLatency must be >= 1 cycle");
+        if (svc.mshrTimeout < svc.serviceLatency)
+            fatal("svc.mshrTimeout must cover svc.serviceLatency");
+        if (svc.replyFlits < 0 || svc.replyFlits > 1024)
+            fatal("svc.replyFlits out of range [0,1024]");
+        if (traffic == TrafficKind::Trace)
+            fatal("service mode drives its own request stream; "
+                  "trace replay is open-loop only");
+    }
 }
 
 } // namespace noc

@@ -35,6 +35,69 @@ enum class TrafficKind : std::uint8_t {
 const char *toString(TrafficKind t);
 
 /**
+ * Closed-loop traffic service knobs (src/svc).
+ *
+ * When enabled, every traffic draw becomes a *request* gated by a
+ * finite-MSHR endpoint; delivery of a request at its destination NIC
+ * schedules a deterministic *reply* back to the requester after
+ * @c serviceLatency cycles. Two protocol-deadlock avoidance schemes can
+ * be active (the extended-CDG prover verifies whichever applies):
+ *
+ *  - @c classVcPartition binds requests to the XY dimension order and
+ *    replies to YX under XYYX routing, which splits them onto disjoint
+ *    VC classes end to end (including the injection VCs).
+ *  - @c endpointReserve relies on the finite MSHR window plus
+ *    guaranteed sink consumption: replies are always absorbed, so a
+ *    request's arrival never transitively waits on network resources a
+ *    reply holds. This is the scheme that covers XY/Adaptive routing
+ *    and the PathSensitive pools, where no VC partition exists.
+ *
+ * Disabling both yields a shared-pool configuration the prover rejects
+ * with a counterexample cycle (the negative ctest).
+ */
+struct ServiceConfig {
+    bool enabled = false;
+
+    /** Fraction of requests drawn into the High (latency) tier. */
+    double highTierFraction = 0.5;
+
+    /** Outstanding-request window per endpoint (finite MSHR table). */
+    int mshrsPerNode = 8;
+
+    /** Cycles between request delivery and reply injection. */
+    Cycle serviceLatency = 12;
+
+    /**
+     * Cycles after which an unanswered request's MSHR is reclaimed.
+     * Needed under faults: a source-dropped request never generates a
+     * reply, and without a timeout the endpoint would wedge at
+     * mshrsPerNode outstanding forever.
+     */
+    Cycle mshrTimeout = 8192;
+
+    /** Request/reply VC-class partition (active under XYYX only). */
+    bool classVcPartition = true;
+
+    /** Endpoint-reservation argument (finite MSHRs + sink guarantee). */
+    bool endpointReserve = true;
+
+    /** Reply packet length in flits; 0 = same as flitsPerPacket. */
+    int replyFlits = 0;
+
+    /** End-to-end RTT SLO per tier, in cycles (for violation counts). */
+    Cycle sloHighCycles = 400;
+    Cycle sloBulkCycles = 2000;
+
+    /**
+     * Batch-throughput mode: drive a fixed packet budget (warmup 0,
+     * measurePackets = budget) and report time-to-drain instead of a
+     * steady-state latency point. Labelling knob only — generation
+     * already stops at the packet budget.
+     */
+    bool batch = false;
+};
+
+/**
  * Every knob of a simulation run.
  *
  * Aggregate-initialisable so tests and benches can override single fields:
@@ -113,6 +176,9 @@ struct SimConfig {
      * baseline for the equivalence tests and benchmarks.
      */
     bool idleSkip = true;
+
+    // --- closed-loop traffic service ------------------------------------
+    ServiceConfig svc;
 
     /** Buffer depth for the configured architecture. */
     int bufferDepth() const;

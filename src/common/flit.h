@@ -40,6 +40,64 @@ isTail(FlitType t)
 }
 
 /**
+ * Message classes for the closed-loop traffic service (src/svc).
+ *
+ * The class byte rides in the flit envelope: bit 0 distinguishes
+ * request from reply (the protocol dimension the deadlock prover's
+ * protocol-dependence edges reason about), bit 1 selects the QoS tier
+ * (High = latency-sensitive, Bulk = best-effort). Open-loop traffic
+ * leaves the field at 0 (ReqHigh), which keeps every pre-service
+ * code path byte-identical.
+ */
+using MsgClass = std::uint8_t;
+inline constexpr MsgClass kClsReqHigh = 0;
+inline constexpr MsgClass kClsRepHigh = 1;
+inline constexpr MsgClass kClsReqBulk = 2;
+inline constexpr MsgClass kClsRepBulk = 3;
+inline constexpr int kNumMsgClasses = 4;
+
+/** Compose a class byte from protocol direction and QoS tier. */
+constexpr MsgClass
+makeMsgClass(bool reply, int tier)
+{
+    return static_cast<MsgClass>((reply ? 1u : 0u) |
+                                 (static_cast<unsigned>(tier) << 1));
+}
+
+/** True for reply-direction classes. */
+constexpr bool
+isReplyClass(MsgClass c)
+{
+    return (c & 1u) != 0;
+}
+
+/** QoS tier of a class: 0 = High, 1 = Bulk. */
+constexpr int
+tierOfClass(MsgClass c)
+{
+    return static_cast<int>(c >> 1);
+}
+
+/** Bounds-checked array index for per-class counters. */
+constexpr int
+clsIndex(MsgClass c)
+{
+    return static_cast<int>(c) & (kNumMsgClasses - 1);
+}
+
+/** Human-readable class name ("req-high", "rep-bulk", ...). */
+constexpr const char *
+msgClassName(MsgClass c)
+{
+    switch (clsIndex(c)) {
+    case kClsReqHigh: return "req-high";
+    case kClsRepHigh: return "rep-high";
+    case kClsReqBulk: return "req-bulk";
+    default:          return "rep-bulk";
+    }
+}
+
+/**
  * A flit in flight.
  *
  * @c vc is rewritten at every hop: it names the virtual channel the flit
@@ -71,6 +129,13 @@ struct Flit {
     bool measured = false;
 
     std::uint8_t hops = 0; ///< routers traversed so far (stats only)
+
+    /**
+     * Message class (request/reply x QoS tier) for the closed-loop
+     * traffic service; 0 (ReqHigh) for open-loop workloads. Fits in
+     * what used to be struct padding, so sizeof(Flit) is unchanged.
+     */
+    MsgClass cls = 0;
 };
 
 /**
@@ -110,8 +175,28 @@ struct FlitLedger {
      */
     std::uint64_t flitCycles = 0;
 
-    /** True when no flit is queued, buffered or on a link. */
-    bool quiescent() const { return created == retired; }
+    /**
+     * Per-class creation/retirement counters for the closed-loop
+     * service (indexed by clsIndex). They decompose `created` and
+     * `retired` exactly — the runtime invariant checker audits the
+     * sums — so a class-routing bug that swaps traffic between
+     * classes cannot cancel out in the aggregate identity compare.
+     */
+    std::uint64_t createdByClass[kNumMsgClasses] = {0, 0, 0, 0};
+    std::uint64_t retiredByClass[kNumMsgClasses] = {0, 0, 0, 0};
+
+    /**
+     * Endpoint obligations not yet materialised as flits: replies that
+     * are scheduled (request consumed, service latency running) but
+     * not yet enqueued at the server NIC. The drain logic must treat
+     * these as in-flight work — `created == retired` alone would let a
+     * run terminate between a request's delivery and its reply's
+     * injection, truncating the closed loop.
+     */
+    std::uint64_t svcPending = 0;
+
+    /** True when no flit — and no scheduled reply — is outstanding. */
+    bool quiescent() const { return created == retired && svcPending == 0; }
 };
 
 } // namespace noc

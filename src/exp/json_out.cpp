@@ -104,6 +104,37 @@ appendResult(std::string &out, const SimResult &r)
     appendField(out, "edp", r.edp);
     appendField(out, "pef", r.pef);
     appendField(out, "cycles", static_cast<std::uint64_t>(r.cycles));
+    if (!r.classes.empty()) {
+        // Service-mode per-class block (schema 3). Omitted entirely
+        // for open-loop runs so their output is byte-stable vs schema 2
+        // apart from the version bump.
+        out += "\"classes\": [";
+        for (std::size_t c = 0; c < r.classes.size(); ++c) {
+            const SimResult::ClassResult &cr = r.classes[c];
+            if (c)
+                out += ", ";
+            out += "{\"name\": ";
+            appendStr(out, cr.name);
+            out += ", ";
+            appendField(out, "injected", cr.injected);
+            appendField(out, "delivered", cr.delivered);
+            appendField(out, "avgLatency", cr.avgLatency);
+            appendField(out, "p50Latency", cr.p50Latency);
+            appendField(out, "p99Latency", cr.p99Latency);
+            appendField(out, "avgRtt", cr.avgRtt);
+            appendField(out, "p99Rtt", cr.p99Rtt);
+            appendField(out, "rttCount", cr.rttCount);
+            appendField(out, "sloViolations", cr.sloViolations, true);
+            out += "}";
+        }
+        out += "], ";
+        appendField(out, "replyCount", r.replyCount);
+        appendField(out, "mshrThrottled", r.mshrThrottled);
+        appendField(out, "svcTimeouts", r.svcTimeouts);
+        appendField(out, "svcLateReplies", r.svcLateReplies);
+        appendField(out, "drainCycles",
+                    static_cast<std::uint64_t>(r.drainCycles));
+    }
     out += "\"timedOut\": ";
     out += r.timedOut ? "true" : "false";
     out += ", ";
@@ -183,7 +214,7 @@ sweepJson(const SweepSpec &spec, const SweepResults &res)
 {
     std::string out;
     out.reserve(1024 + res.points.size() * 640);
-    out += "{\n  \"schema\": 2,\n  \"bench\": ";
+    out += "{\n  \"schema\": 3,\n  \"bench\": ";
     appendStr(out, spec.name);
     out += ",\n  \"threads\": ";
     appendNum(out, static_cast<std::uint64_t>(res.threads));

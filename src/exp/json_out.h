@@ -17,10 +17,10 @@
 namespace noc::exp {
 
 /**
- * Serialises a finished sweep. Schema (version 2):
+ * Serialises a finished sweep. Schema (version 3):
  * @code
  * {
- *   "schema": 2,
+ *   "schema": 3,
  *   "bench": "<spec.name>",
  *   "threads": N,
  *   "baseSeed": S,
@@ -37,7 +37,14 @@ namespace noc::exp {
  * }
  * @endcode
  *
- * Version history: schema 2 added warmupPackets / measurePackets and
+ * Version history: schema 3 added the optional per-result "classes"
+ * block for closed-loop service runs (cfg.svc.enabled): one entry per
+ * message class — {name, injected, delivered, avgLatency, p50Latency,
+ * p99Latency, avgRtt, p99Rtt, rttCount, sloViolations} — plus the
+ * flat replyCount / mshrThrottled / svcTimeouts / svcLateReplies /
+ * drainCycles service diagnostics. Open-loop results omit the block,
+ * so schema-2 consumers only see the version bump.
+ * Schema 2 added warmupPackets / measurePackets and
  * the optional "obs" block (grid-wide merged trace summary: per-stage
  * residency histograms keyed by interval name, end-to-end latency
  * histograms overall / measured-only / per Manhattan distance, stage

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Saturation auto-search and batch-throughput mode for the closed-loop
+ * traffic service (src/svc).
+ *
+ * Open-loop sweeps walk a fixed injection-rate grid and leave finding
+ * the saturation point to the reader of the latency curve. The
+ * auto-search turns that into a first-class, deterministic experiment:
+ * starting from a [loRate, hiRate] bracket it runs rounds of probe
+ * rates through SweepRunner and bisects each tracked latency series —
+ * the overall average plus every message class — down to the *knee*,
+ * defined as the lowest rate whose latency reaches kneeFactor times
+ * the series' zero-load latency (measured at loRate). QoS separation
+ * shows up directly: under class-aware scheduling the high tier's knee
+ * sits at a visibly higher rate than the bulk tier's.
+ *
+ * Every probe is an ordinary SweepRunner point, so the shard engine's
+ * bit-identity contract, the runtime invariant checker and the race
+ * checker all extend to the search, and the knee estimates are
+ * bit-identical for any thread or shard count.
+ *
+ * Batch-throughput mode answers the dual question: instead of a rate
+ * that holds latency down, how fast can a fixed budget of request
+ * packets be pushed through and fully answered? It runs one service
+ * point with no warm-up and reports time-to-drain (the cycle the last
+ * reply lands, SimResult::drainCycles) and the packets/cycle that
+ * implies.
+ */
+#ifndef ROCOSIM_EXP_SATURATION_H_
+#define ROCOSIM_EXP_SATURATION_H_
+
+#include <string>
+#include <vector>
+
+#include "exp/sweep.h"
+
+namespace noc::exp {
+
+/** The search's knobs; base must have svc.enabled for per-class knees
+ *  (the overall knee works for open-loop configs too). */
+struct SaturationSpec {
+    SimConfig base;                ///< everything but injectionRate
+    std::vector<FaultSpec> faults; ///< injected into every probe
+    std::string faultLabel;        ///< for reports, "" = fault-free
+    double loRate = 0.02;  ///< zero-load probe and initial bracket low
+    double hiRate = 0.60;  ///< initial bracket high
+    int rounds = 4;        ///< bracket-refinement rounds
+    int probesPerRound = 4;///< rates simulated per round
+    double kneeFactor = 3.0; ///< knee = latency >= factor * zero-load
+    int threads = 0;       ///< SweepRunner pool size (0 = default)
+};
+
+/** One tracked latency series' knee. */
+struct KneeEstimate {
+    std::string series;        ///< "overall" or a msgClassName()
+    double zeroLoadLatency = 0;///< at loRate (0: class never observed)
+    double kneeRate = 0;       ///< bracket high after the last round
+    double kneeLatency = 0;    ///< latency measured at kneeRate
+    bool saturated = false;    ///< false: hiRate never crossed the knee
+};
+
+/** Everything one auto-search produced. */
+struct SaturationResult {
+    std::vector<KneeEstimate> knees; ///< overall first, then classes
+    std::vector<double> probedRates; ///< every rate run, in run order
+    int rounds = 0;
+    int threads = 0;
+};
+
+/** Runs the bracketed knee search. Deterministic for any thread count. */
+SaturationResult findSaturation(const SaturationSpec &spec);
+
+/** Fixed-budget batch run: push @p budget requests, time the drain. */
+struct BatchResult {
+    std::uint64_t budget = 0;      ///< requests offered
+    std::uint64_t delivered = 0;   ///< measured packets delivered
+    Cycle timeToDrain = 0;         ///< cycle the network fully drained
+    double packetsPerCycle = 0;    ///< delivered / timeToDrain
+    SimResult result;              ///< the underlying point result
+};
+
+/**
+ * Runs @p spec.base with warm-up disabled and a measurePackets budget
+ * of @p budget, through SweepRunner (single point), and reports
+ * time-to-drain. The base config's warmupPackets / measurePackets are
+ * overridden; svc.batch is set for the record.
+ */
+BatchResult runBatch(const SaturationSpec &spec, std::uint64_t budget);
+
+/** Serialises a search (+ optional batch point) for writeBenchJson. */
+std::string saturationJson(const SaturationSpec &spec,
+                           const SaturationResult &res,
+                           const BatchResult *batch = nullptr);
+
+} // namespace noc::exp
+
+#endif // ROCOSIM_EXP_SATURATION_H_

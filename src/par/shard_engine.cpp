@@ -83,6 +83,11 @@ epilogue(Shared &sh)
         sum.retired += l.retired;
         sum.flitCycles += l.flitCycles;
         sum.lastDelivery = std::max(sum.lastDelivery, l.lastDelivery);
+        for (int c = 0; c < kNumMsgClasses; ++c) {
+            sum.createdByClass[c] += l.createdByClass[c];
+            sum.retiredByClass[c] += l.retiredByClass[c];
+        }
+        sum.svcPending += l.svcPending;
     }
     sh.totals = sum;
 
@@ -104,12 +109,16 @@ epilogue(Shared &sh)
                 queued =
                     sh.net.nic(static_cast<NodeId>(i)).queuedFlits() > 0;
             }
-            NOC_ASSERT(sum.quiescent() ==
+            // Flit half of the ledger only: service mode also tracks
+            // scheduled-not-yet-injected replies (svcPending), which
+            // no network scan can see.
+            NOC_ASSERT((sum.created == sum.retired) ==
                            (!queued && sh.net.flitsInFlight() == 0),
                        "shard ledgers out of sync with network scan");
         }
 #endif
-        stop = sh.ctl.endCycle(done, sum.quiescent(), sum.lastDelivery);
+        stop = sh.ctl.endCycle(done, sum.quiescent(), sum.lastDelivery,
+                               sum.svcPending);
     }
     if (!stop && done >= sh.cfg.maxCycles)
         stop = true;
@@ -148,12 +157,14 @@ work(Shared &sh, int s)
 
         // NIC sources must run every generating cycle (each draws its
         // RNG stream per cycle); the loop vanishes in the drain phase.
+        // Service mode keeps the NICs running through the drain so
+        // scheduled replies still fire (mirrors Network::step's gate).
         // The epilogue zeroed generated[s] after reading it.
-        if (generating) {
+        if (generating || sh.cfg.svc.enabled) {
             std::uint64_t gen = 0;
             for (NodeId n : plan.nodes(s))
                 gen += static_cast<std::uint64_t>(
-                    net.nic(n).generate(now, measuring, true));
+                    net.nic(n).generate(now, measuring, generating));
             sh.generated[static_cast<std::size_t>(s)].value = gen;
         }
 

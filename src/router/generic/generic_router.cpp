@@ -3,6 +3,7 @@
 #include <limits>
 
 #include "obs/recorder.h"
+#include "svc/protocol.h"
 
 namespace noc {
 
@@ -18,6 +19,7 @@ GenericRouter::GenericRouter(NodeId id, const SimConfig &cfg,
                              const FaultMap *faults)
     : Router(id, cfg, topo, routing, faults),
       numVcs_(cfg.vcsPerPort), depth_(cfg.bufferDepthGeneric),
+      svcInjPartition_(svc::classPartitionActive(cfg)),
       xbar_(kNumPorts, kNumPorts), ejectPipe_(cfg.hopDelay - 1)
 {
     // Carve every VC's flit slots and packet-control records out of two
@@ -231,7 +233,19 @@ GenericRouter::pullInjection(Cycle now)
     int target = -1;
     if (isHead(front.type)) {
         // Claim a completely idle injection VC for the new packet.
-        for (int v = 0; v < numVcs_ && target < 0; ++v) {
+        // Under the service-mode class partition the claimable range
+        // splits by dimension order: replies (YX) own the last Local
+        // VC, requests (XY) the rest — the injection half of the
+        // prover's end-to-end partition argument.
+        int lo = 0;
+        int hi = numVcs_;
+        if (svcInjPartition_) {
+            if (front.yxOrder)
+                lo = numVcs_ - 1;
+            else
+                hi = numVcs_ - 1;
+        }
+        for (int v = lo; v < hi && target < 0; ++v) {
             if (vc(local, v).ctl.empty())
                 target = v;
         }

@@ -99,6 +99,14 @@ class GenericRouter : public Router
 
     int numVcs_;
     int depth_;
+    /**
+     * Service-mode request/reply injection partition (src/svc): when
+     * the class-VC partition is in force, the last Local VC is
+     * reserved for replies (YX order) and the rest for requests (XY),
+     * extending the XYYX order split to the injection port. Off in
+     * every non-service configuration, so baselines are untouched.
+     */
+    bool svcInjPartition_;
     /** Flit slots of all input VCs, carved depth_ apiece (SoA arena). */
     std::vector<Flit> flitPool_;
     /** PacketCtl records of all input VCs, depth_+1 apiece. */

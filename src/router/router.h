@@ -442,6 +442,7 @@ class Router
     {
         if (ledger_) {
             ++ledger_->retired;
+            ++ledger_->retiredByClass[clsIndex(f.cls)];
             ledger_->flitCycles +=
                 static_cast<std::uint64_t>(now - f.createTime);
         }

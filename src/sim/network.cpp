@@ -154,11 +154,13 @@ Network::step(Cycle now, bool generationEnabled, bool measured)
 {
     // The NIC loop must run every cycle while traffic is generated —
     // each Bernoulli source draws from its RNG stream per cycle — but
-    // disappears entirely in the drain phase.
-    if (generationEnabled) {
+    // disappears entirely in the drain phase. Service mode keeps it
+    // alive through the drain: scheduled replies must still be pumped
+    // (with request generation off) or the closed loop would truncate.
+    if (generationEnabled || cfg_.svc.enabled) {
         for (auto &nic : nics_) {
             generatedBase1_ += static_cast<std::uint64_t>(
-                nic->generate(now, measured, true));
+                nic->generate(now, measured, generationEnabled));
         }
     }
     const PhaseEntry *entries = flatPhases_.data();
@@ -296,6 +298,34 @@ Network::checkProtocolInvariants(Cycle now) const
 #if NOC_INVARIANTS_BUILT
     if (!check::invariantsEnabled())
         return;
+
+    // Per-class credit conservation: the class counters decompose the
+    // aggregate ledger exactly, and no class may retire more than it
+    // created — a class-routing bug (flit delivered under the wrong
+    // class byte) breaks one of these before it can cancel out in the
+    // aggregate created/retired identity.
+    {
+        std::uint64_t createdSum = 0;
+        std::uint64_t retiredSum = 0;
+        for (int c = 0; c < kNumMsgClasses; ++c) {
+            createdSum += ledger_.createdByClass[c];
+            retiredSum += ledger_.retiredByClass[c];
+            NOC_INVARIANT(ledger_.retiredByClass[c] <=
+                              ledger_.createdByClass[c],
+                          check::InvariantKind::CreditConservation, now,
+                          0, Direction::Invalid, c,
+                          std::string("class ") + msgClassName(
+                              static_cast<MsgClass>(c)) +
+                              " retired more flits than it created");
+        }
+        NOC_INVARIANT(createdSum == ledger_.created &&
+                          retiredSum == ledger_.retired,
+                      check::InvariantKind::CreditConservation, now, 0,
+                      Direction::Invalid, -1,
+                      "per-class ledger counters do not decompose the "
+                      "aggregate created/retired totals");
+    }
+
     std::vector<int> flits, credits;
     for (NodeId n = 0; n < static_cast<NodeId>(numNodes()); ++n) {
         const Router &u = *routers_[n];

@@ -4,6 +4,7 @@
 
 #include "common/log.h"
 #include "obs/recorder.h"
+#include "svc/protocol.h"
 
 namespace noc {
 
@@ -12,6 +13,10 @@ Nic::Nic(NodeId id, const SimConfig &cfg, const MeshTopology &topo)
       rng_(cfg.seed, 0x41C0000ull + id),
       idStride_(static_cast<std::uint64_t>(topo.numNodes()))
 {
+    if (cfg.svc.enabled) {
+        svc_ = std::make_unique<SvcState>(cfg.svc);
+        svcPartition_ = svc::classPartitionActive(cfg);
+    }
 }
 
 void
@@ -29,6 +34,8 @@ Nic::traceExhausted() const
 int
 Nic::generate(Cycle now, bool measured, bool generationEnabled)
 {
+    if (svc_)
+        return generateService(now, measured, generationEnabled);
     if (!generationEnabled)
         return 0;
     NodeId dst = kInvalidNode;
@@ -41,7 +48,66 @@ Nic::generate(Cycle now, bool measured, bool generationEnabled)
         return 0;
     std::uint64_t pid = 1 + static_cast<std::uint64_t>(id_) +
                         genSeq_++ * idStride_;
-    enqueueWithId(dst, now, pid, measured, rng_.nextBool(0.5));
+    enqueueWithId(dst, now, pid, measured, rng_.nextBool(0.5), 0,
+                  cfg_.flitsPerPacket);
+    return 1;
+}
+
+bool
+Nic::serviceOrder(MsgClass cls, bool draw) const
+{
+    // Under the class-VC partition requests are pinned to XY and
+    // replies to YX (the prover's structural argument); otherwise
+    // XYYX keeps its per-packet order draw and XY/Adaptive ignore it.
+    if (svcPartition_)
+        return isReplyClass(cls);
+    return cfg_.routing == RoutingKind::XYYX && draw;
+}
+
+int
+Nic::generateService(Cycle now, bool measured, bool generationEnabled)
+{
+    svc::ServiceEndpoint &ep = svc_->ep;
+    ep.reclaim(now);
+
+    // Pump every due reply first. This runs during the drain phase too
+    // (generationEnabled false): the closed loop must finish answering
+    // requests already consumed, or termination would truncate them.
+    while (const svc::ServiceEndpoint::PendingReply *r = ep.dueReply(now)) {
+        bool order = serviceOrder(r->cls, rng_.nextBool(0.5));
+        enqueueWithId(r->requester, now, r->packetId, r->measured, order,
+                      r->cls, cfg_.svc.replyFlits ? cfg_.svc.replyFlits
+                                                  : cfg_.flitsPerPacket);
+        svc_->cls[clsIndex(r->cls)].injectedPackets++;
+        if (ledger_) {
+            NOC_ASSERT(ledger_->svcPending > 0, "reply pump underflow");
+            --ledger_->svcPending;
+        }
+        ep.popReply();
+    }
+
+    if (!generationEnabled)
+        return 0;
+    NodeId dst = kInvalidNode;
+    if (auto d = traffic_.maybeGenerate(now))
+        dst = *d;
+    if (dst == kInvalidNode)
+        return 0;
+    // Draws are consumed whether or not the request is admitted, so
+    // the per-NIC rng stream advances identically on every engine.
+    bool orderDraw = rng_.nextBool(0.5);
+    int tier = rng_.nextBool(cfg_.svc.highTierFraction) ? 0 : 1;
+    if (!ep.canInject()) {
+        ep.noteThrottled(); // window full: the draw is discarded
+        return 0;
+    }
+    std::uint64_t pid = 1 + static_cast<std::uint64_t>(id_) +
+                        genSeq_++ * idStride_;
+    MsgClass cls = makeMsgClass(false, tier);
+    enqueueWithId(dst, now, pid, measured, serviceOrder(cls, orderDraw),
+                  cls, cfg_.flitsPerPacket);
+    svc_->cls[clsIndex(cls)].injectedPackets++;
+    ep.onRequestInjected(pid, now, tier);
     return 1;
 }
 
@@ -50,16 +116,15 @@ Nic::enqueuePacket(NodeId dst, Cycle now, std::uint64_t &nextPacketId,
                    bool measured, bool yxOrder)
 {
     std::uint64_t pid = nextPacketId++;
-    enqueueWithId(dst, now, pid, measured, yxOrder);
+    enqueueWithId(dst, now, pid, measured, yxOrder, 0, cfg_.flitsPerPacket);
     return pid;
 }
 
 void
 Nic::enqueueWithId(NodeId dst, Cycle now, std::uint64_t pid, bool measured,
-                   bool yxOrder)
+                   bool yxOrder, MsgClass cls, int len)
 {
     NOC_ASSERT(dst != id_, "packet to self");
-    int len = cfg_.flitsPerPacket;
     for (int i = 0; i < len; ++i) {
         Flit f;
         f.packetId = pid;
@@ -78,6 +143,7 @@ Nic::enqueueWithId(NodeId dst, Cycle now, std::uint64_t pid, bool measured,
         f.createTime = now;
         f.yxOrder = yxOrder;
         f.measured = measured;
+        f.cls = cls;
         NOC_OBS(if (obs_ && isHead(f.type))
                     obs_->record(obs::Stage::SourceEnqueue, f, id_, now));
         sourceQueue_.push_back(f);
@@ -85,8 +151,11 @@ Nic::enqueueWithId(NodeId dst, Cycle now, std::uint64_t pid, bool measured,
     ++injected_;
     if (measured)
         ++injectedMeasured_;
-    if (ledger_)
+    if (ledger_) {
         ledger_->created += static_cast<std::uint64_t>(len);
+        ledger_->createdByClass[clsIndex(cls)] +=
+            static_cast<std::uint64_t>(len);
+    }
     if (wake_)
         wake_->store(1, std::memory_order_relaxed);
 }
@@ -113,6 +182,7 @@ Nic::deliverFlit(const Flit &f, Cycle now)
     lastDelivery_ = now;
     if (ledger_) {
         ++ledger_->retired;
+        ++ledger_->retiredByClass[clsIndex(f.cls)];
         ledger_->lastDelivery = now;
         ledger_->flitCycles +=
             static_cast<std::uint64_t>(now - f.createTime);
@@ -134,6 +204,38 @@ Nic::deliverFlit(const Flit &f, Cycle now)
             double lat = static_cast<double>(now - f.createTime);
             latency_.add(lat);
             histogram_.add(lat);
+        }
+        if (svc_) {
+            svc::ClassStats &cs = svc_->cls[clsIndex(f.cls)];
+            ++cs.deliveredPackets;
+            if (a.measured) {
+                cs.latency.add(static_cast<double>(now - f.createTime));
+                cs.latencyHist.record(now - f.createTime);
+            }
+            if (!isReplyClass(f.cls)) {
+                // Server side: the request is consumed; its reply
+                // becomes a pending obligation the drain logic must
+                // wait out (ledger svcPending).
+                svc_->ep.onRequestDelivered(f, now);
+                if (ledger_)
+                    ++ledger_->svcPending;
+            } else {
+                // Requester side: close the loop, free the MSHR and
+                // account the round trip against the tier's SLO.
+                svc::ServiceEndpoint::Completion c =
+                    svc_->ep.onReplyDelivered(f.packetId);
+                if (c.known && a.measured) {
+                    Cycle rtt = now - c.injectCycle;
+                    svc::ClassStats &rq =
+                        svc_->cls[clsIndex(makeMsgClass(false, c.tier))];
+                    rq.rtt.add(static_cast<double>(rtt));
+                    rq.rttHist.record(rtt);
+                    Cycle slo = c.tier == 0 ? cfg_.svc.sloHighCycles
+                                            : cfg_.svc.sloBulkCycles;
+                    if (rtt > slo)
+                        ++rq.sloViolations;
+                }
+            }
         }
         NOC_OBS(if (obs_) obs_->recordEndToEnd(f, now));
         arrivals_.erase(f.packetId);

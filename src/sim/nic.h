@@ -20,6 +20,7 @@
 #include "common/ring.h"
 #include "common/stats.h"
 #include "router/router.h"
+#include "svc/service.h"
 #include "topology/mesh.h"
 #include "traffic/trace.h"
 #include "traffic/traffic.h"
@@ -97,11 +98,31 @@ class Nic : public NicIf
     /** Flits still waiting in the source queue. */
     std::size_t queuedFlits() const { return sourceQueue_.size(); }
 
+    // --- closed-loop traffic service (cfg.svc.enabled) ---------------
+
+    /** Per-class accounting, or null when service mode is off. */
+    const svc::ClassStats *classStats() const
+    {
+        return svc_ ? svc_->cls : nullptr;
+    }
+    /** The finite-MSHR endpoint, or null when service mode is off. */
+    const svc::ServiceEndpoint *endpoint() const
+    {
+        return svc_ ? &svc_->ep : nullptr;
+    }
+
   private:
     /** Enqueues one packet with an already-assigned id. */
     NOC_PHASE_FN(inject)
     void enqueueWithId(NodeId dst, Cycle now, std::uint64_t pid,
-                       bool measured, bool yxOrder);
+                       bool measured, bool yxOrder, MsgClass cls, int len);
+
+    /** Service-mode generation: reply pump + MSHR-gated requests. */
+    NOC_PHASE_FN(inject)
+    int generateService(Cycle now, bool measured, bool generationEnabled);
+
+    /** Dimension order for a service-mode packet of @p cls. */
+    NOC_PHASE_FN(inject) bool serviceOrder(MsgClass cls, bool draw) const;
 
     NodeId id_;
     const SimConfig &cfg_;
@@ -140,6 +161,17 @@ class Nic : public NicIf
     Histogram histogram_{2.0, 1024};
     NOC_OWNED_STATE(recv)
     Cycle lastDelivery_ = 0;
+
+    /** Closed-loop endpoint + per-class stats (service mode only). */
+    struct SvcState {
+        explicit SvcState(const ServiceConfig &svc) : ep(svc) {}
+        svc::ServiceEndpoint ep;
+        svc::ClassStats cls[kNumMsgClasses];
+    };
+    NOC_OWNED_STATE(inject, recv)
+    std::unique_ptr<SvcState> svc_;
+    /** True when the request/reply VC partition is in force. */
+    bool svcPartition_ = false;
 };
 
 } // namespace noc

@@ -65,11 +65,22 @@ class RunControl
      * counts completed cycles). True once the network has drained, or
      * after the idle window expires with blocked packets (faulty
      * networks). Never stops while generation is still on.
+     *
+     * @p svcPending is the closed-loop service's count of replies
+     * scheduled but not yet injected (ledger svcPending). While any
+     * obligation is outstanding the run must not stop — not even via
+     * the idle window, which otherwise truncates a reply whose
+     * service latency outlasts kIdleWindow of network silence. No
+     * hang is possible: every obligation fires at a fixed cycle and
+     * injects into an unbounded source queue.
      */
     bool
-    endCycle(Cycle now, bool quiescent, Cycle lastDelivery) const
+    endCycle(Cycle now, bool quiescent, Cycle lastDelivery,
+             std::uint64_t svcPending = 0) const
     {
         if (generating_)
+            return false;
+        if (svcPending > 0)
             return false;
         if (quiescent)
             return true;

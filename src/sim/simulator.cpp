@@ -10,6 +10,7 @@
 #include "obs/recorder.h"
 #include "par/shard_engine.h"
 #include "sim/run_control.h"
+#include "svc/service.h"
 
 namespace noc {
 
@@ -110,7 +111,11 @@ Simulator::run()
                         queued = net_.nic(static_cast<NodeId>(i))
                                      .queuedFlits() > 0;
                     }
-                    NOC_ASSERT(net_.quiescent() ==
+                    // Compare the flit half of the ledger only: in
+                    // service mode quiescent() also waits on scheduled
+                    // replies (svcPending), which no network scan sees.
+                    const FlitLedger &led = net_.ledger();
+                    NOC_ASSERT((led.created == led.retired) ==
                                    (!queued &&
                                     net_.flitsInFlight() == 0),
                                "flit ledger out of sync with network "
@@ -131,7 +136,8 @@ Simulator::run()
                 }
 #endif
                 if (ctl.endCycle(now, net_.quiescent(),
-                                 net_.lastDeliveryCycle()))
+                                 net_.lastDeliveryCycle(),
+                                 net_.ledger().svcPending))
                     break; // drained, or blocked past the idle window
             }
         }
@@ -194,6 +200,42 @@ Simulator::run()
 
     r.rowContention = net_.rowContention().ratio();
     r.colContention = net_.colContention().ratio();
+    r.drainCycles = now;
+
+    if (cfg_.svc.enabled) {
+        // Per-class merge in node order, matching the sharded engine's
+        // reduction order so service results stay bit-identical.
+        svc::ClassStats merged[kNumMsgClasses];
+        for (int i = 0; i < net_.numNodes(); ++i) {
+            const Nic &nic = net_.nic(static_cast<NodeId>(i));
+            if (const svc::ClassStats *cs = nic.classStats()) {
+                for (int c = 0; c < kNumMsgClasses; ++c)
+                    merged[c].merge(cs[c]);
+            }
+            if (const svc::ServiceEndpoint *ep = nic.endpoint()) {
+                r.mshrThrottled += ep->throttled();
+                r.svcTimeouts += ep->timeouts();
+                r.svcLateReplies += ep->lateReplies();
+            }
+        }
+        r.classes.resize(kNumMsgClasses);
+        for (int c = 0; c < kNumMsgClasses; ++c) {
+            SimResult::ClassResult &cr = r.classes[c];
+            const svc::ClassStats &m = merged[c];
+            cr.name = msgClassName(static_cast<MsgClass>(c));
+            cr.injected = m.injectedPackets;
+            cr.delivered = m.deliveredPackets;
+            cr.avgLatency = m.latency.mean();
+            cr.p50Latency = m.latencyHist.percentile(0.50);
+            cr.p99Latency = m.latencyHist.percentile(0.99);
+            cr.avgRtt = m.rtt.mean();
+            cr.p99Rtt = m.rttHist.percentile(0.99);
+            cr.rttCount = m.rttHist.count();
+            cr.sloViolations = m.sloViolations;
+            if (isReplyClass(static_cast<MsgClass>(c)))
+                r.replyCount += m.deliveredPackets;
+        }
+    }
 
 #if NOC_OBS_BUILT
     // NOC_TRACE_OUT=<path>: dump the run's Perfetto trace on exit.

@@ -45,6 +45,27 @@ struct SimResult {
     bool timedOut = false; ///< hit maxCycles before draining
     double rowContention = 0; ///< Fig 3a probe
     double colContention = 0; ///< Fig 3b probe
+
+    // Closed-loop traffic service (cfg.svc.enabled runs only).
+    /** Per-message-class latency/SLO block (BENCH json "classes"). */
+    struct ClassResult {
+        const char *name = "";     ///< msgClassName()
+        std::uint64_t injected = 0;
+        std::uint64_t delivered = 0;
+        double avgLatency = 0;     ///< one-way, measured packets
+        double p50Latency = 0;
+        double p99Latency = 0;
+        double avgRtt = 0;         ///< request classes only
+        double p99Rtt = 0;
+        std::uint64_t rttCount = 0;
+        std::uint64_t sloViolations = 0;
+    };
+    std::vector<ClassResult> classes; ///< kNumMsgClasses entries, or empty
+    std::uint64_t replyCount = 0;     ///< reply packets delivered
+    std::uint64_t mshrThrottled = 0;  ///< draws discarded, window full
+    std::uint64_t svcTimeouts = 0;    ///< MSHRs reclaimed by timeout
+    std::uint64_t svcLateReplies = 0; ///< replies after MSHR timeout
+    Cycle drainCycles = 0;            ///< total run length incl. drain
 };
 
 /**

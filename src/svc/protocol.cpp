@@ -1,0 +1,36 @@
+#include "svc/protocol.h"
+
+namespace noc {
+namespace svc {
+
+const char *
+toString(AvoidanceScheme s)
+{
+    switch (s) {
+      case AvoidanceScheme::SharedPool: return "shared-pool";
+      case AvoidanceScheme::ClassPartition: return "class-partition";
+      case AvoidanceScheme::EndpointReserve: return "endpoint-reserve";
+    }
+    return "?";
+}
+
+bool
+classPartitionActive(const SimConfig &cfg)
+{
+    return cfg.svc.enabled && cfg.svc.classVcPartition &&
+           cfg.routing == RoutingKind::XYYX &&
+           cfg.arch == RouterArch::Generic && cfg.vcsPerPort >= 2;
+}
+
+AvoidanceScheme
+resolveScheme(const SimConfig &cfg)
+{
+    if (classPartitionActive(cfg))
+        return AvoidanceScheme::ClassPartition;
+    if (cfg.svc.endpointReserve)
+        return AvoidanceScheme::EndpointReserve;
+    return AvoidanceScheme::SharedPool;
+}
+
+} // namespace svc
+} // namespace noc

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Protocol-deadlock avoidance scheme resolution for the closed-loop
+ * traffic service.
+ *
+ * Request/reply messaging adds a dependence the network-only extended
+ * CDG cannot see: a request that has *arrived* still holds its MSHR
+ * until the reply is injected, travels back and is consumed. If reply
+ * injection competes for the same VCs the request path saturates, the
+ * classic protocol deadlock closes: requests fill every VC, replies
+ * cannot be injected, MSHRs never free, requests behind them never
+ * drain. Two independent arguments break that cycle (DESIGN section
+ * 15); this header decides which one a given SimConfig is relying on,
+ * and src/check/deadlock.cpp proves the chosen argument over the real
+ * routing functions.
+ */
+#ifndef ROCOSIM_SVC_PROTOCOL_H_
+#define ROCOSIM_SVC_PROTOCOL_H_
+
+#include <cstdint>
+
+#include "common/config.h"
+
+namespace noc {
+namespace svc {
+
+/** Which protocol-deadlock avoidance argument a config rests on. */
+enum class AvoidanceScheme : std::uint8_t {
+    /**
+     * No argument: requests and replies share every VC pool. The
+     * prover constructs the counterexample cycle (negative tests).
+     */
+    SharedPool = 0,
+    /**
+     * Requests are pinned to the XY dimension order and replies to
+     * YX under XYYX routing; the VC classes of the two orders are
+     * disjoint end to end, including the injection VCs (the generic
+     * router reserves its last Local VC for replies). Only the
+     * generic router qualifies: RoCo's injection classes are keyed by
+     * the first hop's module, so a straight-column XY request lands in
+     * InjYx alongside the replies and the partition is not disjoint —
+     * the prover exhibits that cycle when the scheme is forced.
+     */
+    ClassPartition = 1,
+    /**
+     * Finite MSHR window + guaranteed sink consumption: every reply
+     * is eventually ejected regardless of network state, so request
+     * arrival never transitively waits on a resource a reply holds.
+     */
+    EndpointReserve = 2,
+};
+
+/** Human-readable scheme name. */
+const char *toString(AvoidanceScheme s);
+
+/**
+ * True when the request/reply VC-class partition is actually in force
+ * for this config: service mode on, partition requested, XYYX routing
+ * (the only routing with an order choice to partition on), the
+ * generic router (RoCo's module-keyed injection classes break the
+ * order split; the PathSensitive quadrant pools are class-blind), and
+ * at least two injection VCs so reserving one for replies leaves
+ * requests a channel.
+ */
+bool classPartitionActive(const SimConfig &cfg);
+
+/**
+ * Resolve the scheme a config is relying on, in strength order:
+ * an active class partition wins (it is the structural argument),
+ * otherwise the endpoint reservation if enabled, otherwise the
+ * provably-broken shared pool.
+ */
+AvoidanceScheme resolveScheme(const SimConfig &cfg);
+
+} // namespace svc
+} // namespace noc
+
+#endif // ROCOSIM_SVC_PROTOCOL_H_

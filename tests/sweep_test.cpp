@@ -139,6 +139,33 @@ TEST(SweepRunnerTest, ParallelMatchesSerialBitExact)
     }
 }
 
+TEST(SweepRunnerTest, BurstyTrafficDeterministicAcrossPools)
+{
+    // Regression for the bursty sources: Pareto ON/OFF (self-similar)
+    // and MPEG-2 GOP traffic draw far more per-cycle randomness than
+    // the Bernoulli patterns, so any hidden shared state between pool
+    // workers would surface here first.
+    SweepSpec spec;
+    spec.name = "bursty-determinism";
+    spec.base = tinyConfig();
+    spec.base.injectionRate = 0.08;
+    spec.archs = {RouterArch::Generic, RouterArch::Roco};
+    spec.traffics = {TrafficKind::SelfSimilar, TrafficKind::Mpeg};
+    spec.rates = {0.05, 0.1};
+
+    SweepResults serial = SweepRunner(1).run(spec);
+    SweepResults pooled = SweepRunner(6).run(spec);
+    ASSERT_EQ(serial.results.size(), spec.pointCount());
+    ASSERT_EQ(pooled.results.size(), serial.results.size());
+    for (std::size_t i = 0; i < serial.results.size(); ++i) {
+        EXPECT_TRUE(
+            sameResult(serial.results[i].result, pooled.results[i].result))
+            << "bursty point " << i << " diverged across thread counts";
+        EXPECT_GT(serial.results[i].result.delivered, 0u)
+            << "bursty point " << i << " delivered nothing";
+    }
+}
+
 TEST(SweepRunnerTest, ThreadsEnvOverride)
 {
     ASSERT_EQ(setenv("NOC_BENCH_THREADS", "3", 1), 0);
@@ -187,7 +214,9 @@ TEST(JsonOutTest, SerialisesEveryPoint)
     SweepResults res = SweepRunner(2).run(spec);
 
     std::string json = sweepJson(spec, res);
-    EXPECT_NE(json.find("\"schema\": 2"), std::string::npos);
+    EXPECT_NE(json.find("\"schema\": 3"), std::string::npos);
+    // Open-loop runs carry no per-class service block.
+    EXPECT_EQ(json.find("\"classes\""), std::string::npos);
     EXPECT_NE(json.find("\"warmupPackets\""), std::string::npos);
     EXPECT_NE(json.find("\"measurePackets\""), std::string::npos);
     EXPECT_NE(json.find("\"bench\": \"json_smoke\""), std::string::npos);

@@ -1,6 +1,7 @@
 #!/bin/sh
 # CI guard: every pipeline-stage source under src/par, src/router,
-# src/sim and src/topology must opt into the phase vocabulary (include
+# src/sim, src/svc and src/topology must opt into the phase vocabulary
+# (include
 # common/annotations.h and carry at least one NOC_PHASE_FN). A new
 # router, engine or NIC file with no annotations at all would silently
 # escape the phase-discipline and ownership checks, because noc_lint
@@ -18,6 +19,8 @@ repo=$(CDPATH= cd -- "$(dirname -- "$0")/../.." && pwd)
 allow='
 src/par/barrier.h
 src/sim/run_control.h
+src/svc/protocol.h
+src/svc/protocol.cpp
 src/topology/channel.h
 src/topology/channel.cpp
 src/topology/mesh.h
@@ -38,7 +41,7 @@ src/router/pathsensitive/pef.cpp
 
 fail=0
 for f in $(find "$repo/src/par" "$repo/src/router" "$repo/src/sim" \
-               "$repo/src/topology" \
+               "$repo/src/svc" "$repo/src/topology" \
                \( -name '*.h' -o -name '*.cpp' \) | sort); do
     rel=${f#"$repo/"}
     case "$allow" in

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Multi-process sweep farm driver (src/farm).
+ *
+ *   noc_farm --dir <journal> [options]
+ *     --dir <path>        journal directory (created on first run)
+ *     --workers <n>       worker processes to fork (default 2)
+ *     --resume            require an existing journal (same spec!)
+ *     --ttl <sec>         lease-expiry steal backstop (default 60)
+ *     --out <path>        final json path (default <dir>/BENCH_<name>.json)
+ *     --provenance        emit per-point attempt/worker/wallMs blocks
+ *                         (breaks the byte-identity contract on purpose;
+ *                         NOC_FARM_PROVENANCE=1 does the same)
+ *     --name <s>          sweep name (default "farm")
+ *
+ *   Sweep axes (comma lists) and base config:
+ *     --archs generic,ps,roco      --routings xy,xyyx,adaptive
+ *     --traffics uniform,...       --rates 0.1,0.2,...
+ *     --mesh <k> --vcs <n> --seed <n> --packets <n> --warmup <n>
+ *     --max-cycles <n> --service
+ *
+ * The same command, re-run after any number of kill -9s, completes the
+ * journal and writes a byte-identical final json (the journal manifest
+ * rejects a spec that doesn't match). Exit codes: 0 complete, 3
+ * incomplete (workers died; resume to continue), 2 usage or journal
+ * error.
+ *
+ * Progress lines on stderr are on when stderr is a terminal; NOC_PROGRESS
+ * =0/1 overrides.
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <unistd.h>
+
+#include "exp/sweep.h"
+#include "farm/farm.h"
+#include "farm/wire.h"
+
+namespace {
+
+using namespace noc;
+
+[[noreturn]] void
+usage(const char *msg)
+{
+    std::fprintf(stderr, "noc_farm: %s (see the file header for options)\n",
+                 msg);
+    std::exit(2);
+}
+
+std::vector<std::string>
+splitCsv(const std::string &csv)
+{
+    std::vector<std::string> out;
+    std::size_t pos = 0;
+    while (pos <= csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        if (comma == std::string::npos) {
+            out.push_back(csv.substr(pos));
+            break;
+        }
+        out.push_back(csv.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    farm::FarmOptions opts;
+    exp::SweepSpec spec;
+    spec.name = "farm";
+    bool resume = false;
+
+    auto need = [&](int &i) -> std::string {
+        if (i + 1 >= argc)
+            usage("missing argument value");
+        return argv[++i];
+    };
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--dir") opts.dir = need(i);
+        else if (a == "--workers") opts.workers = std::atoi(need(i).c_str());
+        else if (a == "--resume") resume = true;
+        else if (a == "--ttl") opts.leaseTtlSec = std::atof(need(i).c_str());
+        else if (a == "--out") opts.outPath = need(i);
+        else if (a == "--provenance") opts.provenance = true;
+        else if (a == "--name") spec.name = need(i);
+        else if (a == "--archs") {
+            for (const std::string &s : splitCsv(need(i))) {
+                auto v = farm::parseArch(s);
+                if (!v) usage("unknown arch in --archs");
+                spec.archs.push_back(*v);
+            }
+        }
+        else if (a == "--routings") {
+            for (const std::string &s : splitCsv(need(i))) {
+                auto v = farm::parseRouting(s);
+                if (!v) usage("unknown routing in --routings");
+                spec.routings.push_back(*v);
+            }
+        }
+        else if (a == "--traffics") {
+            for (const std::string &s : splitCsv(need(i))) {
+                auto v = farm::parseTraffic(s);
+                if (!v) usage("unknown traffic in --traffics");
+                spec.traffics.push_back(*v);
+            }
+        }
+        else if (a == "--rates") {
+            for (const std::string &s : splitCsv(need(i)))
+                spec.rates.push_back(std::atof(s.c_str()));
+        }
+        else if (a == "--mesh") {
+            spec.base.meshWidth = std::atoi(need(i).c_str());
+            spec.base.meshHeight = spec.base.meshWidth;
+        }
+        else if (a == "--vcs") spec.base.vcsPerPort = std::atoi(need(i).c_str());
+        else if (a == "--seed")
+            spec.base.seed = std::strtoull(need(i).c_str(), nullptr, 10);
+        else if (a == "--packets")
+            spec.base.measurePackets =
+                std::strtoull(need(i).c_str(), nullptr, 10);
+        else if (a == "--warmup")
+            spec.base.warmupPackets =
+                std::strtoull(need(i).c_str(), nullptr, 10);
+        else if (a == "--max-cycles")
+            spec.base.maxCycles = std::strtoull(need(i).c_str(), nullptr, 10);
+        else if (a == "--service") spec.base.svc.enabled = true;
+        else usage("unknown option");
+    }
+    if (opts.dir.empty())
+        usage("--dir is required");
+    if (resume && ::access((opts.dir + "/MANIFEST.json").c_str(), R_OK) != 0)
+        usage("--resume given but the journal has no manifest");
+    if (std::getenv("NOC_FARM_PROVENANCE") != nullptr &&
+        std::strcmp(std::getenv("NOC_FARM_PROVENANCE"), "0") != 0)
+        opts.provenance = true;
+
+    opts.progress = exp::progressEnabled(::isatty(2) != 0);
+
+    farm::FarmRun run = farm::runFarm(spec, opts);
+    std::fprintf(stderr,
+                 "noc_farm: %zu jobs, %zu reused, %zu run, "
+                 "%d worker failure(s)\n",
+                 run.jobs, run.reused, run.ran, run.workerFailures);
+    if (!run.complete) {
+        std::fprintf(stderr, "noc_farm: %s\n", run.error.c_str());
+        return 3;
+    }
+    std::printf("%s\n", run.jsonPath.c_str());
+    return 0;
+}

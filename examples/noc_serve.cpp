@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Long-running simulation server / one-shot client (src/farm serve).
+ *
+ *   noc_serve --socket <path>                 run the server
+ *   noc_serve --socket <path> --request '<json>'
+ *                                             one-shot client: send the
+ *                                             request line, print the
+ *                                             reply line, exit
+ *     --verbose      per-request stderr log (server mode)
+ *
+ * Protocol (line-delimited flat JSON; see src/farm/serve.h):
+ *   {"op": "ping"}
+ *   {"op": "sim", "arch": "roco", "routing": "xy", "rate": 0.1,
+ *    "mesh": 4, "warmup": 50, "measure": 300}
+ *   {"op": "sweep", "rates": "0.1,0.2", ...}
+ *   {"op": "stats"}      request + warm-prover-cache counters
+ *   {"op": "drain"}      graceful shutdown (as does SIGTERM)
+ *
+ * The server keeps the memoized deadlock/liveness proof caches warm
+ * across requests — the first sim of a design pays for its proofs,
+ * repeats are proof-free (visible in "stats").
+ */
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "farm/serve.h"
+
+int
+main(int argc, char **argv)
+{
+    noc::farm::ServeOptions opts;
+    std::string request;
+    // Server-friendly defaults: small, fast runs unless the request
+    // says otherwise.
+    opts.base.meshWidth = opts.base.meshHeight = 4;
+    opts.base.warmupPackets = 50;
+    opts.base.measurePackets = 300;
+    opts.base.maxCycles = 100000;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        auto need = [&]() -> std::string {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "noc_serve: missing value for %s\n",
+                             a.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (a == "--socket")
+            opts.socketPath = need();
+        else if (a == "--request")
+            request = need();
+        else if (a == "--verbose")
+            opts.verbose = true;
+        else {
+            std::fprintf(stderr, "noc_serve: unknown option %s\n",
+                         a.c_str());
+            return 2;
+        }
+    }
+    if (opts.socketPath.empty()) {
+        std::fprintf(stderr, "noc_serve: --socket is required\n");
+        return 2;
+    }
+
+    if (!request.empty()) {
+        std::string err;
+        auto reply = noc::farm::serveRequest(opts.socketPath, request, &err);
+        if (!reply) {
+            std::fprintf(stderr, "noc_serve: %s\n", err.c_str());
+            return 1;
+        }
+        std::printf("%s\n", reply->c_str());
+        return 0;
+    }
+
+    return noc::farm::runServe(opts);
+}

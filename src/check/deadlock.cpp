@@ -1,6 +1,7 @@
 #include "check/deadlock.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -579,6 +580,39 @@ upfrontChecksEnabled()
     return false;
 }
 
+namespace {
+std::atomic<std::uint64_t> gDeadlockProofs{0};
+} // namespace
+
+std::uint64_t
+proofFingerprint(const SimConfig &cfg, ProofScope scope)
+{
+    std::uint64_t key = (static_cast<std::uint64_t>(cfg.arch) << 56) |
+                        (static_cast<std::uint64_t>(cfg.routing) << 48);
+    if (scope == ProofScope::Liveness) {
+        // The scenario matrix and arbiter obligations depend on the
+        // (arch, routing) pair only — rules are translation-invariant
+        // and mesh/VC-independent (see model/liveness.h).
+        return key;
+    }
+    key |= (static_cast<std::uint64_t>(std::min(cfg.meshWidth, 12)) << 32) |
+           (static_cast<std::uint64_t>(std::min(cfg.meshHeight, 12)) << 16) |
+           static_cast<std::uint64_t>(cfg.vcsPerPort);
+    if (cfg.svc.enabled) {
+        // Service mode proves a different (augmented) graph per
+        // avoidance scheme; keep those proofs distinct in the memo.
+        key |= 1ull << 36;
+        key |= static_cast<std::uint64_t>(svc::resolveScheme(cfg)) << 37;
+    }
+    return key;
+}
+
+std::uint64_t
+deadlockProofsPerformed()
+{
+    return gDeadlockProofs.load(std::memory_order_relaxed);
+}
+
 void
 validateConfigOrDie(const SimConfig &cfg)
 {
@@ -587,18 +621,7 @@ validateConfigOrDie(const SimConfig &cfg)
 
     static std::mutex mu;
     static std::set<std::uint64_t> proven;
-    std::uint64_t key =
-        (static_cast<std::uint64_t>(cfg.arch) << 56) |
-        (static_cast<std::uint64_t>(cfg.routing) << 48) |
-        (static_cast<std::uint64_t>(std::min(cfg.meshWidth, 12)) << 32) |
-        (static_cast<std::uint64_t>(std::min(cfg.meshHeight, 12)) << 16) |
-        static_cast<std::uint64_t>(cfg.vcsPerPort);
-    if (cfg.svc.enabled) {
-        // Service mode proves a different (augmented) graph per
-        // avoidance scheme; keep those proofs distinct in the memo.
-        key |= 1ull << 36;
-        key |= static_cast<std::uint64_t>(svc::resolveScheme(cfg)) << 37;
-    }
+    std::uint64_t key = proofFingerprint(cfg, ProofScope::Deadlock);
 
     std::lock_guard<std::mutex> lock(mu);
     if (proven.contains(key))
@@ -610,6 +633,7 @@ validateConfigOrDie(const SimConfig &cfg)
         fatal("configuration admits deadlock "
               "(set NOC_SKIP_CHECK=1 to run anyway)");
     }
+    gDeadlockProofs.fetch_add(1, std::memory_order_relaxed);
     proven.insert(key);
 }
 

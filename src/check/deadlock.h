@@ -134,6 +134,32 @@ ProofResult prove(const SimConfig &cfg);
 /** False when the NOC_SKIP_CHECK environment variable is truthy. */
 bool upfrontChecksEnabled();
 
+/** Which upfront prover a proofFingerprint() keys. */
+enum class ProofScope {
+    Deadlock, ///< CDG / escape proof (arch, routing, mesh≤12, VCs, svc)
+    Liveness, ///< model-checked scenario matrix (arch, routing only)
+};
+
+/**
+ * The canonical memo key for the upfront provers: collapses @p cfg
+ * onto exactly the fields the proof outcome depends on. Operational
+ * knobs — pool size, cfg.shards, idleSkip, seed, injection rate,
+ * packet budgets, service latencies — never enter the key, so a
+ * saturation search or batch re-run probing the same design under
+ * different operational settings hits the memo instead of re-proving.
+ * Both validateConfigOrDie and model::validateConfigLiveness key their
+ * caches with this function; the *ProofsPerformed() counters make the
+ * single-proof property testable (sweep_test).
+ */
+std::uint64_t proofFingerprint(const SimConfig &cfg, ProofScope scope);
+
+/**
+ * Process-wide count of deadlock proofs actually performed (memo
+ * misses in validateConfigOrDie). Monotonic; for tests and noc_serve
+ * stats, not for control flow.
+ */
+std::uint64_t deadlockProofsPerformed();
+
 /**
  * Simulator / SweepRunner entry point: proves @p cfg deadlock-free
  * before any cycle is simulated, memoized per distinct

@@ -210,14 +210,27 @@ appendObs(std::string &out, const obs::Summary &s)
 } // namespace
 
 std::string
-sweepJson(const SweepSpec &spec, const SweepResults &res)
+resultJson(const SimResult &r)
 {
     std::string out;
-    out.reserve(1024 + res.points.size() * 640);
-    out += "{\n  \"schema\": 3,\n  \"bench\": ";
+    out.reserve(640);
+    appendResult(out, r);
+    return out;
+}
+
+std::string
+sweepJsonHeader(const SweepSpec &spec, int threads, double totalWallMs,
+                const obs::Summary *obsSum, const JsonOptions &opts)
+{
+    std::string out;
+    out.reserve(1024);
+    out += "{\n  \"schema\": ";
+    appendNum(out, static_cast<std::uint64_t>(opts.schema));
+    out += ",\n  \"bench\": ";
     appendStr(out, spec.name);
     out += ",\n  \"threads\": ";
-    appendNum(out, static_cast<std::uint64_t>(res.threads));
+    appendNum(out,
+              static_cast<std::uint64_t>(opts.canonical ? 0 : threads));
     out += ",\n  \"baseSeed\": ";
     appendNum(out, spec.base.seed);
     out += ",\n  \"warmupPackets\": ";
@@ -225,39 +238,86 @@ sweepJson(const SweepSpec &spec, const SweepResults &res)
     out += ",\n  \"measurePackets\": ";
     appendNum(out, spec.base.measurePackets);
     out += ",\n  \"totalWallMs\": ";
-    appendNum(out, res.totalWallMs);
-    if (res.obs) {
+    appendNum(out, opts.canonical ? 0.0 : totalWallMs);
+    if (obsSum != nullptr && !opts.canonical) {
         out += ",\n  \"obs\": ";
-        appendObs(out, *res.obs);
+        appendObs(out, *obsSum);
     }
     out += ",\n  \"points\": [\n";
+    return out;
+}
+
+std::string
+pointJson(const SweepPoint &p, const PointResult &r, const JsonOptions &opts)
+{
+    std::string out;
+    out.reserve(640);
+    out += "    {";
+    appendField(out, "index", static_cast<std::uint64_t>(p.index));
+    out += "\"arch\": ";
+    appendStr(out, toString(p.cfg.arch));
+    out += ", \"routing\": ";
+    appendStr(out, toString(p.cfg.routing));
+    out += ", \"traffic\": ";
+    appendStr(out, toString(p.cfg.traffic));
+    out += ", ";
+    appendField(out, "rate", p.cfg.injectionRate);
+    out += "\"faults\": ";
+    appendStr(out, p.faultLabel);
+    out += ", ";
+    appendField(out, "seed", r.seed);
+    appendField(out, "wallMs", opts.canonical ? 0.0 : r.wallMs);
+    if (opts.jobIds != nullptr && p.index < opts.jobIds->size()) {
+        out += "\"job\": {\"id\": ";
+        appendStr(out, (*opts.jobIds)[p.index]);
+        if (opts.provenance != nullptr &&
+            p.index < opts.provenance->size()) {
+            const JsonOptions::PointProvenance &pv =
+                (*opts.provenance)[p.index];
+            out += ", ";
+            appendField(out, "attempt",
+                        static_cast<std::uint64_t>(pv.attempt));
+            appendField(out, "worker",
+                        static_cast<std::uint64_t>(
+                            pv.worker < 0 ? 0 : pv.worker));
+            appendField(out, "wallMs", pv.wallMs, true);
+        }
+        out += "}, ";
+    }
+    out += "\"result\": ";
+    appendResult(out, r.result);
+    out += "}";
+    return out;
+}
+
+const char *
+sweepJsonFooter()
+{
+    return "  ]\n}\n";
+}
+
+std::string
+sweepJson(const SweepSpec &spec, const SweepResults &res,
+          const JsonOptions &opts)
+{
+    std::string out;
+    out.reserve(1024 + res.points.size() * 640);
+    out += sweepJsonHeader(spec, res.threads, res.totalWallMs,
+                           res.obs.get(), opts);
     for (std::size_t i = 0; i < res.points.size(); ++i) {
-        const SweepPoint &p = res.points[i];
-        const PointResult &r = res.results[i];
-        out += "    {";
-        appendField(out, "index", static_cast<std::uint64_t>(p.index));
-        out += "\"arch\": ";
-        appendStr(out, toString(p.cfg.arch));
-        out += ", \"routing\": ";
-        appendStr(out, toString(p.cfg.routing));
-        out += ", \"traffic\": ";
-        appendStr(out, toString(p.cfg.traffic));
-        out += ", ";
-        appendField(out, "rate", p.cfg.injectionRate);
-        out += "\"faults\": ";
-        appendStr(out, p.faultLabel);
-        out += ", ";
-        appendField(out, "seed", r.seed);
-        appendField(out, "wallMs", r.wallMs);
-        out += "\"result\": ";
-        appendResult(out, r.result);
-        out += "}";
+        out += pointJson(res.points[i], res.results[i], opts);
         if (i + 1 < res.points.size())
             out += ",";
         out += "\n";
     }
-    out += "  ]\n}\n";
+    out += sweepJsonFooter();
     return out;
+}
+
+std::string
+sweepJson(const SweepSpec &spec, const SweepResults &res)
+{
+    return sweepJson(spec, res, JsonOptions{});
 }
 
 std::string

@@ -11,10 +11,51 @@
 #define ROCOSIM_EXP_JSON_OUT_H_
 
 #include <string>
+#include <vector>
 
 #include "exp/sweep.h"
 
 namespace noc::exp {
+
+/**
+ * Knobs for the sweep serialiser beyond the classic schema-3 output.
+ *
+ * Schema 4 (the sweep-farm format, src/farm) adds a per-point "job"
+ * provenance block and is designed so resumed, multi-process and
+ * single-shot runs can emit *byte-identical* files:
+ *
+ *  - @c canonical zeroes every wall-clock field (point wallMs,
+ *    totalWallMs), reports threads as 0 (process count is operational
+ *    metadata, not part of the result) and omits the "obs" block.
+ *    Simulation results are a pure function of config and seed, so a
+ *    canonical file's bytes depend on nothing else.
+ *  - @c jobIds attaches {"job": {"id": ...}} to each point (ids come
+ *    from farm::jobIds — a stable hash of config + seed + faults, so
+ *    they are as deterministic as the results themselves).
+ *  - @c provenance additionally records each point's attempt count,
+ *    committing worker and real wall time. That block is operational
+ *    truth (it differs between a resumed and an uninterrupted run), so
+ *    turning it on deliberately trades the byte-identity contract; the
+ *    farm only emits it under NOC_FARM_PROVENANCE=1.
+ *
+ * Schema-3 readers that ignore unknown keys see only the version bump.
+ */
+struct JsonOptions {
+    int schema = 3;
+    bool canonical = false;
+
+    /** Per-point job ids in point order (enables the "job" blocks). */
+    const std::vector<std::string> *jobIds = nullptr;
+
+    /** One point's operational provenance (farm journal metadata). */
+    struct PointProvenance {
+        std::uint32_t attempt = 0; ///< lease attempts incl. the committer
+        int worker = -1;           ///< committing worker index
+        double wallMs = 0;         ///< real wall time of the committed run
+    };
+    /** In point order; only emitted when non-null (needs jobIds too). */
+    const std::vector<PointProvenance> *provenance = nullptr;
+};
 
 /**
  * Serialises a finished sweep. Schema (version 3):
@@ -53,6 +94,35 @@ namespace noc::exp {
  * {count, overflow, min, max, mean, p50, p90, p99, p999}.
  */
 std::string sweepJson(const SweepSpec &spec, const SweepResults &res);
+
+/** sweepJson with explicit serialisation options (schema 4, farm). */
+std::string sweepJson(const SweepSpec &spec, const SweepResults &res,
+                      const JsonOptions &opts);
+
+/**
+ * The pieces sweepJson is assembled from, exposed so the farm's
+ * streaming aggregator (src/farm) can emit the *same bytes* one point
+ * at a time without ever holding the whole file in memory. A sweep
+ * file is exactly:
+ *
+ *   sweepJsonHeader(...) + for each point in index order:
+ *       pointJson(point, result, opts) + ("," if not last) + "\n"
+ *   + sweepJsonFooter()
+ *
+ * pointJson returns the single-line "    {...}" fragment with no
+ * trailing comma or newline. Byte-identity between farm-aggregated
+ * and in-process files is a tested contract (farm_test, bench_smoke),
+ * so change these only in lockstep.
+ */
+std::string sweepJsonHeader(const SweepSpec &spec, int threads,
+                            double totalWallMs, const obs::Summary *obsSum,
+                            const JsonOptions &opts);
+std::string pointJson(const SweepPoint &p, const PointResult &r,
+                      const JsonOptions &opts);
+const char *sweepJsonFooter();
+
+/** One SimResult as a single-line JSON object (noc_serve replies). */
+std::string resultJson(const SimResult &r);
 
 /**
  * Writes sweepJson() to BENCH_<spec.name>.json.

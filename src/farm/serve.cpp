@@ -1,0 +1,336 @@
+#include "farm/serve.h"
+
+#include <atomic>
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "check/deadlock.h"
+#include "exp/json_out.h"
+#include "exp/sweep.h"
+#include "farm/wire.h"
+#include "model/liveness.h"
+
+namespace noc::farm {
+namespace {
+
+std::atomic<std::uint64_t> gRequests{0};
+
+/** Self-pipe written by the signal handler; poll()ed next to the
+ *  listening socket so a SIGTERM mid-accept wakes the loop. */
+int gWakePipe[2] = {-1, -1};
+volatile std::sig_atomic_t gDrainRequested = 0;
+
+extern "C" void
+onTerm(int)
+{
+    gDrainRequested = 1;
+    if (gWakePipe[1] >= 0) {
+        char b = 1;
+        // Best effort: the pipe being full still wakes the poller.
+        [[maybe_unused]] ssize_t r = ::write(gWakePipe[1], &b, 1);
+    }
+}
+
+std::string
+errReply(const std::string &why)
+{
+    std::string out = "{\"ok\": false, \"err\": \"";
+    for (char c : why)
+        if (c != '"' && c != '\\' && c != '\n')
+            out += c;
+    out += "\"}";
+    return out;
+}
+
+std::string
+splitRates(const std::string &csv, std::vector<double> &out)
+{
+    std::size_t pos = 0;
+    while (pos < csv.size()) {
+        std::size_t comma = csv.find(',', pos);
+        std::string tok = csv.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        char *end = nullptr;
+        double v = std::strtod(tok.c_str(), &end);
+        if (end == nullptr || *end != '\0' || tok.empty())
+            return "bad rate list";
+        out.push_back(v);
+        if (comma == std::string::npos)
+            break;
+        pos = comma + 1;
+    }
+    if (out.empty())
+        return "empty rate list";
+    return "";
+}
+
+} // namespace
+
+std::string
+handleRequest(const std::string &line, const ServeOptions &opts)
+{
+    gRequests.fetch_add(1, std::memory_order_relaxed);
+    auto req = FlatJson::parse(line);
+    if (!req)
+        return errReply("malformed request (flat JSON object expected)");
+    std::string op = req->str("op");
+
+    if (op == "ping")
+        return "{\"ok\": true, \"op\": \"ping\"}";
+
+    if (op == "stats") {
+        std::string out = "{\"ok\": true, \"op\": \"stats\", ";
+        out += "\"requests\": " +
+               std::to_string(gRequests.load(std::memory_order_relaxed));
+        out += ", \"deadlockProofs\": " +
+               std::to_string(check::deadlockProofsPerformed());
+        out += ", \"livenessProofs\": " +
+               std::to_string(model::livenessProofsPerformed());
+        out += "}";
+        return out;
+    }
+
+    if (op == "drain")
+        return "{\"ok\": true, \"op\": \"drain\"}";
+
+    if (op == "sim") {
+        SimConfig cfg = opts.base;
+        std::string err;
+        if (!applyConfigRequest(*req, cfg, &err))
+            return errReply(err);
+        // The warm-cache payoff: repeat designs skip both proofs.
+        check::validateConfigOrDie(cfg);
+        model::validateConfigLiveness(cfg);
+        exp::SweepPoint p;
+        p.cfg = cfg;
+        exp::PointResult r = exp::runSweepPoint(p);
+        std::string out = "{\"ok\": true, \"op\": \"sim\", \"seed\": ";
+        out += std::to_string(r.seed);
+        out += ", \"result\": ";
+        out += exp::resultJson(r.result);
+        out += "}";
+        return out;
+    }
+
+    if (op == "sweep") {
+        SimConfig cfg = opts.base;
+        std::string err;
+        if (!applyConfigRequest(*req, cfg, &err))
+            return errReply(err);
+        std::vector<double> rates;
+        err = splitRates(req->str("rates"), rates);
+        if (!err.empty())
+            return errReply(err);
+        exp::SweepSpec spec;
+        spec.name = "serve";
+        spec.base = cfg;
+        spec.rates = rates;
+        for (const exp::SweepPoint &p : exp::expand(spec)) {
+            check::validateConfigOrDie(p.cfg);
+            model::validateConfigLiveness(p.cfg);
+        }
+        exp::SweepResults res = exp::SweepRunner(1).run(spec);
+        std::string out = "{\"ok\": true, \"op\": \"sweep\", \"points\": [";
+        for (std::size_t i = 0; i < res.results.size(); ++i) {
+            if (i)
+                out += ", ";
+            out += "{\"rate\": " + std::to_string(rates[i]) +
+                   ", \"result\": " +
+                   exp::resultJson(res.results[i].result) + "}";
+        }
+        out += "]}";
+        return out;
+    }
+
+    return errReply("unknown op '" + op + "'");
+}
+
+namespace {
+
+/** Serves one accepted connection line by line until EOF.
+ *  Returns true when a drain request was seen. */
+bool
+serveConnection(int fd, const ServeOptions &opts)
+{
+    std::string buf;
+    bool drain = false;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        buf.append(chunk, static_cast<std::size_t>(n));
+        std::size_t eol;
+        while ((eol = buf.find('\n')) != std::string::npos) {
+            std::string line = buf.substr(0, eol);
+            buf.erase(0, eol + 1);
+            if (line.empty())
+                continue;
+            if (opts.verbose)
+                std::fprintf(stderr, "[serve] %s\n", line.c_str());
+            std::string reply = handleRequest(line, opts);
+            reply += '\n';
+            std::size_t off = 0;
+            while (off < reply.size()) {
+                ssize_t w =
+                    ::write(fd, reply.data() + off, reply.size() - off);
+                if (w < 0 && errno == EINTR)
+                    continue;
+                if (w <= 0)
+                    return drain;
+                off += static_cast<std::size_t>(w);
+            }
+            auto req = FlatJson::parse(line);
+            if (req && req->str("op") == "drain")
+                drain = true;
+        }
+    }
+    return drain;
+}
+
+} // namespace
+
+int
+runServe(const ServeOptions &opts)
+{
+    if (::pipe(gWakePipe) != 0) {
+        std::fprintf(stderr, "noc_serve: pipe: %s\n", std::strerror(errno));
+        return 2;
+    }
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+        std::fprintf(stderr, "noc_serve: socket: %s\n",
+                     std::strerror(errno));
+        return 2;
+    }
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (opts.socketPath.size() >= sizeof(addr.sun_path)) {
+        std::fprintf(stderr, "noc_serve: socket path too long\n");
+        return 2;
+    }
+    std::strncpy(addr.sun_path, opts.socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    ::unlink(opts.socketPath.c_str()); // stale socket from a dead server
+    if (::bind(fd, reinterpret_cast<struct sockaddr *>(&addr),
+               sizeof(addr)) != 0 ||
+        ::listen(fd, 16) != 0) {
+        std::fprintf(stderr, "noc_serve: bind/listen %s: %s\n",
+                     opts.socketPath.c_str(), std::strerror(errno));
+        return 2;
+    }
+
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onTerm;
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    std::fprintf(stderr, "noc_serve: listening on %s\n",
+                 opts.socketPath.c_str());
+
+    bool drain = false;
+    while (!drain && !gDrainRequested) {
+        struct pollfd fds[2];
+        fds[0] = {fd, POLLIN, 0};
+        fds[1] = {gWakePipe[0], POLLIN, 0};
+        int pr = ::poll(fds, 2, -1);
+        if (pr < 0) {
+            if (errno == EINTR)
+                continue;
+            break;
+        }
+        if (gDrainRequested)
+            break;
+        if (!(fds[0].revents & POLLIN))
+            continue;
+        int conn = ::accept(fd, nullptr, nullptr);
+        if (conn < 0)
+            continue;
+        // Sequential service: the connection in hand always finishes,
+        // even if SIGTERM lands meanwhile — that is the graceful part
+        // of the drain.
+        drain = serveConnection(conn, opts);
+        ::close(conn);
+    }
+
+    ::close(fd);
+    ::unlink(opts.socketPath.c_str());
+    std::fprintf(stderr, "noc_serve: drained, exiting\n");
+    return 0;
+}
+
+std::optional<std::string>
+serveRequest(const std::string &socketPath, const std::string &line,
+             std::string *err)
+{
+    auto fail = [&](const std::string &why) -> std::optional<std::string> {
+        if (err)
+            *err = why;
+        return std::nullopt;
+    };
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0)
+        return fail("socket: " + std::string(std::strerror(errno)));
+    struct sockaddr_un addr;
+    std::memset(&addr, 0, sizeof(addr));
+    addr.sun_family = AF_UNIX;
+    if (socketPath.size() >= sizeof(addr.sun_path)) {
+        ::close(fd);
+        return fail("socket path too long");
+    }
+    std::strncpy(addr.sun_path, socketPath.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<struct sockaddr *>(&addr),
+                  sizeof(addr)) != 0) {
+        ::close(fd);
+        return fail("connect " + socketPath + ": " +
+                    std::strerror(errno));
+    }
+    std::string msg = line;
+    msg += '\n';
+    std::size_t off = 0;
+    while (off < msg.size()) {
+        ssize_t w = ::write(fd, msg.data() + off, msg.size() - off);
+        if (w < 0 && errno == EINTR)
+            continue;
+        if (w <= 0) {
+            ::close(fd);
+            return fail("write failed");
+        }
+        off += static_cast<std::size_t>(w);
+    }
+    std::string reply;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::read(fd, chunk, sizeof(chunk));
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0)
+            break;
+        reply.append(chunk, static_cast<std::size_t>(n));
+        std::size_t eol = reply.find('\n');
+        if (eol != std::string::npos) {
+            reply.resize(eol);
+            ::close(fd);
+            return reply;
+        }
+    }
+    ::close(fd);
+    return fail("connection closed before a reply line");
+}
+
+} // namespace noc::farm

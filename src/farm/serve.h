@@ -1,0 +1,68 @@
+/**
+ * @file
+ * noc_serve: a long-running simulation server on a Unix-domain socket.
+ *
+ * The expensive part of a cold rocosim run is not the simulation — it
+ * is proving the design sound first (deadlock CDG + liveness model
+ * checking). Both provers memoize per design fingerprint, so a
+ * resident server amortises the proofs across requests: the first
+ * `sim` for a design pays for its proof, every later request on any
+ * connection hits the warm cache (the `stats` op exposes the
+ * *ProofsPerformed counters to make this observable).
+ *
+ * Protocol: line-delimited flat JSON, one request per line, one reply
+ * line per request, over SOCK_STREAM:
+ *
+ *   {"op": "ping"}
+ *   {"op": "sim", "arch": "roco", "routing": "xy", "rate": 0.1, ...}
+ *       config keys as in wire.h applyConfigRequest
+ *   {"op": "sweep", "rates": "0.1,0.2,0.3", ...config keys}
+ *   {"op": "stats"}
+ *   {"op": "drain"}   finish this connection, then exit gracefully
+ *
+ * Replies are single-line JSON objects with "ok": true|false.
+ * Requests are served sequentially on one thread — determinism needs
+ * no isolation beyond that, since every sim is a pure function of its
+ * config. SIGTERM drains gracefully: the current request (and the
+ * rest of its connection) completes, no new connections are accepted,
+ * exit code 0.
+ */
+#ifndef ROCOSIM_FARM_SERVE_H_
+#define ROCOSIM_FARM_SERVE_H_
+
+#include <optional>
+#include <string>
+
+#include "common/config.h"
+
+namespace noc::farm {
+
+struct ServeOptions {
+    std::string socketPath; ///< AF_UNIX path; unlinked on bind + exit
+    SimConfig base;         ///< defaults requests override per-key
+    bool verbose = false;   ///< per-request stderr log lines
+};
+
+/**
+ * One request line -> one reply line (no socket; what the server runs
+ * per line, exposed for tests and the --request client fallback).
+ */
+std::string handleRequest(const std::string &line, const ServeOptions &opts);
+
+/**
+ * Runs the accept loop until `drain` or SIGTERM/SIGINT. Returns the
+ * process exit code (0 on graceful drain, 2 on setup failure).
+ */
+int runServe(const ServeOptions &opts);
+
+/**
+ * Client helper: connects to @p socketPath, sends @p line, returns the
+ * reply line. nullopt with *err set on connect/I/O failure.
+ */
+std::optional<std::string> serveRequest(const std::string &socketPath,
+                                        const std::string &line,
+                                        std::string *err);
+
+} // namespace noc::farm
+
+#endif // ROCOSIM_FARM_SERVE_H_

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Exact on-disk / on-socket encodings for the sweep farm.
+ *
+ * The farm's byte-identity contract ("a resumed multi-process sweep
+ * emits the same BENCH json as an uninterrupted in-process run")
+ * hinges on result shards round-tripping every SimResult field
+ * *exactly*. Doubles are therefore written as C99 hex-floats (%a):
+ * unlike decimal shortest-form, the hex rendering is bit-exact by
+ * construction and locale-independent, so the aggregator can re-derive
+ * the canonical decimal JSON from decoded shards and land on the same
+ * bytes the in-process serialiser produces.
+ *
+ * The same header also carries the tiny flat-JSON request parser and
+ * the enum name tables shared by noc_serve and noc_farm — both CLIs
+ * speak line-delimited JSON with only string/number/bool values, which
+ * is all this parser accepts (nested objects are rejected, not
+ * skipped; the protocol never sends them).
+ */
+#ifndef ROCOSIM_FARM_WIRE_H_
+#define ROCOSIM_FARM_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/config.h"
+#include "exp/sweep.h"
+
+namespace noc::farm {
+
+/** Bit-exact double rendering (C99 %a), e.g. "0x1.91eb851eb851fp-3". */
+std::string encodeDouble(double v);
+
+/**
+ * One committed point as shard-file bytes: a `rocosim-shard 1` magic
+ * line, the job id + commit provenance (attempt, worker), then every
+ * PointResult / SimResult field as one `key value` line (doubles in
+ * %a). The encoding is versioned and self-delimiting so a torn write
+ * (missing trailer) is detectable.
+ */
+std::string encodePointResult(const std::string &jobId,
+                              const exp::PointResult &r,
+                              std::uint32_t attempt = 1, int worker = 0);
+
+/**
+ * Decodes encodePointResult bytes. Returns nullopt — never a partial
+ * record — on any defect: bad magic, version skew, unknown field,
+ * malformed number, or missing `end` trailer (torn write).
+ */
+struct DecodedShard {
+    std::string jobId;
+    std::uint32_t attempt = 1; ///< lease attempts incl. the committer
+    int worker = 0;            ///< committing worker index
+    exp::PointResult point;
+};
+std::optional<DecodedShard> decodePointResult(const std::string &bytes);
+
+/** Enum <-> wire-name maps (the rocosim_cli spellings). */
+std::optional<RouterArch> parseArch(const std::string &s);
+std::optional<RoutingKind> parseRouting(const std::string &s);
+std::optional<TrafficKind> parseTraffic(const std::string &s);
+const char *wireName(RouterArch a);
+const char *wireName(RoutingKind k);
+const char *wireName(TrafficKind t);
+
+/**
+ * A parsed flat JSON object: {"key": "str" | number | true|false, ...}
+ * in declaration order. Values keep their literal spelling; has/str/
+ * num do the lookup and conversion. Nested arrays/objects make parse()
+ * fail (the farm protocols are flat by design).
+ */
+class FlatJson
+{
+  public:
+    /** Parses one object; nullopt on any syntax error. */
+    static std::optional<FlatJson> parse(const std::string &line);
+
+    bool has(const std::string &key) const;
+    /** String value (unescaped); @p fallback when absent or non-string. */
+    std::string str(const std::string &key,
+                    const std::string &fallback = "") const;
+    /** Numeric value; @p fallback when absent or non-numeric. */
+    double num(const std::string &key, double fallback = 0) const;
+    bool boolean(const std::string &key, bool fallback = false) const;
+
+  private:
+    struct Entry {
+        std::string key;
+        std::string value; ///< literal spelling ("true", "0.5", text)
+        bool isString = false;
+    };
+    std::vector<Entry> entries_;
+};
+
+/**
+ * Applies the farm/serve config keys of a flat request to @p cfg:
+ * arch, routing, traffic, rate, mesh, vcs, seed, warmup, measure,
+ * maxCycles, svc. Returns false (with *err set) on an unknown enum
+ * spelling; keys that are absent keep cfg's current value.
+ */
+bool applyConfigRequest(const FlatJson &req, SimConfig &cfg,
+                        std::string *err);
+
+} // namespace noc::farm
+
+#endif // ROCOSIM_FARM_WIRE_H_

@@ -1,5 +1,6 @@
 #include "model/liveness.h"
 
+#include <atomic>
 #include <cstdio>
 #include <mutex>
 #include <set>
@@ -167,15 +168,25 @@ brokenModelScenario(Mutation m)
     return {};
 }
 
+namespace {
+std::atomic<std::uint64_t> gLivenessProofs{0};
+} // namespace
+
+std::uint64_t
+livenessProofsPerformed()
+{
+    return gLivenessProofs.load(std::memory_order_relaxed);
+}
+
 void
 validateConfigLiveness(const SimConfig &cfg)
 {
     if (!check::upfrontChecksEnabled())
         return;
     static std::mutex mu;
-    static std::set<int> proven;
-    int key = (static_cast<int>(cfg.arch) << 8) |
-              static_cast<int>(cfg.routing);
+    static std::set<std::uint64_t> proven;
+    std::uint64_t key =
+        check::proofFingerprint(cfg, check::ProofScope::Liveness);
     // Held across the proof so concurrent SweepRunner workers neither
     // race the cache nor duplicate the work (same discipline as
     // check::validateConfigOrDie).
@@ -207,6 +218,7 @@ validateConfigLiveness(const SimConfig &cfg)
             fatal("liveness model check failed");
         }
     }
+    gLivenessProofs.fetch_add(1, std::memory_order_relaxed);
     proven.insert(key);
 }
 

@@ -42,9 +42,17 @@ Scenario brokenModelScenario(Mutation m);
 
 /**
  * Proves liveness for @p cfg's (arch, routing) pair before simulation;
- * memoized per pair, honors NOC_SKIP_CHECK, fatal() on violation.
+ * memoized on check::proofFingerprint(cfg, ProofScope::Liveness) —
+ * operational knobs (pool size, shards, rate, seed) never force a
+ * re-proof. Honors NOC_SKIP_CHECK, fatal() on violation.
  */
 void validateConfigLiveness(const SimConfig &cfg);
+
+/**
+ * Process-wide count of liveness proofs actually performed (memo
+ * misses). Monotonic; for tests and noc_serve stats.
+ */
+std::uint64_t livenessProofsPerformed();
 
 } // namespace noc::model
 

@@ -7,9 +7,12 @@
 
 #include <gtest/gtest.h>
 
+#include "check/deadlock.h"
 #include "exp/json_out.h"
+#include "exp/saturation.h"
 #include "exp/sweep.h"
 #include "fault/fault_injector.h"
+#include "model/liveness.h"
 #include "topology/mesh.h"
 
 namespace noc::exp {
@@ -235,6 +238,132 @@ TEST(JsonOutTest, SerialisesEveryPoint)
     esc.name = "a\"b\\c\n";
     std::string escJson = sweepJson(esc, res);
     EXPECT_NE(escJson.find("\"a\\\"b\\\\c\\u000a\""), std::string::npos);
+}
+
+TEST(JsonOutTest, FragmentsAssembleToWholeFile)
+{
+    SweepSpec spec;
+    spec.base = tinyConfig();
+    spec.name = "frag_smoke";
+    spec.archs = {RouterArch::Generic, RouterArch::Roco};
+    spec.rates = {0.1};
+    SweepResults res = SweepRunner(2).run(spec);
+
+    // The documented assembly recipe must reproduce sweepJson byte for
+    // byte — the farm's streaming aggregator depends on this contract.
+    JsonOptions opts;
+    std::string assembled =
+        sweepJsonHeader(spec, res.threads, res.totalWallMs, res.obs.get(),
+                        opts);
+    for (std::size_t i = 0; i < res.points.size(); ++i) {
+        assembled += pointJson(res.points[i], res.results[i], opts);
+        if (i + 1 < res.points.size())
+            assembled += ",";
+        assembled += "\n";
+    }
+    assembled += sweepJsonFooter();
+    EXPECT_EQ(assembled, sweepJson(spec, res));
+}
+
+TEST(JsonOutTest, CanonicalSchema4ZeroesVolatileFields)
+{
+    SweepSpec spec;
+    spec.base = tinyConfig();
+    spec.name = "canon_smoke";
+    spec.rates = {0.1};
+    SweepResults res = SweepRunner(1).run(spec);
+
+    JsonOptions opts;
+    opts.schema = 4;
+    opts.canonical = true;
+    std::vector<std::string> ids = {"j0123456789abcdef"};
+    opts.jobIds = &ids;
+    std::string json = sweepJson(spec, res, opts);
+    EXPECT_NE(json.find("\"schema\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"threads\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"totalWallMs\": 0"), std::string::npos);
+    EXPECT_NE(json.find("\"wallMs\": 0,"), std::string::npos);
+    EXPECT_NE(json.find("\"job\": {\"id\": \"j0123456789abcdef\"}"),
+              std::string::npos);
+    // No provenance requested -> the job block holds only the id.
+    EXPECT_EQ(json.find("\"attempt\""), std::string::npos);
+
+    // Canonical bytes are a pure function of config + seed: a rerun
+    // (different wall clock, same results) serialises identically.
+    SweepResults rerun = SweepRunner(1).run(spec);
+    EXPECT_EQ(json, sweepJson(spec, rerun, opts));
+
+    // Provenance opt-in surfaces the operational truth.
+    std::vector<JsonOptions::PointProvenance> prov(1);
+    prov[0].attempt = 2;
+    prov[0].worker = 1;
+    prov[0].wallMs = 12.5;
+    opts.provenance = &prov;
+    std::string pjson = sweepJson(spec, res, opts);
+    EXPECT_NE(pjson.find("\"attempt\": 2, \"worker\": 1, \"wallMs\": 12.5"),
+              std::string::npos);
+}
+
+TEST(ProofMemoTest, FingerprintIgnoresOperationalKnobs)
+{
+    SimConfig a = tinyConfig();
+    SimConfig b = a;
+    b.seed = 9999;
+    b.injectionRate = 0.55;
+    b.shards = 4;
+    b.idleSkip = !a.idleSkip;
+    b.warmupPackets = 0;
+    b.measurePackets = 1;
+    b.maxCycles = 123;
+    EXPECT_EQ(check::proofFingerprint(a, check::ProofScope::Deadlock),
+              check::proofFingerprint(b, check::ProofScope::Deadlock));
+    EXPECT_EQ(check::proofFingerprint(a, check::ProofScope::Liveness),
+              check::proofFingerprint(b, check::ProofScope::Liveness));
+
+    SimConfig c = a;
+    c.routing = RoutingKind::Adaptive;
+    EXPECT_NE(check::proofFingerprint(a, check::ProofScope::Deadlock),
+              check::proofFingerprint(c, check::ProofScope::Deadlock));
+    EXPECT_NE(check::proofFingerprint(a, check::ProofScope::Liveness),
+              check::proofFingerprint(c, check::ProofScope::Liveness));
+
+    // VC count changes the deadlock graph but not the liveness matrix.
+    SimConfig d = a;
+    d.vcsPerPort = a.vcsPerPort + 1;
+    EXPECT_NE(check::proofFingerprint(a, check::ProofScope::Deadlock),
+              check::proofFingerprint(d, check::ProofScope::Deadlock));
+    EXPECT_EQ(check::proofFingerprint(a, check::ProofScope::Liveness),
+              check::proofFingerprint(d, check::ProofScope::Liveness));
+}
+
+TEST(ProofMemoTest, SaturationProbesNeverReprove)
+{
+    SaturationSpec spec;
+    spec.base = tinyConfig();
+    spec.base.warmupPackets = 10;
+    spec.base.measurePackets = 60;
+    spec.base.maxCycles = 20000;
+    spec.rounds = 2;
+    spec.probesPerRound = 2;
+    spec.threads = 1;
+
+    // Warm the memo: the first search proves the design (at most once
+    // each — an earlier test in this binary may already have).
+    findSaturation(spec);
+    std::uint64_t d0 = check::deadlockProofsPerformed();
+    std::uint64_t l0 = model::livenessProofsPerformed();
+
+    // Same design under different operational settings: a different
+    // pool size, different probe rates, a batch run. None of these may
+    // trigger a re-proof — the memo keys on the design fingerprint
+    // only.
+    spec.threads = 3;
+    spec.loRate = 0.03;
+    spec.hiRate = 0.5;
+    findSaturation(spec);
+    runBatch(spec, 40);
+    EXPECT_EQ(check::deadlockProofsPerformed(), d0);
+    EXPECT_EQ(model::livenessProofsPerformed(), l0);
 }
 
 } // namespace
